@@ -1,0 +1,356 @@
+//! Byzantine behaviours against the baselines, and runners that execute a
+//! full baseline scenario (mirroring `nectar_protocol::Scenario`).
+//!
+//! §V-D evaluates two attacks:
+//! * against MtG: Byzantine nodes gossip **all-ones Bloom filters**, making
+//!   every correct node downstream believe the system is connected;
+//! * against MtGv2 (and NECTAR): Byzantine *bridge* nodes act correctly
+//!   toward one part of the network and crashed toward the other.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nectar_crypto::KeyStore;
+use nectar_graph::Graph;
+use nectar_net::{Crash, Faulty, Metrics, NodeId, Outgoing, Process, SyncNetwork, TwoFaced};
+
+use crate::bloom::BloomFilter;
+use crate::mtg::{FilterMsg, MtgConfig, MtgNode};
+use crate::mtg_v2::MtgV2Node;
+use crate::verdict::BaselineVerdict;
+
+/// Byzantine strategies against MtG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MtgBehavior {
+    /// Gossip an all-ones filter (the poisoning attack of §V-D).
+    SaturateFilter,
+    /// Crash from round 1.
+    Silent,
+    /// Bridge attack: silent toward the listed nodes.
+    TwoFaced {
+        /// Nodes toward which this node plays dead.
+        silent_toward: BTreeSet<NodeId>,
+    },
+}
+
+/// Byzantine strategies against MtGv2 (filters cannot be forged, so only
+/// traffic-shaped attacks remain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MtgV2Behavior {
+    /// Crash from round 1.
+    Silent,
+    /// Bridge attack: silent toward the listed nodes.
+    TwoFaced {
+        /// Nodes toward which this node plays dead.
+        silent_toward: BTreeSet<NodeId>,
+    },
+}
+
+/// The all-ones-filter attacker.
+#[derive(Debug)]
+pub struct FilterSaturator {
+    id: NodeId,
+    neighbors: Vec<NodeId>,
+    config: MtgConfig,
+    fired: bool,
+}
+
+impl FilterSaturator {
+    /// Creates the attacker.
+    pub fn new(id: NodeId, config: MtgConfig, neighbors: Vec<NodeId>) -> Self {
+        FilterSaturator { id, neighbors, config, fired: false }
+    }
+}
+
+impl Process for FilterSaturator {
+    type Msg = FilterMsg;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&mut self, _round: usize) -> Vec<Outgoing<FilterMsg>> {
+        // One poisoned filter per neighbor is enough: unions never forget.
+        if self.fired {
+            return Vec::new();
+        }
+        self.fired = true;
+        let mut filter = BloomFilter::new(self.config.filter_bits, self.config.filter_hashes);
+        filter.saturate();
+        self.neighbors.iter().map(|&to| Outgoing::new(to, FilterMsg { filter: filter.clone() })).collect()
+    }
+
+    fn receive(&mut self, _round: usize, _from: NodeId, _msg: FilterMsg) {}
+}
+
+/// Heterogeneous MtG participant.
+#[derive(Debug)]
+pub enum MtgParticipant {
+    /// Runs the unmodified protocol.
+    Correct(MtgNode),
+    /// All-ones-filter attacker.
+    Saturator(FilterSaturator),
+    /// Correct logic behind a traffic fault (silent / two-faced).
+    TrafficFault(Faulty<MtgNode>),
+}
+
+impl Process for MtgParticipant {
+    type Msg = FilterMsg;
+
+    fn id(&self) -> NodeId {
+        match self {
+            MtgParticipant::Correct(n) => n.id(),
+            MtgParticipant::Saturator(s) => s.id(),
+            MtgParticipant::TrafficFault(f) => f.id(),
+        }
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<FilterMsg>> {
+        match self {
+            MtgParticipant::Correct(n) => n.send(round),
+            MtgParticipant::Saturator(s) => s.send(round),
+            MtgParticipant::TrafficFault(f) => f.send(round),
+        }
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: FilterMsg) {
+        match self {
+            MtgParticipant::Correct(n) => n.receive(round, from, msg),
+            MtgParticipant::Saturator(s) => s.receive(round, from, msg),
+            MtgParticipant::TrafficFault(f) => f.receive(round, from, msg),
+        }
+    }
+}
+
+/// Heterogeneous MtGv2 participant.
+#[derive(Debug)]
+pub enum MtgV2Participant {
+    /// Runs the unmodified protocol.
+    Correct(MtgV2Node),
+    /// Correct logic behind a traffic fault (silent / two-faced).
+    TrafficFault(Faulty<MtgV2Node>),
+}
+
+impl Process for MtgV2Participant {
+    type Msg = crate::mtg_v2::SignedIdsMsg;
+
+    fn id(&self) -> NodeId {
+        match self {
+            MtgV2Participant::Correct(n) => n.id(),
+            MtgV2Participant::TrafficFault(f) => f.id(),
+        }
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<Self::Msg>> {
+        match self {
+            MtgV2Participant::Correct(n) => n.send(round),
+            MtgV2Participant::TrafficFault(f) => f.send(round),
+        }
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: Self::Msg) {
+        match self {
+            MtgV2Participant::Correct(n) => n.receive(round, from, msg),
+            MtgV2Participant::TrafficFault(f) => f.receive(round, from, msg),
+        }
+    }
+}
+
+/// Result of a baseline execution.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Every correct node's verdict.
+    pub verdicts: BTreeMap<NodeId, BaselineVerdict>,
+    /// Traffic counters.
+    pub metrics: Metrics,
+    /// Byzantine cast.
+    pub byzantine: BTreeSet<NodeId>,
+}
+
+impl BaselineOutcome {
+    /// Whether all correct nodes agree.
+    pub fn agreement(&self) -> bool {
+        let mut it = self.verdicts.values();
+        match it.next() {
+            None => true,
+            Some(first) => it.all(|v| v == first),
+        }
+    }
+
+    /// Fraction of correct nodes reaching `expected` — Fig. 8's decision
+    /// success rate.
+    pub fn success_rate(&self, expected: BaselineVerdict) -> f64 {
+        if self.verdicts.is_empty() {
+            return 1.0;
+        }
+        let ok = self.verdicts.values().filter(|&&v| v == expected).count();
+        ok as f64 / self.verdicts.len() as f64
+    }
+
+    /// Mean bytes sent per node, in KB (Figs. 4–7).
+    pub fn mean_kb_sent_per_node(&self) -> f64 {
+        self.metrics.mean_bytes_sent_per_node() / 1024.0
+    }
+}
+
+/// Runs MtG over `topology` for `rounds` (one epoch), with the given
+/// Byzantine cast.
+pub fn run_mtg(
+    topology: &Graph,
+    config: MtgConfig,
+    byzantine: &BTreeMap<NodeId, MtgBehavior>,
+    rounds: usize,
+) -> BaselineOutcome {
+    let n = topology.node_count();
+    let participants: Vec<MtgParticipant> = (0..n)
+        .map(|i| {
+            let node = MtgNode::new(i, config, topology.neighborhood(i));
+            match byzantine.get(&i) {
+                None => MtgParticipant::Correct(node),
+                Some(MtgBehavior::SaturateFilter) => MtgParticipant::Saturator(FilterSaturator::new(
+                    i,
+                    config,
+                    topology.neighborhood(i),
+                )),
+                Some(MtgBehavior::Silent) => {
+                    MtgParticipant::TrafficFault(Faulty::new(node, Box::new(Crash { from_round: 1 })))
+                }
+                Some(MtgBehavior::TwoFaced { silent_toward }) => MtgParticipant::TrafficFault(
+                    Faulty::new(node, Box::new(TwoFaced::new(silent_toward.iter().copied()))),
+                ),
+            }
+        })
+        .collect();
+    let mut net = SyncNetwork::new(participants, topology.clone());
+    net.run_rounds(rounds);
+    let (participants, metrics) = net.into_parts();
+    let byz: BTreeSet<NodeId> = byzantine.keys().copied().collect();
+    let verdicts = participants
+        .iter()
+        .filter_map(|p| match p {
+            MtgParticipant::Correct(n) if !byz.contains(&n.id()) => Some((n.id(), n.decide())),
+            _ => None,
+        })
+        .collect();
+    BaselineOutcome { verdicts, metrics, byzantine: byz }
+}
+
+/// Runs MtGv2 over `topology` for `rounds` (one epoch), with the given
+/// Byzantine cast.
+pub fn run_mtg_v2(
+    topology: &Graph,
+    byzantine: &BTreeMap<NodeId, MtgV2Behavior>,
+    rounds: usize,
+    key_seed: u64,
+) -> BaselineOutcome {
+    let n = topology.node_count();
+    let keys = KeyStore::generate(n, key_seed);
+    let participants: Vec<MtgV2Participant> = (0..n)
+        .map(|i| {
+            let node =
+                MtgV2Node::new(i, n, topology.neighborhood(i), &keys.signer(i as u16), keys.verifier());
+            match byzantine.get(&i) {
+                None => MtgV2Participant::Correct(node),
+                Some(MtgV2Behavior::Silent) => {
+                    MtgV2Participant::TrafficFault(Faulty::new(node, Box::new(Crash { from_round: 1 })))
+                }
+                Some(MtgV2Behavior::TwoFaced { silent_toward }) => MtgV2Participant::TrafficFault(
+                    Faulty::new(node, Box::new(TwoFaced::new(silent_toward.iter().copied()))),
+                ),
+            }
+        })
+        .collect();
+    let mut net = SyncNetwork::new(participants, topology.clone());
+    net.run_rounds(rounds);
+    let (participants, metrics) = net.into_parts();
+    let byz: BTreeSet<NodeId> = byzantine.keys().copied().collect();
+    let verdicts = participants
+        .iter()
+        .filter_map(|p| match p {
+            MtgV2Participant::Correct(n) if !byz.contains(&n.id()) => Some((n.id(), n.decide())),
+            _ => None,
+        })
+        .collect();
+    BaselineOutcome { verdicts, metrics, byzantine: byz }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nectar_graph::Graph;
+
+    /// Two 4-cliques with no link between them: a clean partition.
+    fn split_graph() -> Graph {
+        let mut g = Graph::empty(8);
+        for base in [0, 4] {
+            for u in base..base + 4 {
+                for v in u + 1..base + 4 {
+                    g.add_edge(u, v).unwrap();
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn honest_mtg_detects_the_partition() {
+        let g = split_graph();
+        let out = run_mtg(&g, MtgConfig::new(8), &BTreeMap::new(), 7);
+        assert!(out.agreement());
+        assert_eq!(out.success_rate(BaselineVerdict::Partitioned), 1.0);
+    }
+
+    #[test]
+    fn one_saturator_fools_half_the_nodes() {
+        let g = split_graph();
+        let byz = BTreeMap::from([(0, MtgBehavior::SaturateFilter)]);
+        let out = run_mtg(&g, MtgConfig::new(8), &byz, 7);
+        // Nodes 1–3 are poisoned (conclude Connected); 4–7 still detect.
+        assert!(!out.agreement(), "a single Byzantine node breaks agreement");
+        let rate = out.success_rate(BaselineVerdict::Partitioned);
+        assert!((rate - 4.0 / 7.0).abs() < 1e-9, "rate = {rate}");
+    }
+
+    #[test]
+    fn two_saturators_fool_everyone() {
+        let g = split_graph();
+        let byz =
+            BTreeMap::from([(0, MtgBehavior::SaturateFilter), (4, MtgBehavior::SaturateFilter)]);
+        let out = run_mtg(&g, MtgConfig::new(8), &byz, 7);
+        assert_eq!(out.success_rate(BaselineVerdict::Partitioned), 0.0);
+    }
+
+    #[test]
+    fn mtgv2_bridge_attack_splits_correct_views() {
+        // Bridge topology: parts A = {0,1,2} and B = {4,5,6} joined only via
+        // the Byzantine node 3, which acts correctly toward A and crashed
+        // toward B (§V-D). The bridge keeps receiving B's attestations and
+        // relays them to A: A concludes Connected (true of the raw graph),
+        // while B, hearing nothing across, concludes Partitioned (true of
+        // the correct subgraph). Half the correct nodes on each side — the
+        // ~0.5 success plateau of Fig. 8.
+        let mut g = Graph::empty(7);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (4, 5), (5, 6), (4, 6), (2, 3), (3, 4)] {
+            g.add_edge(u, v).unwrap();
+        }
+        let byz = BTreeMap::from([(3, MtgV2Behavior::TwoFaced { silent_toward: [4, 5, 6].into() })]);
+        let out = run_mtg_v2(&g, &byz, 6, 1);
+        assert!(!out.agreement(), "one bridge suffices to break agreement");
+        let rate = out.success_rate(BaselineVerdict::Partitioned);
+        assert!((rate - 0.5).abs() < 1e-9, "rate = {rate}");
+        for (&node, &v) in &out.verdicts {
+            let expected =
+                if node <= 2 { BaselineVerdict::Connected } else { BaselineVerdict::Partitioned };
+            assert_eq!(v, expected, "node {node}");
+        }
+    }
+
+    #[test]
+    fn silent_byzantine_in_connected_graph_changes_nothing_for_others() {
+        let g = nectar_graph::gen::harary(3, 8).unwrap();
+        let byz = BTreeMap::from([(2, MtgV2Behavior::Silent)]);
+        let out = run_mtg_v2(&g, &byz, 7, 1);
+        // Node 2 never attests: correct nodes miss it and conclude
+        // Partitioned — a false alarm inherent to crash-style silence.
+        assert_eq!(out.success_rate(BaselineVerdict::Partitioned), 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! MindTheGap (MtG) — Bouget et al., SRDS 2018 (§V-A baseline).
+//!
+//! Every node maintains a Bloom filter of the process IDs it believes
+//! reachable (initially just itself) and gossips it to its neighbors; on
+//! reception, filters are unioned. After the epoch, a node concludes the
+//! network is *partitioned* iff some process ID is missing from its filter.
+//!
+//! MtG is cheap (a filter is a few dozen bytes) but unauthenticated: a
+//! single Byzantine node sending an all-ones filter poisons every downstream
+//! union — the attack reproduced in Fig. 8.
+
+use nectar_net::{NodeId, Outgoing, Process, WireSized};
+
+use crate::bloom::BloomFilter;
+use crate::verdict::BaselineVerdict;
+
+/// Gossip message: the sender's current reachability filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterMsg {
+    /// The gossiped Bloom filter.
+    pub filter: BloomFilter,
+}
+
+/// Fixed per-message framing overhead (sender + epoch counter).
+pub const MTG_HEADER_BYTES: usize = 8;
+
+impl WireSized for FilterMsg {
+    fn wire_bytes(&self) -> usize {
+        MTG_HEADER_BYTES + self.filter.wire_bytes()
+    }
+}
+
+/// Parameters for MtG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MtgConfig {
+    /// System size `n` (all process IDs are known, §II).
+    pub n: usize,
+    /// Bloom filter bits.
+    pub filter_bits: usize,
+    /// Bloom filter hash count.
+    pub filter_hashes: usize,
+}
+
+impl MtgConfig {
+    /// Defaults sized for systems of up to a few hundred nodes (~2.7% FPR
+    /// at n = 100).
+    pub fn new(n: usize) -> Self {
+        MtgConfig { n, filter_bits: 1024, filter_hashes: 3 }
+    }
+}
+
+/// A correct MtG node.
+#[derive(Debug, Clone)]
+pub struct MtgNode {
+    id: NodeId,
+    config: MtgConfig,
+    neighbors: Vec<NodeId>,
+    filter: BloomFilter,
+    dirty: bool,
+}
+
+impl MtgNode {
+    /// Creates the node with its neighbor list.
+    pub fn new(id: NodeId, config: MtgConfig, neighbors: Vec<NodeId>) -> Self {
+        let mut filter = BloomFilter::new(config.filter_bits, config.filter_hashes);
+        filter.insert(id as u64);
+        MtgNode { id, config, neighbors, filter, dirty: true }
+    }
+
+    /// The node's current filter.
+    pub fn filter(&self) -> &BloomFilter {
+        &self.filter
+    }
+
+    /// End-of-epoch decision: partitioned iff some process ID is missing.
+    pub fn decide(&self) -> BaselineVerdict {
+        let all_present = (0..self.config.n).all(|id| self.filter.contains(id as u64));
+        if all_present {
+            BaselineVerdict::Connected
+        } else {
+            BaselineVerdict::Partitioned
+        }
+    }
+}
+
+impl Process for MtgNode {
+    type Msg = FilterMsg;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&mut self, _round: usize) -> Vec<Outgoing<FilterMsg>> {
+        // Gossip on change: re-sending an unchanged filter adds no
+        // information, so a correct node stays silent once its view has
+        // stabilized (this is what keeps MtG's cost flat in Fig. 4).
+        if !self.dirty {
+            return Vec::new();
+        }
+        self.dirty = false;
+        self.neighbors
+            .iter()
+            .map(|&to| Outgoing::new(to, FilterMsg { filter: self.filter.clone() }))
+            .collect()
+    }
+
+    fn receive(&mut self, _round: usize, _from: NodeId, msg: FilterMsg) {
+        if msg.filter.geometry() != self.filter.geometry() {
+            // Malformed gossip; a correct node ignores it.
+            return;
+        }
+        let before = self.filter.count_ones();
+        self.filter.union(&msg.filter);
+        if self.filter.count_ones() != before {
+            self.dirty = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nectar_graph::gen;
+    use nectar_net::SyncNetwork;
+
+    fn run(g: &nectar_graph::Graph, rounds: usize) -> Vec<MtgNode> {
+        let n = g.node_count();
+        let cfg = MtgConfig::new(n);
+        let nodes = (0..n).map(|i| MtgNode::new(i, cfg, g.neighborhood(i))).collect();
+        let mut net = SyncNetwork::new(nodes, g.clone());
+        net.run_rounds(rounds);
+        net.into_parts().0
+    }
+
+    #[test]
+    fn connected_graph_is_reported_connected() {
+        let g = gen::cycle(10);
+        for node in run(&g, 9) {
+            assert_eq!(node.decide(), BaselineVerdict::Connected);
+        }
+    }
+
+    #[test]
+    fn partitioned_graph_is_reported_partitioned() {
+        let g = nectar_graph::Graph::from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]).unwrap();
+        for node in run(&g, 7) {
+            assert_eq!(node.decide(), BaselineVerdict::Partitioned);
+        }
+    }
+
+    #[test]
+    fn gossip_goes_quiet_after_convergence() {
+        let g = gen::path(4);
+        let n = g.node_count();
+        let cfg = MtgConfig::new(n);
+        let nodes: Vec<MtgNode> = (0..n).map(|i| MtgNode::new(i, cfg, g.neighborhood(i))).collect();
+        let mut net = SyncNetwork::new(nodes, g.clone());
+        net.run_rounds(10);
+        let per_round = net.metrics().bytes_per_round();
+        // Diameter 3: all filters converge well before round 10.
+        assert!(per_round.len() <= 6, "gossip kept flowing: {per_round:?}");
+    }
+
+    #[test]
+    fn malformed_filter_geometry_is_ignored() {
+        let cfg = MtgConfig::new(4);
+        let mut node = MtgNode::new(0, cfg, vec![1]);
+        let alien = BloomFilter::new(64, 1);
+        node.receive(1, 1, FilterMsg { filter: alien });
+        assert_eq!(node.filter().geometry(), (1024, 3));
+    }
+}

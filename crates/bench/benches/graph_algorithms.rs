@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the graph substrate: the vertex-connectivity
+//! computation dominating NECTAR's decision phase, plus topology
+//! generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nectar_graph::{connectivity, gen, traversal};
+
+fn bench_vertex_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_connectivity");
+    group.sample_size(10);
+    for (k, n) in [(4usize, 50usize), (10, 100), (34, 100)] {
+        let g = gen::harary(k, n).expect("valid parameters");
+        group.bench_with_input(BenchmarkId::new("harary", format!("k{k}_n{n}")), &g, |b, g| {
+            b.iter(|| connectivity::vertex_connectivity(black_box(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_cut_and_traversal(c: &mut Criterion) {
+    let g = gen::harary(10, 100).expect("valid parameters");
+    let mut group = c.benchmark_group("graph_ops");
+    group.sample_size(10);
+    group.bench_function("min_vertex_cut_k10_n100", |b| {
+        b.iter(|| connectivity::min_vertex_cut(black_box(&g)))
+    });
+    group.bench_function("diameter_k10_n100", |b| b.iter(|| traversal::diameter(black_box(&g))));
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("harary_k10_n100", |b| b.iter(|| gen::harary(10, 100).expect("valid")));
+    group.bench_function("drone_n100", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            gen::drone_scenario(100, 3.0, 1.8, &mut rng).expect("valid")
+        })
+    });
+    group.bench_function("random_regular_k6_n100", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            gen::random_regular(6, 100, &mut rng).expect("valid")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertex_connectivity, bench_min_cut_and_traversal, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: SHA-256
+//! throughput, signing/verification, proof and chain operations. These are
+//! the per-message costs behind NECTAR's network figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use nectar_crypto::{sha256::sha256, KeyStore, NeighborhoodProof, SignatureChain};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let ks = KeyStore::generate(16, 1);
+    let signer = ks.signer(0);
+    let verifier = ks.verifier();
+    let msg = vec![0x5au8; 128];
+    c.bench_function("sign_128B", |b| b.iter(|| signer.sign(black_box(&msg))));
+    let sig = signer.sign(&msg);
+    c.bench_function("verify_128B", |b| b.iter(|| verifier.verify(black_box(&msg), black_box(&sig))));
+}
+
+fn bench_proof_and_chain(c: &mut Criterion) {
+    let ks = KeyStore::generate(16, 1);
+    let verifier = ks.verifier();
+    c.bench_function("neighborhood_proof_new", |b| {
+        b.iter(|| NeighborhoodProof::new(&ks.signer(0), &ks.signer(1)))
+    });
+    let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
+    c.bench_function("neighborhood_proof_verify", |b| b.iter(|| proof.verify(black_box(&verifier))));
+
+    let digest = proof.digest();
+    let mut group = c.benchmark_group("chain_verify");
+    for hops in [1usize, 4, 16] {
+        let mut chain = SignatureChain::new();
+        for h in 0..hops {
+            chain = chain.extend(&ks.signer(h as u16), &digest);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &chain, |b, chain| {
+            b.iter(|| chain.verify(black_box(&verifier), black_box(&digest)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_sign_verify, bench_proof_and_chain);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for end-to-end protocol executions: NECTAR vs the
+//! baselines on identical topologies, and both runtimes on identical
+//! scenarios.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nectar_baselines::{run_mtg, run_mtg_v2, MtgConfig};
+use nectar_graph::gen;
+use nectar_protocol::Scenario;
+
+fn bench_nectar_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nectar_run");
+    group.sample_size(10);
+    for (k, n) in [(4usize, 20usize), (4, 50), (10, 50)] {
+        let g = gen::harary(k, n).expect("valid parameters");
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}_n{n}")), &g, |b, g| {
+            b.iter(|| Scenario::new(black_box(g.clone()), k / 2).run_metrics_only());
+        });
+    }
+    group.finish();
+}
+
+fn bench_nectar_with_decisions(c: &mut Criterion) {
+    let g = gen::harary(4, 30).expect("valid parameters");
+    let mut group = c.benchmark_group("nectar_run_with_decisions");
+    group.sample_size(10);
+    group.bench_function("k4_n30", |b| b.iter(|| Scenario::new(black_box(g.clone()), 2).run()));
+    group.finish();
+}
+
+fn bench_runtimes(c: &mut Criterion) {
+    let g = gen::harary(4, 24).expect("valid parameters");
+    let scenario = Scenario::new(g, 2);
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    group.bench_function("sync", |b| b.iter(|| black_box(&scenario).run_metrics_only()));
+    group.bench_function("threaded", |b| b.iter(|| black_box(&scenario).run_threaded()));
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let g = gen::harary(4, 50).expect("valid parameters");
+    let n = g.node_count();
+    let mut group = c.benchmark_group("baseline_run");
+    group.bench_function("mtg_k4_n50", |b| {
+        b.iter(|| run_mtg(black_box(&g), MtgConfig::new(n), &BTreeMap::new(), n - 1))
+    });
+    group.bench_function("mtgv2_k4_n50", |b| {
+        b.iter(|| run_mtg_v2(black_box(&g), &BTreeMap::new(), n - 1, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nectar_end_to_end,
+    bench_nectar_with_decisions,
+    bench_runtimes,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! The actual figure regeneration lives in `src/bin/` (one binary per paper
+//! figure, see DESIGN.md §3) and the Criterion micro-benchmarks in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+
+/// Directory where figure binaries write their CSV output.
+pub const RESULTS_DIR: &str = "results";
+
+/// Ensures the results directory exists and returns the path to
+/// `results/<name>`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn results_path(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(RESULTS_DIR);
+    std::fs::create_dir_all(dir).expect("cannot create results directory");
+    dir.join(name)
+}

@@ -1,0 +1,415 @@
+//! Byzantine NECTAR participants.
+//!
+//! §IV ("Impact of Byzantine deviations") and §V-D describe what Byzantine
+//! nodes can attempt against NECTAR: stay silent, behave correctly toward
+//! one side of the network and crashed toward the other, hide their own
+//! edges, declare fictitious edges among themselves, or withhold signed
+//! material to replay it later. This module implements all of them as
+//! [`Participant`] variants that plug into the same runtimes as correct
+//! nodes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use nectar_crypto::{NeighborhoodProof, SignatureChain, Signer};
+use nectar_net::{Crash, Faulty, NodeId, Outgoing, Process, TwoFaced};
+
+use crate::message::{NectarMsg, RelayedEdge};
+use crate::node::NectarNode;
+
+/// Declarative description of a Byzantine node's strategy, consumed by the
+/// scenario [`runner`](crate::runner).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByzantineBehavior {
+    /// Never sends anything (crash from round 1). Indistinguishable from a
+    /// crashed node.
+    Silent,
+    /// Behaves correctly until `round`, silent afterwards.
+    CrashAfter {
+        /// First silent round.
+        round: usize,
+    },
+    /// The bridge attack of §V-D: acts correctly toward every node *not* in
+    /// the set, and as a crashed node toward the set (drops both incoming
+    /// and outgoing traffic with them).
+    TwoFaced {
+        /// Nodes toward which this node plays dead.
+        silent_toward: BTreeSet<NodeId>,
+    },
+    /// Omits its own edges toward the listed neighbors from its
+    /// announcements (the edges can still be announced by the other — if
+    /// correct — endpoint).
+    HideEdges {
+        /// Neighbors whose shared edge is concealed.
+        toward: BTreeSet<NodeId>,
+    },
+    /// Declares fictitious edges with the listed partners. Only effective
+    /// when the partners are Byzantine too (§II: proofs involving a correct
+    /// node cannot be forged) — the runner enforces this.
+    FictitiousEdges {
+        /// Colluding partners for fake edges.
+        partners: Vec<NodeId>,
+    },
+    /// Dolev–Strong-style late reveal: conceals the real edge shared with
+    /// `partner`, then injects it at round `1 + others.len() + 1` inside a
+    /// chain pre-signed by the colluders. Correct nodes accept it (the
+    /// length matches) and still reach agreement — the scenario the paper's
+    /// Lemma 2 covers.
+    LateReveal {
+        /// The other endpoint of the concealed edge (must be Byzantine).
+        partner: NodeId,
+        /// Additional colluding signers between `partner` and this node.
+        others: Vec<NodeId>,
+    },
+    /// Sends different round-1 neighborhoods to different neighbors: nodes
+    /// in `victims` only see the single edge they share with this node.
+    Equivocate {
+        /// Neighbors receiving the impoverished view.
+        victims: BTreeSet<NodeId>,
+    },
+}
+
+/// A protocol participant: a correct node or one of the Byzantine variants.
+///
+/// Using an enum keeps heterogeneous systems in one `Vec<Participant>` that
+/// both runtimes can execute without dynamic dispatch.
+#[derive(Debug)]
+pub enum Participant {
+    /// A correct NECTAR node.
+    Correct(NectarNode),
+    /// A node whose traffic is distorted by a [`nectar_net::FaultModel`]
+    /// (silent, crash-after, two-faced).
+    TrafficFault(Faulty<NectarNode>),
+    /// The late-reveal colluder.
+    LateReveal(LateRevealNode),
+    /// The equivocating announcer.
+    Equivocator(EquivocatorNode),
+}
+
+impl Participant {
+    /// The underlying NECTAR state (every variant wraps one).
+    pub fn nectar(&self) -> &NectarNode {
+        match self {
+            Participant::Correct(n) => n,
+            Participant::TrafficFault(f) => f.inner(),
+            Participant::LateReveal(l) => &l.inner,
+            Participant::Equivocator(e) => &e.inner,
+        }
+    }
+
+    /// Whether this participant runs the unmodified protocol.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Participant::Correct(_))
+    }
+}
+
+impl Process for Participant {
+    type Msg = NectarMsg;
+
+    fn id(&self) -> NodeId {
+        match self {
+            Participant::Correct(n) => n.id(),
+            Participant::TrafficFault(f) => f.id(),
+            Participant::LateReveal(l) => l.id(),
+            Participant::Equivocator(e) => e.id(),
+        }
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<NectarMsg>> {
+        match self {
+            Participant::Correct(n) => n.send(round),
+            Participant::TrafficFault(f) => f.send(round),
+            Participant::LateReveal(l) => l.send(round),
+            Participant::Equivocator(e) => e.send(round),
+        }
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: NectarMsg) {
+        match self {
+            Participant::Correct(n) => n.receive(round, from, msg),
+            Participant::TrafficFault(f) => f.receive(round, from, msg),
+            Participant::LateReveal(l) => l.receive(round, from, msg),
+            Participant::Equivocator(e) => e.receive(round, from, msg),
+        }
+    }
+}
+
+/// Wraps a correct node with a traffic fault model chosen by `behavior`.
+pub(crate) fn wrap_traffic_fault(node: NectarNode, behavior: &ByzantineBehavior) -> Participant {
+    match behavior {
+        ByzantineBehavior::Silent => {
+            Participant::TrafficFault(Faulty::new(node, Box::new(Crash { from_round: 1 })))
+        }
+        ByzantineBehavior::CrashAfter { round } => {
+            Participant::TrafficFault(Faulty::new(node, Box::new(Crash { from_round: *round })))
+        }
+        ByzantineBehavior::TwoFaced { silent_toward } => Participant::TrafficFault(Faulty::new(
+            node,
+            Box::new(TwoFaced::new(silent_toward.iter().copied())),
+        )),
+        other => unreachable!("not a traffic fault: {other:?}"),
+    }
+}
+
+/// The late-reveal Byzantine node: hides one real edge, then injects it with
+/// a pre-signed colluder chain at exactly the round matching the chain
+/// length.
+pub struct LateRevealNode {
+    pub(crate) inner: NectarNode,
+    reveal_round: usize,
+    payload: RelayedEdge,
+    revealed: bool,
+}
+
+impl fmt::Debug for LateRevealNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LateRevealNode")
+            .field("id", &self.inner.node_id())
+            .field("reveal_round", &self.reveal_round)
+            .field("revealed", &self.revealed)
+            .finish()
+    }
+}
+
+impl LateRevealNode {
+    /// Builds the colluder: `chain_signers` are the signing keys of the
+    /// colluding path (innermost first; the innermost **must** be an
+    /// endpoint of `proof` and the outermost must be this node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signer ordering violates the two constraints above
+    /// (the attack would be rejected by every correct node otherwise).
+    pub fn new(mut inner: NectarNode, proof: NeighborhoodProof, chain_signers: &[&Signer]) -> Self {
+        let (u, v) = proof.endpoints();
+        let first = chain_signers.first().expect("chain needs at least one signer").id();
+        assert!(first == u || first == v, "innermost colluder must be an edge endpoint");
+        let last = chain_signers.last().expect("non-empty").id() as usize;
+        assert_eq!(last, inner.node_id(), "outermost colluder must be the revealing node");
+        let digest = proof.digest();
+        let mut chain = SignatureChain::new();
+        for signer in chain_signers {
+            chain = chain.extend(signer, &digest);
+        }
+        let reveal_round = chain.len();
+        // Conceal the edge from the initial announcements.
+        let other = if u as usize == inner.node_id() { v } else { u };
+        inner.hide_edge_to(other as usize);
+        LateRevealNode {
+            inner,
+            reveal_round,
+            payload: RelayedEdge { proof, chain },
+            revealed: false,
+        }
+    }
+}
+
+impl Process for LateRevealNode {
+    type Msg = NectarMsg;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<NectarMsg>> {
+        let mut out = self.inner.send(round);
+        if round == self.reveal_round && !self.revealed {
+            self.revealed = true;
+            let format = self.inner.config().wire_format;
+            for &nbr in self.inner.neighbors().to_vec().iter() {
+                if let Some(msg) = out.iter_mut().find(|o| o.to == nbr) {
+                    msg.msg.edges.push(self.payload.clone());
+                } else {
+                    out.push(Outgoing::new(
+                        nbr,
+                        NectarMsg { edges: vec![self.payload.clone()], format },
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: NectarMsg) {
+        self.inner.receive(round, from, msg);
+    }
+}
+
+/// The equivocating Byzantine node: victims only ever see the one edge they
+/// share with it in round 1.
+#[derive(Debug)]
+pub struct EquivocatorNode {
+    pub(crate) inner: NectarNode,
+    victims: BTreeSet<NodeId>,
+}
+
+impl EquivocatorNode {
+    /// Wraps `inner`, impoverishing round-1 announcements toward `victims`.
+    pub fn new(inner: NectarNode, victims: BTreeSet<NodeId>) -> Self {
+        EquivocatorNode { inner, victims }
+    }
+}
+
+impl Process for EquivocatorNode {
+    type Msg = NectarMsg;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<NectarMsg>> {
+        let mut out = self.inner.send(round);
+        if round == 1 {
+            let me = self.inner.node_id() as u16;
+            for o in &mut out {
+                if self.victims.contains(&o.to) {
+                    let victim = o.to as u16;
+                    o.msg.edges.retain(|e| {
+                        let (u, v) = e.proof.endpoints();
+                        (u == me && v == victim) || (v == me && u == victim)
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: NectarMsg) {
+        self.inner.receive(round, from, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NectarConfig, Verdict};
+    use crate::runner::Scenario;
+    use nectar_crypto::KeyStore;
+    use nectar_graph::gen;
+    use std::collections::BTreeMap;
+
+    fn correct_node(id: usize, g: &nectar_graph::Graph, ks: &KeyStore, t: usize) -> NectarNode {
+        let proofs: BTreeMap<usize, NeighborhoodProof> = g
+            .neighbors(id)
+            .map(|j| (j, NeighborhoodProof::new(&ks.signer(id as u16), &ks.signer(j as u16))))
+            .collect();
+        NectarNode::new(id, NectarConfig::new(g.node_count(), t), ks.signer(id as u16), ks.verifier(), proofs)
+    }
+
+    #[test]
+    fn late_reveal_injects_at_exactly_the_chain_length_round() {
+        // Ring of 6; nodes 0 and 1 collude: edge (0,1) is concealed, then
+        // node 1 reveals it at round 2 with the chain [σ_0, σ_1].
+        let g = gen::cycle(6);
+        let ks = KeyStore::generate(6, 3);
+        let inner = correct_node(1, &g, &ks, 1);
+        let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
+        let s0 = ks.signer(0);
+        let s1 = ks.signer(1);
+        let mut node = LateRevealNode::new(inner, proof, &[&s0, &s1]);
+
+        // Round 1: the concealed edge is absent from announcements.
+        let out1 = node.send(1);
+        for o in &out1 {
+            assert!(o.msg.edges.iter().all(|e| e.proof.endpoints() != (0, 1)), "edge leaked early");
+        }
+        // Round 2: the reveal goes to every neighbor with a length-2 chain.
+        let out2 = node.send(2);
+        let reveals: Vec<_> = out2
+            .iter()
+            .flat_map(|o| o.msg.edges.iter().map(move |e| (o.to, e)))
+            .filter(|(_, e)| e.proof.endpoints() == (0, 1))
+            .collect();
+        assert_eq!(reveals.len(), 2, "one reveal per ring neighbor");
+        for (_, e) in reveals {
+            assert_eq!(e.chain.len(), 2);
+            assert_eq!(e.chain.outermost_signer(), Some(1));
+        }
+        // Round 3: nothing further.
+        let out3 = node.send(3);
+        assert!(out3.iter().all(|o| o.msg.edges.iter().all(|e| e.proof.endpoints() != (0, 1))));
+    }
+
+    #[test]
+    #[should_panic(expected = "innermost colluder must be an edge endpoint")]
+    fn late_reveal_rejects_non_endpoint_chain_start() {
+        let g = gen::cycle(6);
+        let ks = KeyStore::generate(6, 3);
+        let inner = correct_node(1, &g, &ks, 1);
+        let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
+        let s3 = ks.signer(3);
+        let s1 = ks.signer(1);
+        let _ = LateRevealNode::new(inner, proof, &[&s3, &s1]);
+    }
+
+    #[test]
+    fn late_reveal_preserves_agreement_end_to_end() {
+        // The Dolev–Strong scenario Lemma 2 covers: the late edge is
+        // accepted by everyone (length matches), and all correct nodes
+        // still agree.
+        let g = gen::cycle(7);
+        let out = Scenario::new(g, 2)
+            .with_byzantine(0, ByzantineBehavior::LateReveal { partner: 1, others: vec![] })
+            .with_byzantine(1, ByzantineBehavior::Silent)
+            .run();
+        assert!(out.agreement());
+        // Every correct node ends up seeing the late edge (0,1): their
+        // discovered graphs all contain 7 edges.
+        let participants = Scenario::new(gen::cycle(7), 2)
+            .with_byzantine(0, ByzantineBehavior::LateReveal { partner: 1, others: vec![] })
+            .with_byzantine(1, ByzantineBehavior::Silent)
+            .run_participants();
+        for p in participants.iter().filter(|p| p.is_correct()) {
+            assert_eq!(p.nectar().known_edge_count(), 7, "node {}", p.nectar().node_id());
+        }
+    }
+
+    #[test]
+    fn equivocator_shows_victims_only_the_shared_edge() {
+        let g = gen::complete(4);
+        let ks = KeyStore::generate(4, 5);
+        let inner = correct_node(0, &g, &ks, 1);
+        let mut node = EquivocatorNode::new(inner, [2].into());
+        let out = node.send(1);
+        let to_victim = out.iter().find(|o| o.to == 2).expect("message to victim");
+        assert_eq!(to_victim.msg.edges.len(), 1);
+        assert_eq!(to_victim.msg.edges[0].proof.endpoints(), (0, 2));
+        let to_other = out.iter().find(|o| o.to == 1).expect("message to non-victim");
+        assert_eq!(to_other.msg.edges.len(), 3, "non-victims get the full neighborhood");
+    }
+
+    #[test]
+    fn equivocation_cannot_break_agreement() {
+        // The victims re-learn the withheld edges from their correct
+        // endpoints, so every correct node converges to the same view.
+        let g = gen::complete(5);
+        let out = Scenario::new(g, 1)
+            .with_byzantine(0, ByzantineBehavior::Equivocate { victims: [1, 2].into() })
+            .run();
+        assert!(out.agreement());
+        assert_eq!(out.unanimous_verdict(), Some(Verdict::NotPartitionable));
+    }
+
+    #[test]
+    fn participant_enum_dispatches_ids() {
+        let g = gen::cycle(4);
+        let ks = KeyStore::generate(4, 5);
+        let correct = Participant::Correct(correct_node(2, &g, &ks, 1));
+        assert_eq!(correct.id(), 2);
+        assert!(correct.is_correct());
+        let faulty = wrap_traffic_fault(correct_node(3, &g, &ks, 1), &ByzantineBehavior::Silent);
+        assert_eq!(faulty.id(), 3);
+        assert!(!faulty.is_correct());
+        assert_eq!(faulty.nectar().node_id(), 3);
+    }
+
+    #[test]
+    fn silent_fault_sends_nothing_ever() {
+        let g = gen::cycle(4);
+        let ks = KeyStore::generate(4, 5);
+        let mut faulty = wrap_traffic_fault(correct_node(0, &g, &ks, 1), &ByzantineBehavior::Silent);
+        for round in 1..4 {
+            assert!(faulty.send(round).is_empty(), "round {round}");
+        }
+    }
+}

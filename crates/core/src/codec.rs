@@ -1,0 +1,234 @@
+//! Binary wire codec for [`NectarMsg`]: the serialization a production
+//! deployment would put on the TCP stream, matching the byte accounting of
+//! [`crate::message`] exactly in [`WireFormat::PerEdgeChains`] mode.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! header   : u16 version | u16 format | u32 edge count      (8 bytes)
+//! per edge : proof frame | chain frame                       (crypto codec)
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use nectar_crypto::codec::{CodecError, Decode, Encode, MAX_COLLECTION_LEN};
+use nectar_crypto::{NeighborhoodProof, SignatureChain};
+
+use crate::message::{NectarMsg, RelayedEdge, WireFormat, MSG_HEADER_BYTES};
+
+/// Codec version tag (bumped on incompatible frame changes).
+pub const CODEC_VERSION: u16 = 1;
+
+fn format_tag(format: WireFormat) -> u16 {
+    match format {
+        WireFormat::PerEdgeChains => 0,
+        WireFormat::BatchedChain => 1,
+    }
+}
+
+fn format_from_tag(tag: u16) -> Result<WireFormat, CodecError> {
+    match tag {
+        0 => Ok(WireFormat::PerEdgeChains),
+        1 => Ok(WireFormat::BatchedChain),
+        _ => Err(CodecError::LengthOutOfBounds { decoding: "wire format tag", len: tag as usize }),
+    }
+}
+
+impl Encode for RelayedEdge {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.proof.encode(buf);
+        self.chain.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.proof.encoded_len() + self.chain.encoded_len()
+    }
+}
+
+impl Decode for RelayedEdge {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let proof = NeighborhoodProof::decode(buf)?;
+        let chain = SignatureChain::decode(buf)?;
+        Ok(RelayedEdge { proof, chain })
+    }
+}
+
+impl Encode for NectarMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16(CODEC_VERSION);
+        buf.put_u16(format_tag(self.format));
+        buf.put_u32(self.edges.len() as u32);
+        for edge in &self.edges {
+            edge.encode(buf);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        MSG_HEADER_BYTES + self.edges.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl Decode for NectarMsg {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        if buf.len() < MSG_HEADER_BYTES {
+            return Err(CodecError::UnexpectedEnd { decoding: "NectarMsg header" });
+        }
+        let mut head = &buf[..MSG_HEADER_BYTES];
+        *buf = &buf[MSG_HEADER_BYTES..];
+        let version = head.get_u16();
+        if version != CODEC_VERSION {
+            return Err(CodecError::LengthOutOfBounds {
+                decoding: "NectarMsg version",
+                len: version as usize,
+            });
+        }
+        let format = format_from_tag(head.get_u16())?;
+        let count = head.get_u32() as usize;
+        if count > MAX_COLLECTION_LEN {
+            return Err(CodecError::LengthOutOfBounds { decoding: "NectarMsg edges", len: count });
+        }
+        let mut edges = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            edges.push(RelayedEdge::decode(buf)?);
+        }
+        Ok(NectarMsg { edges, format })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nectar_crypto::KeyStore;
+    use nectar_net::WireSized;
+
+    fn sample_msg(format: WireFormat) -> (KeyStore, NectarMsg) {
+        let ks = KeyStore::generate(8, 5);
+        let edges = [(0u16, 1u16), (1, 2), (2, 3)]
+            .into_iter()
+            .map(|(a, b)| {
+                let proof = NeighborhoodProof::new(&ks.signer(a), &ks.signer(b));
+                let digest = proof.digest();
+                let chain = SignatureChain::new()
+                    .extend(&ks.signer(a), &digest)
+                    .extend(&ks.signer(4), &digest);
+                RelayedEdge { proof, chain }
+            })
+            .collect();
+        (ks, NectarMsg { edges, format })
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        for format in [WireFormat::PerEdgeChains, WireFormat::BatchedChain] {
+            let (ks, msg) = sample_msg(format);
+            let bytes = msg.to_wire_bytes();
+            let mut slice = bytes.as_slice();
+            let decoded = NectarMsg::decode(&mut slice).expect("decodes");
+            assert!(slice.is_empty());
+            assert_eq!(decoded, msg);
+            // Decoded material still verifies cryptographically.
+            for edge in &decoded.edges {
+                assert!(edge.proof.verify(&ks.verifier()));
+                assert!(edge.chain.verify(&ks.verifier(), &edge.proof.digest()));
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_bytes() {
+        let (_, msg) = sample_msg(WireFormat::PerEdgeChains);
+        assert_eq!(msg.to_wire_bytes().len(), msg.encoded_len());
+    }
+
+    #[test]
+    fn per_edge_accounting_matches_the_codec_exactly() {
+        // The WireSized accounting used by the metrics equals the real
+        // serialized size in per-edge mode, minus only the per-signature
+        // signer-id duplication the minimal accounting omits inside proofs.
+        let (_, msg) = sample_msg(WireFormat::PerEdgeChains);
+        let accounted = msg.wire_bytes();
+        let encoded = msg.encoded_len();
+        // Each edge frame carries 2 extra signer ids inside the proof
+        // (2 bytes each) plus the chain's 2-byte length prefix.
+        assert_eq!(encoded, accounted + msg.edges.len() * 6);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (_, msg) = sample_msg(WireFormat::PerEdgeChains);
+        let mut bytes = msg.to_wire_bytes();
+        bytes[0] = 0xff;
+        let mut slice = bytes.as_slice();
+        assert!(NectarMsg::decode(&mut slice).is_err());
+    }
+
+    #[test]
+    fn unknown_format_tag_is_rejected() {
+        let (_, msg) = sample_msg(WireFormat::PerEdgeChains);
+        let mut bytes = msg.to_wire_bytes();
+        bytes[3] = 9;
+        let mut slice = bytes.as_slice();
+        assert!(NectarMsg::decode(&mut slice).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        let (_, msg) = sample_msg(WireFormat::PerEdgeChains);
+        let bytes = msg.to_wire_bytes();
+        for cut in [0, 4, MSG_HEADER_BYTES, MSG_HEADER_BYTES + 10, bytes.len() - 1] {
+            let mut slice = &bytes[..cut];
+            assert!(NectarMsg::decode(&mut slice).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        let msg = NectarMsg { edges: Vec::new(), format: WireFormat::BatchedChain };
+        let bytes = msg.to_wire_bytes();
+        assert_eq!(bytes.len(), MSG_HEADER_BYTES);
+        let mut slice = bytes.as_slice();
+        assert_eq!(NectarMsg::decode(&mut slice).unwrap(), msg);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use nectar_crypto::KeyStore;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn arbitrary_messages_round_trip(
+            edge_spec in proptest::collection::vec((0u16..6, 0u16..6, 0usize..4), 0..6),
+        ) {
+            let ks = KeyStore::generate(8, 3);
+            let edges: Vec<RelayedEdge> = edge_spec
+                .into_iter()
+                .filter(|(a, b, _)| a != b)
+                .map(|(a, b, hops)| {
+                    let proof = NeighborhoodProof::new(&ks.signer(a), &ks.signer(b));
+                    let digest = proof.digest();
+                    let mut chain = SignatureChain::new();
+                    for h in 0..hops {
+                        chain = chain.extend(&ks.signer(h as u16), &digest);
+                    }
+                    RelayedEdge { proof, chain }
+                })
+                .collect();
+            let msg = NectarMsg { edges, format: WireFormat::PerEdgeChains };
+            let bytes = msg.to_wire_bytes();
+            let mut slice = bytes.as_slice();
+            prop_assert_eq!(NectarMsg::decode(&mut slice).unwrap(), msg);
+            prop_assert!(slice.is_empty());
+        }
+
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..400)) {
+            let mut slice = bytes.as_slice();
+            let _ = NectarMsg::decode(&mut slice);
+        }
+    }
+}

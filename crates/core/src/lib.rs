@@ -1,0 +1,56 @@
+//! NECTAR — *Neighbors Exploring Connections Toward Adversary Resilience*.
+//!
+//! A from-scratch Rust implementation of the Byzantine-resilient network
+//! partition detection algorithm of Bromberg, Decouchant, Sourisseau and
+//! Taïani, *Partition Detection in Byzantine Networks* (ICDCS 2024).
+//!
+//! NECTAR solves **t-Byzantine-resilient, 2t-sensitive network partition
+//! detection** (Definition 3) on arbitrary graphs: after `n − 1` synchronous
+//! rounds of signed edge dissemination, every correct node decides either
+//! `NOT_PARTITIONABLE` (no placement of `t` Byzantine nodes can disconnect
+//! correct nodes) or `PARTITIONABLE`, together with a `confirmed` flag that
+//! indicates an actual observed partition. The algorithm guarantees:
+//!
+//! * **Termination** — bounded by network synchrony,
+//! * **Agreement** — all correct nodes decide the same value,
+//! * **Safety** — if the Byzantine nodes form a vertex cut, no correct node
+//!   decides NOT_PARTITIONABLE,
+//! * **2t-Sensitivity** — if the graph is 2t-connected, all correct nodes
+//!   decide NOT_PARTITIONABLE,
+//! * **Validity** — `confirmed = true` only if the Byzantine nodes really
+//!   form a vertex cut.
+//!
+//! # Quick start
+//!
+//! ```
+//! use nectar_protocol::{ByzantineBehavior, Scenario, Verdict};
+//!
+//! // A 4-regular, 4-connected graph tolerating t = 2 Byzantine nodes:
+//! // connectivity 4 = 2t, so NECTAR must report NOT_PARTITIONABLE even
+//! // with two silent Byzantine participants (Lemma 1).
+//! let graph = nectar_graph::gen::harary(4, 10)?;
+//! let outcome = Scenario::new(graph, 2)
+//!     .with_byzantine(3, ByzantineBehavior::Silent)
+//!     .with_byzantine(7, ByzantineBehavior::Silent)
+//!     .run();
+//! assert!(outcome.agreement());
+//! assert_eq!(outcome.unanimous_verdict(), Some(Verdict::NotPartitionable));
+//! # Ok::<(), nectar_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod byzantine;
+pub mod codec;
+pub mod config;
+pub mod epochs;
+pub mod message;
+pub mod node;
+pub mod runner;
+
+pub use byzantine::{ByzantineBehavior, Participant};
+pub use config::{Decision, NectarConfig, Verdict};
+pub use epochs::{EpochMonitor, EpochReport};
+pub use message::{NectarMsg, RelayedEdge, WireFormat};
+pub use node::{NectarNode, RejectReason};
+pub use runner::{Outcome, Scenario};

@@ -1,0 +1,133 @@
+//! NECTAR's wire messages.
+//!
+//! During the edge-propagation phase every node transmits *relayed edges*:
+//! a neighborhood proof wrapped in a signature chain
+//! `σ_k(σ_x(…σ_u(proof_{u,v})))` whose length must equal the round in which
+//! the message travels (Alg. 1 ll. 5–15). A node batches everything due to
+//! one neighbor in one [`NectarMsg`] per round.
+
+use nectar_crypto::wire;
+use nectar_crypto::{NeighborhoodProof, SignatureChain};
+use nectar_net::WireSized;
+
+/// How message bytes are accounted (and how a production deployment would
+/// serialize them). See DESIGN.md §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Faithful per-edge chains: every relayed edge carries its own chain of
+    /// `R` signatures at round `R`.
+    #[default]
+    PerEdgeChains,
+    /// Batched chains: all edges relayed in the same round share one chain
+    /// of `R` signatures over the batch digest (sound, since every edge
+    /// forwarded at round `R` carries a chain of exactly length `R`); the
+    /// cheaper format the paper's ~500 KB worst case suggests.
+    BatchedChain,
+}
+
+/// One discovered edge in transit: the proof plus its relay chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayedEdge {
+    /// The both-endpoint-signed edge declaration.
+    pub proof: NeighborhoodProof,
+    /// The signature chain accumulated along the relay path; its length is
+    /// the paper's `lengthSign(msg)`.
+    pub chain: SignatureChain,
+}
+
+impl RelayedEdge {
+    /// Wire size of this edge under the given format (chain excluded in
+    /// batched mode — it is charged once per message).
+    fn wire_bytes(&self, format: WireFormat) -> usize {
+        match format {
+            WireFormat::PerEdgeChains => wire::relayed_proof_bytes(&self.proof, &self.chain),
+            WireFormat::BatchedChain => wire::neighborhood_proof_bytes(),
+        }
+    }
+}
+
+/// A round's batch of relayed edges from one node to one neighbor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NectarMsg {
+    /// Edges relayed in this message.
+    pub edges: Vec<RelayedEdge>,
+    /// Wire format used for byte accounting.
+    pub format: WireFormat,
+}
+
+/// Fixed per-message framing overhead (sender id + round + count).
+pub const MSG_HEADER_BYTES: usize = 8;
+
+impl WireSized for NectarMsg {
+    fn wire_bytes(&self) -> usize {
+        let edges: usize = self.edges.iter().map(|e| e.wire_bytes(self.format)).sum();
+        let shared_chain = match self.format {
+            WireFormat::PerEdgeChains => 0,
+            WireFormat::BatchedChain => {
+                // One chain for the whole batch; every edge in a round-R
+                // batch has a length-R chain, so take the longest present.
+                self.edges.iter().map(|e| wire::chain_bytes(&e.chain)).max().unwrap_or(0)
+            }
+        };
+        MSG_HEADER_BYTES + edges + shared_chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nectar_crypto::KeyStore;
+
+    fn relayed(ks: &KeyStore, a: u16, b: u16, hops: &[u16]) -> RelayedEdge {
+        let proof = NeighborhoodProof::new(&ks.signer(a), &ks.signer(b));
+        let digest = proof.digest();
+        let mut chain = SignatureChain::new();
+        for &h in hops {
+            chain = chain.extend(&ks.signer(h), &digest);
+        }
+        RelayedEdge { proof, chain }
+    }
+
+    #[test]
+    fn per_edge_format_charges_each_chain() {
+        let ks = KeyStore::generate(6, 1);
+        let msg = NectarMsg {
+            edges: vec![relayed(&ks, 0, 1, &[0, 2]), relayed(&ks, 1, 2, &[1, 2])],
+            format: WireFormat::PerEdgeChains,
+        };
+        let per_edge = wire::neighborhood_proof_bytes() + 2 * wire::signature_entry_bytes();
+        assert_eq!(msg.wire_bytes(), MSG_HEADER_BYTES + 2 * per_edge);
+    }
+
+    #[test]
+    fn batched_format_charges_one_chain() {
+        let ks = KeyStore::generate(6, 1);
+        let msg = NectarMsg {
+            edges: vec![relayed(&ks, 0, 1, &[0, 2]), relayed(&ks, 1, 2, &[1, 2])],
+            format: WireFormat::BatchedChain,
+        };
+        let expected = MSG_HEADER_BYTES
+            + 2 * wire::neighborhood_proof_bytes()
+            + 2 * wire::signature_entry_bytes();
+        assert_eq!(msg.wire_bytes(), expected);
+    }
+
+    #[test]
+    fn batched_is_never_larger_than_per_edge() {
+        let ks = KeyStore::generate(8, 2);
+        let edges = vec![
+            relayed(&ks, 0, 1, &[0, 3, 4]),
+            relayed(&ks, 1, 2, &[1, 3, 4]),
+            relayed(&ks, 2, 3, &[2, 3, 4]),
+        ];
+        let per = NectarMsg { edges: edges.clone(), format: WireFormat::PerEdgeChains };
+        let batched = NectarMsg { edges, format: WireFormat::BatchedChain };
+        assert!(batched.wire_bytes() <= per.wire_bytes());
+    }
+
+    #[test]
+    fn empty_message_is_header_only() {
+        let msg = NectarMsg { edges: Vec::new(), format: WireFormat::PerEdgeChains };
+        assert_eq!(msg.wire_bytes(), MSG_HEADER_BYTES);
+    }
+}

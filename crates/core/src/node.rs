@@ -1,0 +1,572 @@
+//! The NECTAR protocol node (Algorithm 1).
+//!
+//! Lifecycle, following the paper exactly:
+//!
+//! 1. **Initialization** (ll. 1–4): the node's adjacency knowledge `G_i`
+//!    starts with its own neighborhood proofs.
+//! 2. **Edge propagation** (ll. 5–15): `n − 1` synchronous rounds. Round 1
+//!    announces the node's signed neighborhood; subsequent rounds relay,
+//!    with one more chain signature, every edge newly learned in the
+//!    previous round, to all neighbors except the one it came from. A chain
+//!    accepted at round `R` must be valid, carry exactly `R` signatures
+//!    (stale-replay defence), start at an endpoint of the claimed edge, end
+//!    at the delivering neighbor, and edges already known are neither stored
+//!    nor re-forwarded (flooding suppression, l. 14).
+//! 3. **Decision** (ll. 16–23): with `r` the number of reachable nodes in
+//!    `G_i` and `k` its vertex connectivity, decide NOT_PARTITIONABLE iff
+//!    `k > t ∧ r = n`, PARTITIONABLE otherwise, with `confirmed = (r ≠ n)`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nectar_crypto::{NeighborhoodProof, SignatureChain, Signer, Verifier};
+use nectar_graph::{connectivity, traversal, Graph};
+use nectar_net::{NodeId, Outgoing, Process};
+
+use crate::config::{Decision, NectarConfig, Verdict};
+use crate::message::{NectarMsg, RelayedEdge};
+
+/// Reasons a relayed edge can be rejected, counted for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RejectReason {
+    /// Chain length differs from the current round (Alg. 1 l. 14).
+    WrongChainLength,
+    /// The outermost signature is not from the delivering neighbor.
+    OutermostNotSender,
+    /// The innermost signature is not from an endpoint of the claimed edge.
+    InnermostNotEndpoint,
+    /// A signer appears twice in the chain.
+    DuplicateSigner,
+    /// The neighborhood proof does not verify.
+    BadProof,
+    /// A chain signature does not verify.
+    BadChain,
+}
+
+/// A correct NECTAR participant.
+#[derive(Debug)]
+pub struct NectarNode {
+    id: NodeId,
+    config: NectarConfig,
+    signer: Signer,
+    verifier: Verifier,
+    neighbors: Vec<NodeId>,
+    /// `G_i`: every proof discovered so far, keyed by normalized endpoints.
+    discovered: BTreeMap<(u16, u16), NeighborhoodProof>,
+    /// Edges accepted in the previous round, to relay this round
+    /// (`to_be_sent_R`), with the neighbors to skip.
+    pending: Vec<PendingRelay>,
+    /// Rejected-message diagnostics.
+    rejections: BTreeMap<RejectReason, u64>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRelay {
+    proof: NeighborhoodProof,
+    chain: SignatureChain,
+    exclude: BTreeSet<NodeId>,
+}
+
+impl NectarNode {
+    /// Creates a correct node from its neighborhood proofs (one per
+    /// neighbor, as provided at set-up per §II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a proof does not involve this node or duplicates a
+    /// neighbor, or if the signer identity differs from `id`.
+    pub fn new(
+        id: NodeId,
+        config: NectarConfig,
+        signer: Signer,
+        verifier: Verifier,
+        neighbor_proofs: BTreeMap<NodeId, NeighborhoodProof>,
+    ) -> Self {
+        assert_eq!(signer.id() as usize, id, "signer identity must match node id");
+        let mut node = NectarNode {
+            id,
+            config,
+            signer,
+            verifier,
+            neighbors: neighbor_proofs.keys().copied().collect(),
+            discovered: BTreeMap::new(),
+            pending: Vec::new(),
+            rejections: BTreeMap::new(),
+        };
+        for (&nbr, proof) in &neighbor_proofs {
+            let (a, b) = proof.endpoints();
+            assert!(
+                (a as usize == id && b as usize == nbr) || (b as usize == id && a as usize == nbr),
+                "proof endpoints ({a},{b}) must join node {id} and neighbor {nbr}"
+            );
+            node.discovered.insert(proof.endpoints(), proof.clone());
+            // Own edges are announced in round 1 with an empty exclusion set
+            // (Alg. 1 ll. 6–8 send the full neighborhood to every neighbor).
+            node.pending.push(PendingRelay {
+                proof: proof.clone(),
+                chain: SignatureChain::new(),
+                exclude: BTreeSet::new(),
+            });
+        }
+        node
+    }
+
+    /// Adds an extra proof to announce in round 1 *as if* it were a real
+    /// edge. Correct nodes never need this; it is the entry point for the
+    /// Byzantine fictitious-edge behaviour (§IV, "pairs of Byzantine nodes
+    /// that declare fictitious edges").
+    pub fn announce_extra_proof(&mut self, proof: NeighborhoodProof) {
+        self.discovered.insert(proof.endpoints(), proof.clone());
+        self.pending.push(PendingRelay { proof, chain: SignatureChain::new(), exclude: BTreeSet::new() });
+    }
+
+    /// Removes the proof (and pending announcement) for edge to `neighbor`,
+    /// while keeping the channel usable. Entry point for the Byzantine
+    /// edge-hiding behaviour.
+    pub fn hide_edge_to(&mut self, neighbor: NodeId) {
+        let id = self.id as u16;
+        let nbr = neighbor as u16;
+        let key = (id.min(nbr), id.max(nbr));
+        self.discovered.remove(&key);
+        self.pending.retain(|p| p.proof.endpoints() != key);
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &NectarConfig {
+        &self.config
+    }
+
+    /// Neighbors (ascending order).
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Number of distinct edges currently known.
+    pub fn known_edge_count(&self) -> usize {
+        self.discovered.len()
+    }
+
+    /// The discovered graph `G_i` as a [`Graph`] over the `n` system nodes.
+    /// Endpoints outside `0..n` (only possible in forged proofs that failed
+    /// verification anyway) are ignored.
+    pub fn discovered_graph(&self) -> Graph {
+        let mut g = Graph::empty(self.config.n);
+        for &(u, v) in self.discovered.keys() {
+            if (u as usize) < self.config.n && (v as usize) < self.config.n {
+                g.add_edge(u as usize, v as usize).expect("bounded endpoints, no self-loops");
+            }
+        }
+        g
+    }
+
+    /// Per-reason counters of rejected relayed edges.
+    pub fn rejections(&self) -> &BTreeMap<RejectReason, u64> {
+        &self.rejections
+    }
+
+    /// The decision phase (Alg. 1 ll. 16–23). Callable once the propagation
+    /// rounds have run; pure, so callers may invoke it repeatedly.
+    pub fn decide(&self) -> Decision {
+        let g = self.discovered_graph();
+        self.decide_given_connectivity(connectivity::vertex_connectivity(&g))
+    }
+
+    /// The decision phase with an externally computed vertex connectivity of
+    /// [`discovered_graph`](Self::discovered_graph). All correct nodes end up
+    /// with identical `G_i` (Lemma 2), so batch runners compute κ once per
+    /// distinct discovered graph and reuse it here.
+    pub fn decide_given_connectivity(&self, connectivity: usize) -> Decision {
+        let g = self.discovered_graph();
+        let reachable = traversal::reachable_count(&g, self.id);
+        let all_reachable = reachable == self.config.n;
+        if connectivity > self.config.t && all_reachable {
+            Decision { verdict: Verdict::NotPartitionable, confirmed: false, reachable, connectivity }
+        } else {
+            Decision {
+                verdict: Verdict::Partitionable,
+                confirmed: !all_reachable,
+                reachable,
+                connectivity,
+            }
+        }
+    }
+
+    /// Canonical key of the discovered edge set (for decision caching across
+    /// nodes with identical views).
+    pub fn discovered_edge_key(&self) -> Vec<(u16, u16)> {
+        self.discovered.keys().copied().collect()
+    }
+
+    fn reject(&mut self, reason: RejectReason) {
+        *self.rejections.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Validates a relayed edge per Alg. 1 l. 14 plus the signature rules of
+    /// §II. Returns `None` if the edge passes, `Some(reason)` otherwise.
+    fn validate(&self, round: usize, from: NodeId, edge: &RelayedEdge) -> Option<RejectReason> {
+        let chain = &edge.chain;
+        if self.config.check_chain_length && chain.len() != round {
+            return Some(RejectReason::WrongChainLength);
+        }
+        if chain.outermost_signer() != Some(from as u16) {
+            return Some(RejectReason::OutermostNotSender);
+        }
+        let (u, v) = edge.proof.endpoints();
+        match chain.innermost_signer() {
+            Some(inner) if inner == u || inner == v => {}
+            _ => return Some(RejectReason::InnermostNotEndpoint),
+        }
+        if self.config.require_distinct_signers && !chain.signers_distinct() {
+            return Some(RejectReason::DuplicateSigner);
+        }
+        if !edge.proof.verify(&self.verifier) {
+            return Some(RejectReason::BadProof);
+        }
+        if !chain.verify(&self.verifier, &edge.proof.digest()) {
+            return Some(RejectReason::BadChain);
+        }
+        None
+    }
+}
+
+impl Process for NectarNode {
+    type Msg = NectarMsg;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&mut self, _round: usize) -> Vec<Outgoing<NectarMsg>> {
+        let pending = std::mem::take(&mut self.pending);
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        // Extend each chain once with our signature (σ_i(msg)), then fan the
+        // edge out to every neighbor not excluded.
+        let mut per_dest: BTreeMap<NodeId, Vec<RelayedEdge>> = BTreeMap::new();
+        for item in pending {
+            let chain = item.chain.extend(&self.signer, &item.proof.digest());
+            for &nbr in &self.neighbors {
+                if item.exclude.contains(&nbr) {
+                    continue;
+                }
+                per_dest
+                    .entry(nbr)
+                    .or_default()
+                    .push(RelayedEdge { proof: item.proof.clone(), chain: chain.clone() });
+            }
+        }
+        per_dest
+            .into_iter()
+            .map(|(to, edges)| Outgoing::new(to, NectarMsg { edges, format: self.config.wire_format }))
+            .collect()
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: NectarMsg) {
+        for edge in msg.edges {
+            let key = edge.proof.endpoints();
+            // Flooding suppression first (l. 14): known edges are ignored
+            // without paying signature verification.
+            if self.discovered.contains_key(&key) {
+                continue;
+            }
+            match self.validate(round, from, &edge) {
+                Some(reason) => self.reject(reason),
+                None => {
+                    self.discovered.insert(key, edge.proof.clone());
+                    self.pending.push(PendingRelay {
+                        proof: edge.proof,
+                        chain: edge.chain,
+                        exclude: [from].into_iter().collect(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::WireFormat;
+    use nectar_crypto::KeyStore;
+
+    /// Builds proofs for every edge of `g` and returns correct nodes for all
+    /// of them.
+    fn build_nodes(g: &Graph, t: usize) -> Vec<NectarNode> {
+        let n = g.node_count();
+        let ks = KeyStore::generate(n, 7);
+        (0..n)
+            .map(|i| {
+                let proofs: BTreeMap<NodeId, NeighborhoodProof> = g
+                    .neighbors(i)
+                    .map(|j| (j, NeighborhoodProof::new(&ks.signer(i as u16), &ks.signer(j as u16))))
+                    .collect();
+                NectarNode::new(i, NectarConfig::new(n, t), ks.signer(i as u16), ks.verifier(), proofs)
+            })
+            .collect()
+    }
+
+    fn run(g: &Graph, t: usize) -> Vec<NectarNode> {
+        let nodes = build_nodes(g, t);
+        let rounds = g.node_count() - 1;
+        let mut net = nectar_net::SyncNetwork::new(nodes, g.clone());
+        net.run_rounds(rounds);
+        let (nodes, _) = net.into_parts();
+        nodes
+    }
+
+    #[test]
+    fn all_correct_nodes_discover_the_full_graph() {
+        let g = nectar_graph::gen::cycle(6);
+        for node in run(&g, 1) {
+            assert_eq!(node.known_edge_count(), 6);
+            assert_eq!(node.discovered_graph(), g);
+        }
+    }
+
+    #[test]
+    fn ring_with_t1_is_not_partitionable() {
+        // κ(C_6) = 2 > t = 1, all reachable: NOT_PARTITIONABLE (case 1,
+        // κ = 2t).
+        let g = nectar_graph::gen::cycle(6);
+        for node in run(&g, 1) {
+            let d = node.decide();
+            assert_eq!(d.verdict, Verdict::NotPartitionable);
+            assert!(!d.confirmed);
+            assert_eq!(d.reachable, 6);
+            assert_eq!(d.connectivity, 2);
+        }
+    }
+
+    #[test]
+    fn star_with_t1_is_partitionable() {
+        // κ(star) = 1 ≤ t: PARTITIONABLE, not confirmed (everyone
+        // reachable).
+        let g = nectar_graph::gen::star(6);
+        for node in run(&g, 1) {
+            let d = node.decide();
+            assert_eq!(d.verdict, Verdict::Partitionable);
+            assert!(!d.confirmed);
+        }
+    }
+
+    #[test]
+    fn partitioned_graph_is_confirmed() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        for node in run(&g, 1) {
+            let d = node.decide();
+            assert_eq!(d.verdict, Verdict::Partitionable);
+            assert!(d.confirmed);
+            assert_eq!(d.reachable, 3);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_forwarding() {
+        // Each edge is relayed at most once per node: on the complete graph
+        // K_4 every node sends round-1 announcements (3 edges × 3 dests) and
+        // each received edge is forwarded at most once afterwards.
+        let g = nectar_graph::gen::complete(4);
+        let nodes = build_nodes(&g, 1);
+        let mut net = nectar_net::SyncNetwork::new(nodes, g.clone());
+        net.run_rounds(3);
+        // Total distinct edges = 6. A node learns 3 initially and 3 from
+        // round 1; each of those 3 is forwarded once to 2 neighbors in round
+        // 2. Nothing remains for round 3.
+        let round3 = net.metrics().bytes_per_round().get(2).copied().unwrap_or(0);
+        assert_eq!(round3, 0, "round 3 must be silent");
+        let (nodes, _) = net.into_parts();
+        for node in nodes {
+            assert_eq!(node.known_edge_count(), 6);
+        }
+    }
+
+    #[test]
+    fn late_chain_is_rejected() {
+        let g = nectar_graph::gen::path(3);
+        let ks = KeyStore::generate(3, 7);
+        let mut nodes = build_nodes(&g, 1);
+        // Hand-deliver node 0's announcement of edge (0,1) to node 1 at
+        // round 2 with a length-1 chain: must be rejected for length.
+        let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
+        let chain = SignatureChain::new().extend(&ks.signer(0), &proof.digest());
+        // Use an edge unknown to node 2: (0,1) is not adjacent to node 2's
+        // initial knowledge.
+        let msg = NectarMsg {
+            edges: vec![RelayedEdge { proof, chain }],
+            format: WireFormat::PerEdgeChains,
+        };
+        nodes[2].receive(2, 1, msg);
+        assert_eq!(nodes[2].rejections()[&RejectReason::WrongChainLength], 1);
+        assert_eq!(nodes[2].known_edge_count(), 1);
+    }
+
+    #[test]
+    fn outermost_must_be_sender() {
+        let g = nectar_graph::gen::path(3);
+        let ks = KeyStore::generate(3, 7);
+        let mut nodes = build_nodes(&g, 1);
+        let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
+        let chain = SignatureChain::new().extend(&ks.signer(0), &proof.digest());
+        // Node 2 receives from node 1 a chain whose outermost signer is 0.
+        let msg = NectarMsg {
+            edges: vec![RelayedEdge { proof, chain }],
+            format: WireFormat::PerEdgeChains,
+        };
+        nodes[2].receive(1, 1, msg);
+        assert_eq!(nodes[2].rejections()[&RejectReason::OutermostNotSender], 1);
+    }
+
+    #[test]
+    fn innermost_must_be_an_endpoint() {
+        let g = nectar_graph::gen::path(3);
+        let ks = KeyStore::generate(3, 7);
+        let mut nodes = build_nodes(&g, 1);
+        // Node 1 announces edge (0,2) that it is not part of.
+        let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(2));
+        let chain = SignatureChain::new().extend(&ks.signer(1), &proof.digest());
+        let msg = NectarMsg {
+            edges: vec![RelayedEdge { proof, chain }],
+            format: WireFormat::PerEdgeChains,
+        };
+        nodes[2].receive(1, 1, msg);
+        assert_eq!(nodes[2].rejections()[&RejectReason::InnermostNotEndpoint], 1);
+    }
+
+    #[test]
+    fn forged_proof_is_rejected() {
+        let g = nectar_graph::gen::path(3);
+        let ks = KeyStore::generate(3, 7);
+        let mut nodes = build_nodes(&g, 1);
+        // Node 1 forges a proof for edge (1, 2)... with both signatures its
+        // own. Wait — (1,2) is a real edge; use a forged (0,2) claim signed
+        // only by 1's key under 0's and 2's identities.
+        let stmt = NeighborhoodProof::statement(0, 2);
+        let bogus_sig = ks.signer(1).sign(&stmt);
+        let forged = NeighborhoodProof::from_parts(
+            0,
+            2,
+            nectar_crypto::Signature::from_parts(0, *bogus_sig.tag()),
+            nectar_crypto::Signature::from_parts(2, *bogus_sig.tag()),
+        );
+        let chain = SignatureChain::new().extend(&ks.signer(2), &forged.digest());
+        let msg = NectarMsg { edges: vec![RelayedEdge { proof: forged, chain }], format: WireFormat::PerEdgeChains };
+        nodes[1].receive(1, 2, msg);
+        assert_eq!(nodes[1].rejections()[&RejectReason::BadProof], 1);
+    }
+
+    #[test]
+    fn duplicate_signers_are_rejected() {
+        let g = nectar_graph::gen::path(4);
+        let ks = KeyStore::generate(4, 7);
+        let mut nodes = build_nodes(&g, 1);
+        let proof = NeighborhoodProof::new(&ks.signer(2), &ks.signer(3));
+        let digest = proof.digest();
+        let chain = SignatureChain::new().extend(&ks.signer(2), &digest).extend(&ks.signer(2), &digest);
+        let msg = NectarMsg { edges: vec![RelayedEdge { proof, chain }], format: WireFormat::PerEdgeChains };
+        nodes[1].receive(2, 2, msg);
+        assert_eq!(nodes[1].rejections()[&RejectReason::DuplicateSigner], 1);
+    }
+
+    #[test]
+    fn hidden_edge_is_not_announced() {
+        let g = nectar_graph::gen::cycle(5);
+        let mut nodes = build_nodes(&g, 1);
+        nodes[0].hide_edge_to(1);
+        let mut net = nectar_net::SyncNetwork::new(nodes, g.clone());
+        net.run_rounds(4);
+        // Node 1 still announces (0,1) itself — the proof is held by both
+        // endpoints — so everyone still learns the edge.
+        let (nodes, _) = net.into_parts();
+        for node in &nodes[1..] {
+            assert_eq!(node.known_edge_count(), 5);
+        }
+        // But if both endpoints hide it, the edge disappears from view:
+        let g2 = nectar_graph::gen::cycle(5);
+        let mut nodes2 = build_nodes(&g2, 1);
+        nodes2[0].hide_edge_to(1);
+        nodes2[1].hide_edge_to(0);
+        let mut net2 = nectar_net::SyncNetwork::new(nodes2, g2);
+        net2.run_rounds(4);
+        let (nodes2, _) = net2.into_parts();
+        assert_eq!(nodes2[3].known_edge_count(), 4);
+    }
+
+    #[test]
+    fn decision_is_pure_and_repeatable() {
+        let g = nectar_graph::gen::cycle(4);
+        let nodes = run(&g, 1);
+        let d1 = nodes[0].decide();
+        let d2 = nodes[0].decide();
+        assert_eq!(d1, d2);
+    }
+}
+
+#[cfg(test)]
+mod config_knob_tests {
+    use super::*;
+    use crate::config::Verdict;
+    use crate::message::WireFormat;
+    use crate::runner::Scenario;
+    use nectar_graph::gen;
+
+    #[test]
+    fn wire_format_changes_bytes_but_not_decisions() {
+        let g = gen::harary(4, 12).unwrap();
+        let per_edge = Scenario::new(g.clone(), 2)
+            .with_config(NectarConfig::new(12, 2).with_wire_format(WireFormat::PerEdgeChains))
+            .run();
+        let batched = Scenario::new(g, 2)
+            .with_config(NectarConfig::new(12, 2).with_wire_format(WireFormat::BatchedChain))
+            .run();
+        assert_eq!(per_edge.decisions, batched.decisions);
+        assert!(
+            batched.metrics.total_bytes_sent() < per_edge.metrics.total_bytes_sent(),
+            "batched chains must be cheaper"
+        );
+        // Message counts are identical: only the accounting differs.
+        assert_eq!(per_edge.metrics.msgs_sent(), batched.metrics.msgs_sent());
+    }
+
+    #[test]
+    fn disabling_the_length_check_admits_stale_chains() {
+        // The unsafe ablation knob: with check_chain_length = false, a
+        // stale (length 1) chain delivered at round 2 is accepted.
+        let _g = gen::path(3);
+        let ks = nectar_crypto::KeyStore::generate(3, 7);
+        let mut cfg = NectarConfig::new(3, 1);
+        cfg.check_chain_length = false;
+        let proofs: BTreeMap<NodeId, NeighborhoodProof> =
+            [(1usize, NeighborhoodProof::new(&ks.signer(2), &ks.signer(1)))].into_iter().collect();
+        let mut node = NectarNode::new(2, cfg, ks.signer(2), ks.verifier(), proofs);
+        let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
+        let chain = SignatureChain::new().extend(&ks.signer(1), &proof.digest());
+        let msg = NectarMsg {
+            edges: vec![RelayedEdge { proof, chain }],
+            format: crate::message::WireFormat::PerEdgeChains,
+        };
+        node.receive(2, 1, msg);
+        assert_eq!(node.known_edge_count(), 2, "stale chain accepted without the check");
+        assert!(node.rejections().is_empty());
+    }
+
+    #[test]
+    fn fewer_rounds_than_diameter_can_break_the_view_but_not_agreement_on_connected_graphs() {
+        // A ring of 8 (diameter 4) run for only 2 rounds: views are
+        // incomplete and decisions become conservative (PARTITIONABLE), but
+        // symmetric topologies still agree. This is why the paper insists
+        // on R = n − 1 for unknown topologies.
+        let g = gen::cycle(8);
+        let out = Scenario::new(g, 1)
+            .with_config(NectarConfig::new(8, 1).with_rounds(2))
+            .run();
+        assert!(out.agreement());
+        assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
+        assert!(out.decisions.values().all(|d| d.reachable < 8));
+    }
+}

@@ -1,0 +1,356 @@
+//! Scenario builder and runner: NECTAR over any topology with any Byzantine
+//! cast, on either runtime.
+//!
+//! This is the entry point the experiments, examples and integration tests
+//! share. A [`Scenario`] owns the topology, the protocol parameters and the
+//! Byzantine assignment; [`Scenario::run`] executes the propagation rounds
+//! and collects every correct node's decision plus traffic metrics.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nectar_crypto::{KeyStore, NeighborhoodProof};
+use nectar_graph::{connectivity, traversal, Graph};
+use nectar_net::{Metrics, NodeId, SyncNetwork};
+
+use crate::byzantine::{wrap_traffic_fault, ByzantineBehavior, EquivocatorNode, LateRevealNode, Participant};
+use crate::config::{Decision, NectarConfig, Verdict};
+use crate::node::NectarNode;
+
+/// A fully described NECTAR execution: topology, parameters, Byzantine cast.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    topology: Graph,
+    config: NectarConfig,
+    byzantine: BTreeMap<NodeId, ByzantineBehavior>,
+    key_seed: u64,
+}
+
+impl Scenario {
+    /// A scenario over `topology` tolerating up to `t` Byzantine nodes,
+    /// with paper-default parameters.
+    pub fn new(topology: Graph, t: usize) -> Self {
+        let config = NectarConfig::new(topology.node_count(), t);
+        Scenario { topology, config, byzantine: BTreeMap::new(), key_seed: 0x4E45_4354 }
+    }
+
+    /// Replaces the protocol configuration (its `n` must match the
+    /// topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n` differs from the topology size.
+    pub fn with_config(mut self, config: NectarConfig) -> Self {
+        assert_eq!(config.n, self.topology.node_count(), "config.n must match the topology");
+        self.config = config;
+        self
+    }
+
+    /// Seeds the key universe (runs with equal seeds are bit-identical).
+    pub fn with_key_seed(mut self, seed: u64) -> Self {
+        self.key_seed = seed;
+        self
+    }
+
+    /// Casts `node` as Byzantine with the given behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, or if a `FictitiousEdges` /
+    /// `LateReveal` behaviour names non-Byzantine accomplices at
+    /// [`run`](Self::run) time.
+    pub fn with_byzantine(mut self, node: NodeId, behavior: ByzantineBehavior) -> Self {
+        assert!(node < self.topology.node_count(), "byzantine node {node} out of range");
+        self.byzantine.insert(node, behavior);
+        self
+    }
+
+    /// The Byzantine node set.
+    pub fn byzantine_nodes(&self) -> BTreeSet<NodeId> {
+        self.byzantine.keys().copied().collect()
+    }
+
+    /// The scenario's topology.
+    pub fn topology(&self) -> &Graph {
+        &self.topology
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &NectarConfig {
+        &self.config
+    }
+
+    /// Builds the participant for every node.
+    fn build_participants(&self) -> Vec<Participant> {
+        let n = self.topology.node_count();
+        let keys = KeyStore::generate(n, self.key_seed);
+        let verifier = keys.verifier();
+        (0..n)
+            .map(|i| {
+                let proofs: BTreeMap<NodeId, NeighborhoodProof> = self
+                    .topology
+                    .neighbors(i)
+                    .map(|j| (j, NeighborhoodProof::new(&keys.signer(i as u16), &keys.signer(j as u16))))
+                    .collect();
+                let mut node =
+                    NectarNode::new(i, self.config.clone(), keys.signer(i as u16), verifier.clone(), proofs);
+                match self.byzantine.get(&i) {
+                    None => Participant::Correct(node),
+                    Some(b @ (ByzantineBehavior::Silent
+                    | ByzantineBehavior::CrashAfter { .. }
+                    | ByzantineBehavior::TwoFaced { .. })) => wrap_traffic_fault(node, b),
+                    Some(ByzantineBehavior::HideEdges { toward }) => {
+                        for &v in toward {
+                            node.hide_edge_to(v);
+                        }
+                        Participant::Correct(node)
+                    }
+                    Some(ByzantineBehavior::FictitiousEdges { partners }) => {
+                        for &p in partners {
+                            assert!(
+                                self.byzantine.contains_key(&p),
+                                "fictitious edge partner {p} must be Byzantine (§II: proofs \
+                                 involving a correct node cannot be forged)"
+                            );
+                            if p != i && !self.topology.has_edge(i, p) {
+                                node.announce_extra_proof(NeighborhoodProof::new(
+                                    &keys.signer(i as u16),
+                                    &keys.signer(p as u16),
+                                ));
+                            }
+                        }
+                        Participant::Correct(node)
+                    }
+                    Some(ByzantineBehavior::LateReveal { partner, others }) => {
+                        assert!(
+                            self.byzantine.contains_key(partner),
+                            "late-reveal partner {partner} must be Byzantine"
+                        );
+                        for o in others {
+                            assert!(
+                                self.byzantine.contains_key(o),
+                                "late-reveal accomplice {o} must be Byzantine"
+                            );
+                        }
+                        let proof =
+                            NeighborhoodProof::new(&keys.signer(i as u16), &keys.signer(*partner as u16));
+                        let partner_signer = keys.signer(*partner as u16);
+                        let other_signers: Vec<_> =
+                            others.iter().map(|&o| keys.signer(o as u16)).collect();
+                        let self_signer = keys.signer(i as u16);
+                        let mut chain_signers = vec![&partner_signer];
+                        chain_signers.extend(other_signers.iter());
+                        chain_signers.push(&self_signer);
+                        Participant::LateReveal(LateRevealNode::new(node, proof, &chain_signers))
+                    }
+                    Some(ByzantineBehavior::Equivocate { victims }) => {
+                        Participant::Equivocator(EquivocatorNode::new(node, victims.clone()))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the scenario on the deterministic synchronous engine.
+    pub fn run(&self) -> Outcome {
+        let participants = self.build_participants();
+        let rounds = self.config.effective_rounds();
+        let mut net = SyncNetwork::new(participants, self.topology.clone());
+        net.run_rounds(rounds);
+        let (participants, metrics) = net.into_parts();
+        self.collect(participants, metrics)
+    }
+
+    /// Runs the scenario and returns only the traffic metrics, skipping the
+    /// decision phase. The cost figures (Figs. 3–7) measure dissemination
+    /// traffic only, and skipping `n` vertex-connectivity computations keeps
+    /// large sweeps fast.
+    pub fn run_metrics_only(&self) -> Metrics {
+        let participants = self.build_participants();
+        let rounds = self.config.effective_rounds();
+        let mut net = SyncNetwork::new(participants, self.topology.clone());
+        net.run_rounds(rounds);
+        net.into_parts().1
+    }
+
+    /// Runs the scenario and returns the raw participants (with their full
+    /// protocol state) instead of summarized decisions — for tests and
+    /// experiments that inspect per-node views.
+    pub fn run_participants(&self) -> Vec<Participant> {
+        let participants = self.build_participants();
+        let rounds = self.config.effective_rounds();
+        let mut net = SyncNetwork::new(participants, self.topology.clone());
+        net.run_rounds(rounds);
+        net.into_parts().0
+    }
+
+    /// Runs the scenario on the thread-per-node runtime (same results, real
+    /// concurrency).
+    pub fn run_threaded(&self) -> Outcome {
+        let participants = self.build_participants();
+        let rounds = self.config.effective_rounds();
+        let (participants, metrics) = nectar_net::run_threaded(participants, &self.topology, rounds);
+        self.collect(participants, metrics)
+    }
+
+    fn collect(&self, participants: Vec<Participant>, metrics: Metrics) -> Outcome {
+        let byzantine = self.byzantine_nodes();
+        // Correct nodes that ended up with identical G_i (the common case,
+        // per Lemma 2) share one vertex-connectivity computation.
+        let mut kappa_cache: std::collections::HashMap<Vec<(u16, u16)>, usize> =
+            std::collections::HashMap::new();
+        let decisions = participants
+            .iter()
+            .filter(|p| !byzantine.contains(&p.nectar().node_id()))
+            .map(|p| {
+                let node = p.nectar();
+                let kappa = *kappa_cache.entry(node.discovered_edge_key()).or_insert_with(|| {
+                    nectar_graph::connectivity::vertex_connectivity(&node.discovered_graph())
+                });
+                (node.node_id(), node.decide_given_connectivity(kappa))
+            })
+            .collect();
+        Outcome { decisions, metrics, byzantine, topology: self.topology.clone() }
+    }
+}
+
+/// Everything observable after a scenario execution.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Each correct node's decision.
+    pub decisions: BTreeMap<NodeId, Decision>,
+    /// Traffic counters (all nodes, Byzantine included).
+    pub metrics: Metrics,
+    /// The Byzantine cast.
+    pub byzantine: BTreeSet<NodeId>,
+    /// The ground-truth topology (for property checks).
+    pub topology: Graph,
+}
+
+impl Outcome {
+    /// Whether all correct nodes decided the same verdict (the Agreement
+    /// property of Definition 3).
+    pub fn agreement(&self) -> bool {
+        let mut verdicts = self.decisions.values().map(|d| d.verdict);
+        match verdicts.next() {
+            None => true,
+            Some(first) => verdicts.all(|v| v == first),
+        }
+    }
+
+    /// The common verdict if Agreement holds.
+    pub fn unanimous_verdict(&self) -> Option<Verdict> {
+        self.agreement().then(|| self.decisions.values().next().map(|d| d.verdict)).flatten()
+    }
+
+    /// Ground truth: is the Byzantine cast a vertex cut of the topology
+    /// (i.e. is the subgraph of correct nodes partitioned)?
+    pub fn byzantine_cast_is_vertex_cut(&self) -> bool {
+        let cut: Vec<NodeId> = self.byzantine.iter().copied().collect();
+        traversal::is_partitioned_without(&self.topology, &cut)
+    }
+
+    /// Ground truth for the Validity property: does *some subset* of the
+    /// Byzantine cast form a vertex cut of `G`? This is the reading of
+    /// Theorem 2's proof: when a Byzantine node `b0` has no correct
+    /// neighbor, `V_b \ {b0}` is a vertex cut separating `b0`, even though
+    /// removing all of `V_b` leaves the correct nodes connected. Any subset
+    /// cut either separates two correct nodes (then the full cast does too)
+    /// or cuts a Byzantine node off the correct component (then the cast
+    /// minus that node does), so checking those t + 1 candidates is
+    /// exhaustive.
+    pub fn byzantine_cast_can_cut(&self) -> bool {
+        if self.byzantine_cast_is_vertex_cut() {
+            return true;
+        }
+        let cast: Vec<NodeId> = self.byzantine.iter().copied().collect();
+        cast.iter().any(|&b| {
+            let others: Vec<NodeId> = cast.iter().copied().filter(|&x| x != b).collect();
+            traversal::is_partitioned_without(&self.topology, &others)
+        })
+    }
+
+    /// Ground truth: the topology's real vertex connectivity.
+    pub fn true_connectivity(&self) -> usize {
+        connectivity::vertex_connectivity(&self.topology)
+    }
+
+    /// Fraction of correct nodes whose verdict matches `expected` — the
+    /// "decision success rate" of Fig. 8.
+    pub fn success_rate(&self, expected: Verdict) -> f64 {
+        if self.decisions.is_empty() {
+            return 1.0;
+        }
+        let ok = self.decisions.values().filter(|d| d.verdict == expected).count();
+        ok as f64 / self.decisions.len() as f64
+    }
+
+    /// Mean bytes sent per node — the y-axis of Figs. 3–7.
+    pub fn mean_kb_sent_per_node(&self) -> f64 {
+        self.metrics.mean_bytes_sent_per_node() / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nectar_graph::gen;
+
+    #[test]
+    fn clean_ring_reaches_unanimous_not_partitionable() {
+        let out = Scenario::new(gen::cycle(6), 1).run();
+        assert!(out.agreement());
+        assert_eq!(out.unanimous_verdict(), Some(Verdict::NotPartitionable));
+        assert_eq!(out.decisions.len(), 6);
+    }
+
+    #[test]
+    fn threaded_run_matches_sync_run() {
+        let scenario = Scenario::new(gen::harary(4, 10).unwrap(), 2).with_key_seed(5);
+        let a = scenario.run();
+        let b = scenario.run_threaded();
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn silent_byzantine_cannot_fake_a_partition_in_a_2t_connected_graph() {
+        // κ(H_{4,10}) = 4 = 2t with t = 2: Lemma 1 says everyone decides
+        // NOT_PARTITIONABLE no matter what the Byzantine nodes do.
+        let g = gen::harary(4, 10).unwrap();
+        let out = Scenario::new(g, 2)
+            .with_byzantine(3, ByzantineBehavior::Silent)
+            .with_byzantine(7, ByzantineBehavior::Silent)
+            .run();
+        assert!(out.agreement());
+        assert_eq!(out.unanimous_verdict(), Some(Verdict::NotPartitionable));
+    }
+
+    #[test]
+    fn star_hub_byzantine_is_detected_as_partitionable() {
+        // Fig. 1b: the hub is a cut vertex; κ = 1 ≤ t.
+        let out = Scenario::new(gen::star(6), 1)
+            .with_byzantine(0, ByzantineBehavior::Silent)
+            .run();
+        assert!(out.agreement());
+        assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
+        // The hub's silence means leaves saw nothing beyond themselves:
+        // everyone confirms a real partition.
+        assert!(out.decisions.values().all(|d| d.confirmed));
+        assert!(out.byzantine_cast_is_vertex_cut());
+    }
+
+    #[test]
+    fn success_rate_counts_expected_verdicts() {
+        let out = Scenario::new(gen::cycle(5), 1).run();
+        assert_eq!(out.success_rate(Verdict::NotPartitionable), 1.0);
+        assert_eq!(out.success_rate(Verdict::Partitionable), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be Byzantine")]
+    fn fictitious_edges_require_byzantine_partner() {
+        let _ = Scenario::new(gen::cycle(5), 1)
+            .with_byzantine(0, ByzantineBehavior::FictitiousEdges { partners: vec![2] })
+            .run();
+    }
+}

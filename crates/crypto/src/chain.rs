@@ -1,0 +1,255 @@
+//! Chained signatures σ_j(σ_i(msg)).
+//!
+//! NECTAR relays every discovered edge inside a signature chain whose length
+//! must equal the current round number (Alg. 1 l. 14): each relay appends
+//! its own signature over everything it received. The chain both
+//! authenticates the relay path and timestamps the message — a Byzantine
+//! node cannot replay an edge "late" without producing a chain of the wrong
+//! length, and cannot splice chains because every link signs the running
+//! digest of all previous links (the Dolev–Strong argument of Lemma 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::keys::{Signature, Signer, SignerId, Verifier};
+use crate::sha256::Sha256;
+
+/// A signature chain over a fixed payload digest.
+///
+/// Link `1` signs the payload digest; link `i + 1` signs
+/// `SHA256(digest_i ‖ signer_i ‖ tag_i)`, so links cannot be reordered,
+/// dropped or transplanted onto another payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SignatureChain {
+    links: Vec<Signature>,
+}
+
+impl SignatureChain {
+    /// The empty chain (no signatures yet).
+    pub fn new() -> Self {
+        SignatureChain { links: Vec::new() }
+    }
+
+    /// Number of links — the paper's `lengthSign(msg)`.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the chain has no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Identities along the chain, innermost first.
+    pub fn signers(&self) -> impl Iterator<Item = SignerId> + '_ {
+        self.links.iter().map(Signature::signer)
+    }
+
+    /// The innermost (first) signer, if any.
+    pub fn innermost_signer(&self) -> Option<SignerId> {
+        self.links.first().map(Signature::signer)
+    }
+
+    /// The outermost (most recent) signer, if any.
+    pub fn outermost_signer(&self) -> Option<SignerId> {
+        self.links.last().map(Signature::signer)
+    }
+
+    /// Whether all link signers are pairwise distinct. Correct relays never
+    /// re-forward an edge they already signed, so duplicate signers expose a
+    /// Byzantine-crafted chain.
+    pub fn signers_distinct(&self) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        self.links.iter().all(|l| seen.insert(l.signer()))
+    }
+
+    /// Returns a new chain extended by `signer`'s signature over the running
+    /// digest (σ_signer(previous chain)).
+    pub fn extend(&self, signer: &Signer, payload_digest: &[u8; 32]) -> SignatureChain {
+        let running = self.running_digest(payload_digest);
+        let mut links = self.links.clone();
+        links.push(signer.sign(&running));
+        SignatureChain { links }
+    }
+
+    /// Verifies every link over `payload_digest`.
+    pub fn verify(&self, verifier: &Verifier, payload_digest: &[u8; 32]) -> bool {
+        let mut digest = *payload_digest;
+        for link in &self.links {
+            if !verifier.verify(&digest, link) {
+                return false;
+            }
+            digest = fold(&digest, link);
+        }
+        true
+    }
+
+    /// Raw links, innermost first (for wire encoding).
+    pub fn links(&self) -> &[Signature] {
+        &self.links
+    }
+
+    /// Assembles a chain from raw links — the entry point for forgery
+    /// attempts in Byzantine behaviours.
+    pub fn from_links(links: Vec<Signature>) -> Self {
+        SignatureChain { links }
+    }
+
+    /// Digest the next link would sign.
+    fn running_digest(&self, payload_digest: &[u8; 32]) -> [u8; 32] {
+        let mut digest = *payload_digest;
+        for link in &self.links {
+            digest = fold(&digest, link);
+        }
+        digest
+    }
+}
+
+fn fold(digest: &[u8; 32], link: &Signature) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(digest);
+    h.update(&link.signer().to_be_bytes());
+    h.update(link.tag());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyStore;
+    use crate::sha256::sha256;
+
+    fn setup() -> (KeyStore, [u8; 32]) {
+        (KeyStore::generate(6, 99), sha256(b"payload"))
+    }
+
+    #[test]
+    fn empty_chain_verifies_trivially() {
+        let (ks, digest) = setup();
+        let chain = SignatureChain::new();
+        assert!(chain.is_empty());
+        assert!(chain.verify(&ks.verifier(), &digest));
+    }
+
+    #[test]
+    fn extend_and_verify_three_links() {
+        let (ks, digest) = setup();
+        let chain = SignatureChain::new()
+            .extend(&ks.signer(0), &digest)
+            .extend(&ks.signer(1), &digest)
+            .extend(&ks.signer(2), &digest);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.innermost_signer(), Some(0));
+        assert_eq!(chain.outermost_signer(), Some(2));
+        assert!(chain.signers_distinct());
+        assert!(chain.verify(&ks.verifier(), &digest));
+    }
+
+    #[test]
+    fn wrong_payload_fails() {
+        let (ks, digest) = setup();
+        let chain = SignatureChain::new().extend(&ks.signer(0), &digest);
+        let other = sha256(b"other payload");
+        assert!(!chain.verify(&ks.verifier(), &other));
+    }
+
+    #[test]
+    fn reordered_links_fail() {
+        let (ks, digest) = setup();
+        let chain = SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(1), &digest);
+        let mut links = chain.links().to_vec();
+        links.swap(0, 1);
+        let reordered = SignatureChain::from_links(links);
+        assert!(!reordered.verify(&ks.verifier(), &digest));
+    }
+
+    #[test]
+    fn truncated_chain_still_verifies_as_prefix() {
+        // Chains are prefix-verifiable by design: dropping the outer links
+        // yields the inner (older) chain. NECTAR defends against truncation
+        // replay with the length-equals-round check, not the chain itself.
+        let (ks, digest) = setup();
+        let chain = SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(1), &digest);
+        let truncated = SignatureChain::from_links(chain.links()[..1].to_vec());
+        assert!(truncated.verify(&ks.verifier(), &digest));
+        assert_eq!(truncated.len(), 1);
+    }
+
+    #[test]
+    fn spliced_link_from_other_chain_fails() {
+        let (ks, digest) = setup();
+        let a = SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(1), &digest);
+        let other_digest = sha256(b"other");
+        let b = SignatureChain::new().extend(&ks.signer(0), &other_digest).extend(&ks.signer(2), &other_digest);
+        let mut links = a.links().to_vec();
+        links[1] = b.links()[1].clone();
+        assert!(!SignatureChain::from_links(links).verify(&ks.verifier(), &digest));
+    }
+
+    #[test]
+    fn duplicate_signers_are_detected() {
+        let (ks, digest) = setup();
+        let chain = SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(0), &digest);
+        assert!(!chain.signers_distinct());
+        // The chain itself is cryptographically valid; the protocol layer
+        // rejects it via the distinctness rule.
+        assert!(chain.verify(&ks.verifier(), &digest));
+    }
+
+    #[test]
+    fn forged_link_fails() {
+        let (ks, digest) = setup();
+        let forged = SignatureChain::from_links(vec![crate::keys::Signature::from_parts(3, [7; 32])]);
+        assert!(!forged.verify(&ks.verifier(), &digest));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::keys::KeyStore;
+    use crate::sha256::sha256;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn chains_of_any_shape_verify(
+            payload in proptest::collection::vec(proptest::num::u8::ANY, 0..64),
+            signers in proptest::collection::vec(0u16..10, 0..8),
+        ) {
+            let ks = KeyStore::generate(10, 6);
+            let digest = sha256(&payload);
+            let mut chain = SignatureChain::new();
+            for &s in &signers {
+                chain = chain.extend(&ks.signer(s), &digest);
+            }
+            prop_assert_eq!(chain.len(), signers.len());
+            prop_assert!(chain.verify(&ks.verifier(), &digest));
+            prop_assert_eq!(chain.signers().collect::<Vec<_>>(), signers.clone());
+            // Prefixes verify too (length checks are the protocol's job).
+            let prefix = SignatureChain::from_links(chain.links()[..signers.len() / 2].to_vec());
+            prop_assert!(prefix.verify(&ks.verifier(), &digest));
+        }
+
+        #[test]
+        fn corrupting_any_link_invalidates_the_chain(
+            signers in proptest::collection::vec(0u16..10, 1..6),
+            victim in 0usize..6,
+        ) {
+            let ks = KeyStore::generate(10, 6);
+            let digest = sha256(b"payload");
+            let mut chain = SignatureChain::new();
+            for &s in &signers {
+                chain = chain.extend(&ks.signer(s), &digest);
+            }
+            let victim = victim % signers.len();
+            let mut links = chain.links().to_vec();
+            let mut tag = *links[victim].tag();
+            tag[0] ^= 0xff;
+            links[victim] = crate::keys::Signature::from_parts(links[victim].signer(), tag);
+            let corrupted = SignatureChain::from_links(links);
+            prop_assert!(!corrupted.verify(&ks.verifier(), &digest));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Cryptographic substrate for the NECTAR reproduction.
+//!
+//! The paper assumes an asymmetric digital signature scheme with chained
+//! signatures and unforgeable proofs of neighborhood (§II). This crate
+//! provides all of it from scratch, on top of a NIST-vector-tested SHA-256:
+//!
+//! * [`sha256`]: FIPS 180-4 SHA-256,
+//! * [`hmac`]: RFC 2104 HMAC-SHA-256,
+//! * [`keys`]: the simulated signature scheme ([`KeyStore`], [`Signer`],
+//!   [`Verifier`]) — see DESIGN.md §4.1 for why the simulation preserves the
+//!   two properties the protocol needs (unforgeability and ECDSA wire size),
+//! * [`chain`]: chained signatures σ_j(σ_i(msg)) ([`SignatureChain`]),
+//! * [`proof`]: both-endpoint-signed [`NeighborhoodProof`]s,
+//! * [`wire`]: byte-accounting constants for the evaluation's network-cost
+//!   figures.
+//!
+//! # Example
+//!
+//! ```
+//! use nectar_crypto::{KeyStore, NeighborhoodProof, SignatureChain};
+//!
+//! let keys = KeyStore::generate(4, 42);
+//! let proof = NeighborhoodProof::new(&keys.signer(0), &keys.signer(1));
+//! assert!(proof.verify(&keys.verifier()));
+//!
+//! // Node 0 announces the edge (round 1), node 2 relays it (round 2).
+//! let digest = proof.digest();
+//! let chain = SignatureChain::new()
+//!     .extend(&keys.signer(0), &digest)
+//!     .extend(&keys.signer(2), &digest);
+//! assert_eq!(chain.len(), 2);
+//! assert!(chain.verify(&keys.verifier(), &digest));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod chain;
+pub mod codec;
+pub mod hmac;
+pub mod keys;
+pub mod proof;
+pub mod sha256;
+pub mod wire;
+
+pub use chain::SignatureChain;
+pub use codec::{CodecError, Decode, Encode};
+pub use keys::{KeyStore, Signature, Signer, SignerId, Verifier};
+pub use proof::NeighborhoodProof;

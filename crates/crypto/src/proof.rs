@@ -1,0 +1,179 @@
+//! Proofs of neighborhood.
+//!
+//! A `proof_{i,j}` lets node `i` declare an edge with `j` in a way that
+//! "cannot be forged as soon as either `p_i` or `p_j` is correct" (§II).
+//! We realize it as the canonical edge statement signed by **both**
+//! endpoints: forging it requires both secrets, so two colluding Byzantine
+//! nodes *can* mint a proof for a fictitious Byzantine–Byzantine edge —
+//! exactly the power the paper grants them ("Byzantine nodes may however
+//! forge proofs of neighborhood between Byzantine processes").
+
+use serde::{Deserialize, Serialize};
+
+use crate::keys::{Signature, Signer, SignerId, Verifier};
+
+/// A both-endpoint-signed declaration of the undirected edge `(a, b)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NeighborhoodProof {
+    a: SignerId,
+    b: SignerId,
+    sig_a: Signature,
+    sig_b: Signature,
+}
+
+impl NeighborhoodProof {
+    /// Canonical byte statement for the undirected edge `(a, b)`: endpoint
+    /// order is normalized so both directions sign identical bytes.
+    pub fn statement(a: SignerId, b: SignerId) -> Vec<u8> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(4 + 4);
+        out.extend_from_slice(b"edge");
+        out.extend_from_slice(&lo.to_be_bytes());
+        out.extend_from_slice(&hi.to_be_bytes());
+        out
+    }
+
+    /// Builds the proof for the edge between the two signers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both signers share the same identity (self-loop).
+    pub fn new(first: &Signer, second: &Signer) -> Self {
+        assert!(first.id() != second.id(), "neighborhood proof requires two distinct endpoints");
+        let (lo, hi) = if first.id() <= second.id() { (first, second) } else { (second, first) };
+        let stmt = Self::statement(lo.id(), hi.id());
+        NeighborhoodProof { a: lo.id(), b: hi.id(), sig_a: lo.sign(&stmt), sig_b: hi.sign(&stmt) }
+    }
+
+    /// Assembles a proof from raw parts — the entry point for forgery
+    /// attempts in Byzantine behaviours. Verification decides whether the
+    /// parts are consistent.
+    pub fn from_parts(a: SignerId, b: SignerId, sig_a: Signature, sig_b: Signature) -> Self {
+        NeighborhoodProof { a, b, sig_a, sig_b }
+    }
+
+    /// The edge endpoints `(min, max)`.
+    pub fn endpoints(&self) -> (SignerId, SignerId) {
+        (self.a, self.b)
+    }
+
+    /// The smaller endpoint's signature (for wire encoding).
+    pub fn sig_a(&self) -> &Signature {
+        &self.sig_a
+    }
+
+    /// The larger endpoint's signature (for wire encoding).
+    pub fn sig_b(&self) -> &Signature {
+        &self.sig_b
+    }
+
+    /// Checks both endpoint signatures over the canonical statement, plus
+    /// structural sanity (normalized order, signer identities matching the
+    /// claimed endpoints, no self-loop).
+    pub fn verify(&self, verifier: &Verifier) -> bool {
+        if self.a >= self.b {
+            return false;
+        }
+        if self.sig_a.signer() != self.a || self.sig_b.signer() != self.b {
+            return false;
+        }
+        let stmt = Self::statement(self.a, self.b);
+        verifier.verify(&stmt, &self.sig_a) && verifier.verify(&stmt, &self.sig_b)
+    }
+
+    /// Digest of the proof contents, used as the payload binding for
+    /// signature chains relaying this proof.
+    pub fn digest(&self) -> [u8; 32] {
+        let mut bytes = Vec::with_capacity(8 + 2 * 34);
+        bytes.extend_from_slice(&Self::statement(self.a, self.b));
+        for sig in [&self.sig_a, &self.sig_b] {
+            bytes.extend_from_slice(&sig.signer().to_be_bytes());
+            bytes.extend_from_slice(sig.tag());
+        }
+        crate::sha256::sha256(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyStore;
+
+    fn store() -> KeyStore {
+        KeyStore::generate(6, 42)
+    }
+
+    #[test]
+    fn proof_round_trip() {
+        let ks = store();
+        let proof = NeighborhoodProof::new(&ks.signer(3), &ks.signer(1));
+        assert_eq!(proof.endpoints(), (1, 3));
+        assert!(proof.verify(&ks.verifier()));
+    }
+
+    #[test]
+    fn endpoint_order_is_normalized() {
+        let ks = store();
+        let p1 = NeighborhoodProof::new(&ks.signer(3), &ks.signer(1));
+        let p2 = NeighborhoodProof::new(&ks.signer(1), &ks.signer(3));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.digest(), p2.digest());
+    }
+
+    #[test]
+    fn one_correct_endpoint_makes_forgery_fail() {
+        // A Byzantine node (5) tries to claim an edge with correct node 0
+        // without node 0's signature: it signs both slots itself.
+        let ks = store();
+        let byz = ks.signer(5);
+        let stmt = NeighborhoodProof::statement(0, 5);
+        let forged = NeighborhoodProof::from_parts(
+            0,
+            5,
+            crate::keys::Signature::from_parts(0, *byz.sign(&stmt).tag()),
+            byz.sign(&stmt),
+        );
+        assert!(!forged.verify(&ks.verifier()));
+    }
+
+    #[test]
+    fn colluding_byzantine_pair_can_mint_fictitious_edge() {
+        // Both endpoints Byzantine: the proof is structurally valid, exactly
+        // as the paper permits (§II).
+        let ks = store();
+        let proof = NeighborhoodProof::new(&ks.signer(4), &ks.signer(5));
+        assert!(proof.verify(&ks.verifier()));
+    }
+
+    #[test]
+    fn mismatched_endpoints_fail() {
+        let ks = store();
+        let honest = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
+        let (a, b) = honest.endpoints();
+        // Re-label the proof as covering a different edge.
+        let relabeled = NeighborhoodProof::from_parts(
+            a,
+            b + 1,
+            honest.sig_a.clone(),
+            honest.sig_b.clone(),
+        );
+        assert!(!relabeled.verify(&ks.verifier()));
+    }
+
+    #[test]
+    fn self_loop_shape_fails_verification() {
+        let ks = store();
+        let s = ks.signer(2);
+        let stmt = NeighborhoodProof::statement(2, 2);
+        let p = NeighborhoodProof::from_parts(2, 2, s.sign(&stmt), s.sign(&stmt));
+        assert!(!p.verify(&ks.verifier()));
+    }
+
+    #[test]
+    fn digests_distinguish_edges() {
+        let ks = store();
+        let p1 = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
+        let p2 = NeighborhoodProof::new(&ks.signer(0), &ks.signer(2));
+        assert_ne!(p1.digest(), p2.digest());
+    }
+}

@@ -1,0 +1,361 @@
+//! The unsigned partition detector.
+//!
+//! Runs NECTAR's skeleton — flood your neighborhood, reconstruct the graph,
+//! decide on reachability and vertex connectivity — but replaces signature
+//! chains with Dolev path-vector delivery. The trade-offs, which are the
+//! point of this extension (see the crate docs):
+//!
+//! * **No proofs of neighborhood.** An edge is only *accepted* once the
+//!   announcements of **both** endpoints were reliably delivered: a
+//!   Byzantine node can claim an edge to a correct node, but the correct
+//!   endpoint never corroborates it. The converse cost: a Byzantine node
+//!   that stays silent makes even its *real* edges unacceptable, so the
+//!   reconstructed graph may shrink toward the correct-correct subgraph and
+//!   the detector degrades gracefully to conservative PARTITIONABLE
+//!   verdicts.
+//! * **Connectivity floor.** Reliable delivery needs `t + 1` disjoint paths
+//!   to exist, i.e. `κ(G) ≥ t + 1` for full views (Dolev's bound, vs.
+//!   NECTAR's "any graph" operation) — with lower connectivity the verdict
+//!   is again conservative, never unsafe.
+//! * **Cost.** Messages multiply with the number of simple paths — the
+//!   `unsigned_cost` bench quantifies the blow-up that the paper's
+//!   conclusion anticipates.
+
+use std::collections::BTreeSet;
+
+use nectar_graph::{connectivity, traversal, Graph};
+use nectar_net::{NodeId, Outgoing, Process};
+use nectar_protocol::{Decision, Verdict};
+
+use crate::dissemination::{ClaimId, PathMsg, PathStore};
+
+/// Parameters of the unsigned detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsignedConfig {
+    /// Total number of processes.
+    pub n: usize,
+    /// Byzantine budget.
+    pub t: usize,
+    /// Hard cap on stored/relayed paths per claim, bounding the `O(n!)`
+    /// blow-up. Delivery may be delayed (never falsified) if the cap bites.
+    pub max_paths_per_claim: usize,
+}
+
+impl UnsignedConfig {
+    /// Defaults: paths capped at 64 per claim.
+    pub fn new(n: usize, t: usize) -> Self {
+        UnsignedConfig { n, t, max_paths_per_claim: 64 }
+    }
+
+    /// Propagation rounds (same worst case as NECTAR: `n − 1`).
+    pub fn rounds(&self) -> usize {
+        self.n.saturating_sub(1)
+    }
+}
+
+/// A correct participant of the unsigned protocol.
+#[derive(Debug)]
+pub struct UnsignedNode {
+    id: NodeId,
+    config: UnsignedConfig,
+    neighbors: Vec<NodeId>,
+    store: PathStore<ClaimId>,
+    /// Claims queued for relay next round: `(msg-to-extend, exclude)`.
+    outbox: Vec<(PathMsg<ClaimId>, BTreeSet<NodeId>)>,
+    /// Relay dedup: paths this node has already forwarded.
+    relayed: BTreeSet<(ClaimId, Vec<NodeId>)>,
+}
+
+impl UnsignedNode {
+    /// Creates the node; `neighbors` is its local knowledge Γ(i).
+    pub fn new(id: NodeId, config: UnsignedConfig, neighbors: Vec<NodeId>) -> Self {
+        let mut node = UnsignedNode {
+            id,
+            config,
+            neighbors: neighbors.clone(),
+            store: PathStore::new(),
+            outbox: Vec::new(),
+            relayed: BTreeSet::new(),
+        };
+        // Round 1 announces each own edge as a claim with path [self].
+        for &nbr in &neighbors {
+            let claim = ClaimId::new(id, id as u16, nbr as u16);
+            node.store.insert(claim, vec![id]);
+            node.outbox.push((PathMsg { claim, path: vec![id] }, BTreeSet::new()));
+        }
+        node
+    }
+
+    /// The node id.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Accepted edges: both endpoints' announcements delivered (an edge
+    /// incident to this node is corroborated by its own local knowledge).
+    pub fn accepted_graph(&mut self) -> Graph {
+        let mut g = Graph::empty(self.config.n);
+        let n = self.config.n;
+        let t = self.config.t;
+        // Collect candidate edges first to keep the borrow checker happy.
+        let candidates: BTreeSet<(u16, u16)> = self.store.claims().map(|c| c.edge).collect();
+        for (a, b) in candidates {
+            let (a_us, b_us) = (a as NodeId, b as NodeId);
+            if a_us >= n || b_us >= n || a_us == b_us {
+                continue;
+            }
+            // Edges incident to this node are judged by local ground truth
+            // alone (Γ(i) is known, §II) — a delivered claim cannot
+            // overrule it. The own-edge loop below adds the real ones.
+            if a_us == self.id || b_us == self.id {
+                continue;
+            }
+            let claim_a = ClaimId::new(a_us, a, b);
+            let claim_b = ClaimId::new(b_us, a, b);
+            if self.store.deliverable(claim_a, self.id, n, t)
+                && self.store.deliverable(claim_b, self.id, n, t)
+            {
+                g.add_edge(a_us, b_us).expect("bounded, non-loop edges");
+            }
+        }
+        // Own edges are locally known.
+        for &nbr in &self.neighbors.clone() {
+            g.add_edge(self.id, nbr).expect("bounded, non-loop edges");
+        }
+        g
+    }
+
+    /// The decision phase, identical to NECTAR's (Alg. 1 ll. 16–23) over
+    /// the accepted graph.
+    pub fn decide(&mut self) -> Decision {
+        let g = self.accepted_graph();
+        let reachable = traversal::reachable_count(&g, self.id);
+        let connectivity = connectivity::vertex_connectivity(&g);
+        let all_reachable = reachable == self.config.n;
+        if connectivity > self.config.t && all_reachable {
+            Decision { verdict: Verdict::NotPartitionable, confirmed: false, reachable, connectivity }
+        } else {
+            Decision {
+                verdict: Verdict::Partitionable,
+                confirmed: !all_reachable,
+                reachable,
+                connectivity,
+            }
+        }
+    }
+
+    /// Total stored paths (cost diagnostics).
+    pub fn stored_paths(&self) -> usize {
+        self.store.total_paths()
+    }
+}
+
+impl Process for UnsignedNode {
+    type Msg = PathMsg<ClaimId>;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&mut self, _round: usize) -> Vec<Outgoing<PathMsg<ClaimId>>> {
+        let outbox = std::mem::take(&mut self.outbox);
+        let mut out = Vec::new();
+        for (msg, exclude) in outbox {
+            for &nbr in &self.neighbors {
+                if exclude.contains(&nbr) || msg.path.contains(&nbr) {
+                    continue;
+                }
+                out.push(Outgoing::new(nbr, msg.clone()));
+            }
+        }
+        out
+    }
+
+    fn receive(&mut self, _round: usize, from: NodeId, msg: PathMsg<ClaimId>) {
+        if !msg.claim.well_formed() || !msg.plausible_for(self.id, from) {
+            return;
+        }
+        if self.store.path_count(&msg.claim) >= self.config.max_paths_per_claim {
+            return;
+        }
+        if !self.store.insert(msg.claim, msg.path.clone()) {
+            return;
+        }
+        // Relay with ourselves appended, once per distinct path.
+        let extended = msg.extended_by(self.id);
+        let key = (extended.claim, extended.path.clone());
+        if self.relayed.insert(key) {
+            self.outbox.push((extended, [from].into_iter().collect()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nectar_net::SyncNetwork;
+
+    fn run(g: &Graph, t: usize) -> Vec<UnsignedNode> {
+        let n = g.node_count();
+        let cfg = UnsignedConfig::new(n, t);
+        let nodes: Vec<UnsignedNode> =
+            (0..n).map(|i| UnsignedNode::new(i, cfg, g.neighborhood(i))).collect();
+        let mut net = SyncNetwork::new(nodes, g.clone());
+        net.run_rounds(cfg.rounds());
+        net.into_parts().0
+    }
+
+    #[test]
+    fn honest_ring_reconstructs_and_decides_like_nectar() {
+        // C_6 has κ = 2 = t + 1 with t = 1: enough disjoint paths for
+        // delivery everywhere.
+        let g = nectar_graph::gen::cycle(6);
+        for mut node in run(&g, 1) {
+            assert_eq!(node.accepted_graph(), g, "node {}", node.node_id());
+            let d = node.decide();
+            assert_eq!(d.verdict, Verdict::NotPartitionable);
+            assert_eq!(d.connectivity, 2);
+        }
+    }
+
+    #[test]
+    fn honest_harary_reaches_full_views() {
+        let g = nectar_graph::gen::harary(4, 10).unwrap();
+        for mut node in run(&g, 2) {
+            assert_eq!(node.accepted_graph(), g);
+            assert_eq!(node.decide().verdict, Verdict::NotPartitionable);
+        }
+    }
+
+    #[test]
+    fn below_the_connectivity_floor_the_verdict_is_conservative() {
+        // A path graph has κ = 1: with t = 1 there are not 2 disjoint
+        // routes, so distant edges are never delivered — the decision
+        // degrades to PARTITIONABLE (κ = 1 ≤ t would force that anyway).
+        let g = nectar_graph::gen::path(5);
+        for mut node in run(&g, 1) {
+            assert_eq!(node.decide().verdict, Verdict::Partitionable);
+        }
+    }
+
+    #[test]
+    fn byzantine_fake_edge_claim_is_never_accepted() {
+        // Node 0 is Byzantine and floods a fake claim "(0, 3)" — an edge
+        // that does not exist. Correct nodes accept an edge only when both
+        // endpoints corroborate; node 3 never does.
+        #[derive(Debug)]
+        struct Liar {
+            inner: UnsignedNode,
+        }
+        impl Process for Liar {
+            type Msg = PathMsg<ClaimId>;
+            fn id(&self) -> NodeId {
+                self.inner.id()
+            }
+            fn send(&mut self, round: usize) -> Vec<Outgoing<PathMsg<ClaimId>>> {
+                let mut out = self.inner.send(round);
+                if round == 1 {
+                    let claim = ClaimId::new(0, 0, 3);
+                    for nbr in self.inner.neighbors.clone() {
+                        out.push(Outgoing::new(nbr, PathMsg { claim, path: vec![0] }));
+                    }
+                }
+                out
+            }
+            fn receive(&mut self, round: usize, from: NodeId, msg: PathMsg<ClaimId>) {
+                self.inner.receive(round, from, msg);
+            }
+        }
+
+        let g = nectar_graph::gen::cycle(6);
+        let cfg = UnsignedConfig::new(6, 1);
+        #[derive(Debug)]
+        enum P {
+            Honest(UnsignedNode),
+            Byz(Liar),
+        }
+        impl Process for P {
+            type Msg = PathMsg<ClaimId>;
+            fn id(&self) -> NodeId {
+                match self {
+                    P::Honest(x) => x.id(),
+                    P::Byz(x) => x.id(),
+                }
+            }
+            fn send(&mut self, round: usize) -> Vec<Outgoing<PathMsg<ClaimId>>> {
+                match self {
+                    P::Honest(x) => x.send(round),
+                    P::Byz(x) => x.send(round),
+                }
+            }
+            fn receive(&mut self, round: usize, from: NodeId, msg: PathMsg<ClaimId>) {
+                match self {
+                    P::Honest(x) => x.receive(round, from, msg),
+                    P::Byz(x) => x.receive(round, from, msg),
+                }
+            }
+        }
+        let nodes: Vec<P> = (0..6)
+            .map(|i| {
+                let inner = UnsignedNode::new(i, cfg, g.neighborhood(i));
+                if i == 0 {
+                    P::Byz(Liar { inner })
+                } else {
+                    P::Honest(inner)
+                }
+            })
+            .collect();
+        let mut net = SyncNetwork::new(nodes, g.clone());
+        net.run_rounds(5);
+        let (nodes, _) = net.into_parts();
+        for node in nodes {
+            if let P::Honest(mut h) = node {
+                assert!(
+                    !h.accepted_graph().has_edge(0, 3),
+                    "node {} accepted the fabricated edge",
+                    h.node_id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_explosion_is_bounded_by_the_cap() {
+        let g = nectar_graph::gen::complete(7);
+        let n = g.node_count();
+        let mut cfg = UnsignedConfig::new(n, 2);
+        cfg.max_paths_per_claim = 8;
+        let nodes: Vec<UnsignedNode> =
+            (0..n).map(|i| UnsignedNode::new(i, cfg, g.neighborhood(i))).collect();
+        let mut net = SyncNetwork::new(nodes, g.clone());
+        net.run_rounds(cfg.rounds());
+        let (mut nodes, _) = net.into_parts();
+        for node in &nodes {
+            // 21 edges × 2 claims × cap 8 bounds the store.
+            assert!(node.stored_paths() <= 21 * 2 * 8);
+        }
+        // Despite the cap, the dense graph still delivers everything.
+        for node in &mut nodes {
+            assert_eq!(node.accepted_graph(), g);
+        }
+    }
+
+    #[test]
+    fn unsigned_is_far_costlier_than_nectar() {
+        // The conclusion's "significant cost", at equal (graph, t).
+        let g = nectar_graph::gen::harary(4, 10).unwrap();
+        let n = g.node_count();
+        let cfg = UnsignedConfig::new(n, 2);
+        let nodes: Vec<UnsignedNode> =
+            (0..n).map(|i| UnsignedNode::new(i, cfg, g.neighborhood(i))).collect();
+        let mut net = SyncNetwork::new(nodes, g.clone());
+        net.run_rounds(cfg.rounds());
+        let unsigned_msgs: u64 = net.metrics().msgs_sent().iter().sum();
+        let nectar_metrics = nectar_protocol::Scenario::new(g, 2).run_metrics_only();
+        let nectar_msgs: u64 = nectar_metrics.msgs_sent().iter().sum();
+        assert!(
+            unsigned_msgs > 3 * nectar_msgs,
+            "unsigned ({unsigned_msgs} msgs) should dwarf NECTAR ({nectar_msgs} msgs)"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text line charts for rendering [`Table`]s in a terminal.
+//!
+//! The figure binaries print these under the Markdown tables so the curve
+//! shapes (the thing the reproduction is judged on) are visible without
+//! leaving the shell.
+
+use crate::table::Table;
+
+/// Renders an ASCII chart of the table's series, `width × height`
+/// characters of plot area, one marker per series.
+///
+/// Markers cycle through `*`, `o`, `x`, `+`, `#`, `@`. Axes are linear; the
+/// y range is padded to start at zero when all values are non-negative.
+pub fn render(table: &Table, width: usize, height: usize) -> String {
+    const MARKERS: [char; 6] = ['*', 'o', 'x', '+', '#', '@'];
+    let width = width.max(16);
+    let height = height.max(4);
+    let points: Vec<(usize, f64, f64)> = table
+        .series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| s.points.iter().map(move |p| (si, p.x, p.mean)))
+        .collect();
+    if points.is_empty() {
+        return format!("{} (no data)\n", table.title);
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if y_min >= 0.0 {
+        y_min = 0.0;
+    }
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for &(si, x, y) in &points {
+        let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+        let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - row;
+        canvas[row][col] = MARKERS[si % MARKERS.len()];
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", table.title));
+    for (i, row) in canvas.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_max:>10.1}")
+        } else if i == height - 1 {
+            format!("{y_min:>10.1}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&format!("{y_label} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("{} +{}+\n", " ".repeat(10), "-".repeat(width)));
+    out.push_str(&format!(
+        "{}  {:<width$.1}{:>rest$.1}\n",
+        " ".repeat(10),
+        x_min,
+        x_max,
+        width = width / 2,
+        rest = width - width / 2
+    ));
+    for (si, s) in table.series.iter().enumerate() {
+        out.push_str(&format!("{} {}  {}\n", " ".repeat(10), MARKERS[si % MARKERS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Point, Series};
+
+    fn table() -> Table {
+        Table {
+            id: "t".into(),
+            title: "Chart".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series {
+                    label: "rising".into(),
+                    points: (0..5).map(|i| Point { x: i as f64, mean: i as f64 * 2.0, ci95: 0.0 }).collect(),
+                },
+                Series {
+                    label: "flat".into(),
+                    points: (0..5).map(|i| Point { x: i as f64, mean: 1.0, ci95: 0.0 }).collect(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_title_legend_and_markers() {
+        let chart = render(&table(), 40, 10);
+        assert!(chart.contains("Chart"));
+        assert!(chart.contains("*  rising"));
+        assert!(chart.contains("o  flat"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn max_value_sits_on_the_top_row() {
+        let chart = render(&table(), 40, 10);
+        let plot_rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
+        assert!(plot_rows.first().unwrap().contains('*'), "top row must hold the max point");
+        assert!(plot_rows.first().unwrap().contains("8.0"));
+    }
+
+    #[test]
+    fn empty_table_renders_placeholder() {
+        let empty = Table { id: "e".into(), title: "E".into(), x_label: "x".into(), y_label: "y".into(), series: vec![] };
+        assert!(render(&empty, 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let single = Table {
+            id: "s".into(),
+            title: "S".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series { label: "p".into(), points: vec![Point { x: 1.0, mean: 1.0, ci95: 0.0 }] }],
+        };
+        let chart = render(&single, 20, 5);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment harness regenerating the NECTAR paper's evaluation (§V).
+//!
+//! Every figure and in-text result maps to one runner here (see DESIGN.md
+//! §3 for the experiment index):
+//!
+//! | Paper artifact | Runner |
+//! |---|---|
+//! | Fig. 3 | [`cost::fig3_kregular_cost`] |
+//! | §V-C topology comparison | [`cost::topology_cost`] |
+//! | Fig. 4 | [`cost::fig4_drone_nectar`] |
+//! | Fig. 5 | [`cost::fig5_drone_mtgv2`] |
+//! | Fig. 6 | [`cost::fig6_drone_scaling_nectar`] |
+//! | Fig. 7 | [`cost::fig7_drone_scaling_mtgv2`] |
+//! | Fig. 8 | [`resilience::fig8_byzantine_resilience`] |
+//! | §V-D topology resilience | [`resilience::topology_resilience`] |
+//! | Reproduction ablations | [`ablation`] |
+//! | §VII unsigned-cost conjecture | [`unsigned::unsigned_cost`] |
+//!
+//! Each runner takes a config with `paper()` (full scale) and `quick()`
+//! (CI-sized) presets and returns a [`table::Table`] that renders to CSV
+//! and Markdown; the `nectar-bench` figure binaries drive them.
+
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod chart;
+pub mod cost;
+pub mod resilience;
+pub mod scenarios;
+pub mod stats;
+pub mod table;
+pub mod unsigned;
+
+pub use scenarios::{
+    bridged_partition, cut_byzantine_placement, partitioned_with_insiders,
+    random_byzantine_placement, BridgeScenario, InsiderScenario,
+};
+pub use stats::{summarize, Summary};
+pub use table::{Point, Series, Table};

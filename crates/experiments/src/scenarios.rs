@@ -1,0 +1,239 @@
+//! Attack-scenario builders for the resilience experiments (§V-D).
+//!
+//! Two constructions back Fig. 8:
+//!
+//! * [`partitioned_with_insiders`]: a drone graph partitioned in two parts,
+//!   with `t` Byzantine nodes *inside* the parts, equally distributed — the
+//!   setting of the all-ones Bloom-filter attack on MtG;
+//! * [`bridged_partition`]: a partitioned subgraph of correct nodes made
+//!   connected again by `t` Byzantine *bridge* nodes carrying all
+//!   inter-part edges — the setting of the two-faced attack on MtGv2 and
+//!   NECTAR ("the graph is at most t-connected, and the Byzantine nodes are
+//!   the t key nodes that decide the connectivity parameter").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nectar_graph::{gen, Graph};
+use nectar_net::NodeId;
+
+/// A partitioned drone graph with Byzantine insiders.
+#[derive(Debug, Clone)]
+pub struct InsiderScenario {
+    /// The (partitioned) communication graph.
+    pub graph: Graph,
+    /// Byzantine nodes, alternating between the two parts.
+    pub byzantine: Vec<NodeId>,
+    /// Nodes of the first part (including its Byzantine insiders).
+    pub part_a: Vec<NodeId>,
+    /// Nodes of the second part.
+    pub part_b: Vec<NodeId>,
+}
+
+/// Builds the insider scenario: `n` drones in two scatters too far apart to
+/// communicate (`d = 6`, `radius = 2.4`), with `t` Byzantine insiders
+/// "equally distributed between the two parts" (§V-D).
+///
+/// # Panics
+///
+/// Panics if `t` exceeds the size of either part.
+pub fn partitioned_with_insiders(n: usize, t: usize, seed: u64) -> InsiderScenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let placement = gen::drone_scenario(n, 6.0, 2.4, &mut rng)
+        .expect("drone parameters are valid constants");
+    let part_a: Vec<NodeId> = placement.first_cluster().collect();
+    let part_b: Vec<NodeId> = placement.second_cluster().collect();
+    assert!(t <= part_a.len().min(part_b.len()) * 2, "too many Byzantine insiders");
+    let mut byzantine = Vec::with_capacity(t);
+    let mut a_pool = part_a.clone();
+    let mut b_pool = part_b.clone();
+    a_pool.shuffle(&mut rng);
+    b_pool.shuffle(&mut rng);
+    for i in 0..t {
+        let pool = if i % 2 == 0 { &mut a_pool } else { &mut b_pool };
+        byzantine.push(pool.pop().expect("pool size checked above"));
+    }
+    InsiderScenario { graph: placement.graph, byzantine, part_a, part_b }
+}
+
+/// A partitioned correct subgraph re-connected through Byzantine bridges.
+#[derive(Debug, Clone)]
+pub struct BridgeScenario {
+    /// The communication graph: connected, but every inter-part path passes
+    /// through a Byzantine bridge.
+    pub graph: Graph,
+    /// The `t` bridge nodes (ids `n - t .. n`).
+    pub byzantine: Vec<NodeId>,
+    /// Correct nodes of the first part.
+    pub part_a: Vec<NodeId>,
+    /// Correct nodes of the second part.
+    pub part_b: Vec<NodeId>,
+}
+
+/// Builds the bridge scenario with `n` total nodes of which `t ≥ 1` are
+/// Byzantine bridges: `n − t` correct drones form two disconnected scatters
+/// (`d = 6`, `radius = 2.4`); each bridge gets `links_per_part` edges into
+/// random nodes of each part (plus edges among bridges, as Byzantine nodes
+/// may declare edges with each other).
+///
+/// # Panics
+///
+/// Panics if `t == 0` or the parts are too small for `links_per_part`.
+pub fn bridged_partition(n: usize, t: usize, links_per_part: usize, seed: u64) -> BridgeScenario {
+    assert!(t >= 1, "bridge scenario requires at least one Byzantine bridge");
+    let correct = n - t;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let placement = gen::drone_scenario(correct, 6.0, 2.4, &mut rng)
+        .expect("drone parameters are valid constants");
+    let part_a: Vec<NodeId> = placement.first_cluster().collect();
+    let part_b: Vec<NodeId> = placement.second_cluster().collect();
+    assert!(
+        links_per_part <= part_a.len() && links_per_part <= part_b.len(),
+        "parts too small for {links_per_part} links per part"
+    );
+    let mut graph = Graph::empty(n);
+    for (u, v) in placement.graph.edges() {
+        graph.add_edge(u, v).expect("correct-node edges are in range");
+    }
+    let byzantine: Vec<NodeId> = (correct..n).collect();
+    for &b in &byzantine {
+        for part in [&part_a, &part_b] {
+            // Distinct random endpoints in this part.
+            let mut pool = part.clone();
+            pool.shuffle(&mut rng);
+            for &target in pool.iter().take(links_per_part) {
+                graph.add_edge(b, target).expect("in range");
+            }
+        }
+        // Bridges form a clique among themselves.
+        for &other in &byzantine {
+            if other != b && !graph.has_edge(b, other) {
+                graph.add_edge(b, other).expect("in range");
+            }
+        }
+    }
+    BridgeScenario { graph, byzantine, part_a, part_b }
+}
+
+/// Draws `t` distinct random nodes of `g` (for "aleatory placement"
+/// experiments).
+///
+/// # Panics
+///
+/// Panics if `t > n`.
+pub fn random_byzantine_placement(g: &Graph, t: usize, seed: u64) -> Vec<NodeId> {
+    let n = g.node_count();
+    assert!(t <= n, "cannot pick {t} Byzantine nodes out of {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<NodeId> = (0..n).collect();
+    nodes.shuffle(&mut rng);
+    nodes.truncate(t);
+    nodes.sort_unstable();
+    nodes
+}
+
+/// Picks a Byzantine placement that actually cuts the graph when possible:
+/// the `t` nodes are a minimum vertex cut padded with random extras (or a
+/// random placement if `t < κ(G)`).
+///
+/// Extras are drawn from the *largest* component left by the cut, so the
+/// padding can never swallow a separated side whole and thereby heal the
+/// partition (e.g. when the min cut is the neighborhood of a single node,
+/// adding that node to the cast would reconnect the rest).
+pub fn cut_byzantine_placement(g: &Graph, t: usize, seed: u64) -> Vec<NodeId> {
+    let kappa = nectar_graph::connectivity::vertex_connectivity(g);
+    if t < kappa || kappa == 0 {
+        return random_byzantine_placement(g, t, seed);
+    }
+    let mut cut = nectar_graph::connectivity::min_vertex_cut(g).unwrap_or_default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Components of G \ cut: pad only from the most populous one.
+    let without = g.without_nodes(&cut);
+    let (ids, count) = nectar_graph::traversal::connected_components(&without);
+    let cut_set: std::collections::BTreeSet<NodeId> = cut.iter().copied().collect();
+    let mut sizes = vec![0usize; count];
+    for v in 0..g.node_count() {
+        if !cut_set.contains(&v) {
+            sizes[ids[v]] += 1;
+        }
+    }
+    let largest = sizes.iter().enumerate().max_by_key(|&(_, s)| s).map(|(i, _)| i);
+    let mut pool: Vec<NodeId> = (0..g.node_count())
+        .filter(|v| !cut_set.contains(v) && largest.is_some_and(|c| ids[*v] == c))
+        .collect();
+    pool.shuffle(&mut rng);
+    while cut.len() < t {
+        match pool.pop() {
+            Some(extra) => cut.push(extra),
+            None => break, // graph too small to pad further
+        }
+    }
+    cut.sort_unstable();
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nectar_graph::traversal;
+
+    #[test]
+    fn insiders_are_balanced_across_parts() {
+        let s = partitioned_with_insiders(20, 4, 1);
+        assert!(traversal::is_partitioned(&s.graph));
+        let in_a = s.byzantine.iter().filter(|b| s.part_a.contains(b)).count();
+        let in_b = s.byzantine.iter().filter(|b| s.part_b.contains(b)).count();
+        assert_eq!(in_a, 2);
+        assert_eq!(in_b, 2);
+    }
+
+    #[test]
+    fn insider_byzantine_nodes_are_distinct() {
+        let s = partitioned_with_insiders(30, 6, 7);
+        let mut b = s.byzantine.clone();
+        b.sort_unstable();
+        b.dedup();
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn bridges_connect_the_graph_but_form_a_cut() {
+        let s = bridged_partition(21, 2, 3, 3);
+        assert!(traversal::is_connected(&s.graph), "bridges must reconnect the graph");
+        assert!(
+            traversal::is_partitioned_without(&s.graph, &s.byzantine),
+            "removing the bridges must partition the correct nodes"
+        );
+        // Connectivity is at most t: the bridges are a vertex cut.
+        let kappa = nectar_graph::connectivity::vertex_connectivity(&s.graph);
+        assert!(kappa <= 2, "κ = {kappa} should not exceed the bridge count");
+    }
+
+    #[test]
+    fn bridge_scenario_is_seeded_deterministic() {
+        let a = bridged_partition(15, 1, 2, 9);
+        let b = bridged_partition(15, 1, 2, 9);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.byzantine, b.byzantine);
+    }
+
+    #[test]
+    fn random_placement_is_distinct_and_in_range() {
+        let g = gen::cycle(12);
+        let byz = random_byzantine_placement(&g, 5, 4);
+        assert_eq!(byz.len(), 5);
+        assert!(byz.windows(2).all(|w| w[0] < w[1]));
+        assert!(byz.iter().all(|&b| b < 12));
+    }
+
+    #[test]
+    fn cut_placement_cuts_when_budget_allows() {
+        let g = gen::star(10);
+        let byz = cut_byzantine_placement(&g, 1, 2);
+        assert_eq!(byz, vec![0], "the star's hub is the only min cut");
+        let g = gen::cycle(8);
+        let byz = cut_byzantine_placement(&g, 2, 2);
+        assert!(traversal::is_partitioned_without(&g, &byz));
+    }
+}

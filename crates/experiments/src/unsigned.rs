@@ -1,0 +1,116 @@
+//! Signed vs unsigned cost comparison (the paper's conclusion conjecture).
+//!
+//! NECTAR needs signatures; §VII posits a signature-free synchronous
+//! solution "albeit at a significant cost". This experiment pits NECTAR
+//! against the Dolev-style unsigned detector of `nectar-dolev` at equal
+//! `(graph, t)` and reports messages and kilobytes per node for both.
+
+use nectar_dolev::{UnsignedConfig, UnsignedNode};
+use nectar_graph::gen;
+use nectar_net::SyncNetwork;
+use nectar_protocol::Scenario;
+
+use crate::table::{Point, Series, Table};
+
+/// Parameters for the signed-vs-unsigned comparison.
+#[derive(Debug, Clone)]
+pub struct UnsignedCostConfig {
+    /// System sizes to sweep (keep modest: the unsigned message count grows
+    /// with the number of simple paths).
+    pub ns: Vec<usize>,
+    /// Connectivity parameter of the Harary substrate.
+    pub k: usize,
+    /// Byzantine budget (drives the `t + 1` disjoint-path requirement).
+    pub t: usize,
+}
+
+impl UnsignedCostConfig {
+    /// Full-size sweep.
+    pub fn paper() -> Self {
+        UnsignedCostConfig { ns: vec![8, 10, 12, 14, 16], k: 4, t: 1 }
+    }
+
+    /// Scaled-down sweep for tests.
+    pub fn quick() -> Self {
+        UnsignedCostConfig { ns: vec![8, 10], k: 4, t: 1 }
+    }
+}
+
+/// **E11** — messages per node, NECTAR vs the unsigned Dolev-style variant,
+/// on k-regular graphs.
+pub fn unsigned_cost(cfg: &UnsignedCostConfig) -> Table {
+    let mut nectar_msgs = Series { label: "NECTAR messages/node".into(), points: Vec::new() };
+    let mut unsigned_msgs = Series { label: "unsigned messages/node".into(), points: Vec::new() };
+    let mut nectar_kb = Series { label: "NECTAR KB/node".into(), points: Vec::new() };
+    let mut unsigned_kb = Series { label: "unsigned KB/node".into(), points: Vec::new() };
+    for &n in &cfg.ns {
+        let g = match gen::harary(cfg.k, n) {
+            Ok(g) => g,
+            Err(_) => continue,
+        };
+        let nectar = Scenario::new(g.clone(), cfg.t).run_metrics_only();
+        let ucfg = UnsignedConfig::new(n, cfg.t);
+        let nodes: Vec<UnsignedNode> =
+            (0..n).map(|i| UnsignedNode::new(i, ucfg, g.neighborhood(i))).collect();
+        let mut net = SyncNetwork::new(nodes, g);
+        net.run_rounds(ucfg.rounds());
+        let unsigned = net.metrics();
+        let x = n as f64;
+        let per_node = |total: u64| total as f64 / x;
+        nectar_msgs.points.push(Point {
+            x,
+            mean: per_node(nectar.msgs_sent().iter().sum()),
+            ci95: 0.0,
+        });
+        unsigned_msgs.points.push(Point {
+            x,
+            mean: per_node(unsigned.msgs_sent().iter().sum()),
+            ci95: 0.0,
+        });
+        nectar_kb.points.push(Point { x, mean: nectar.mean_bytes_sent_per_node() / 1024.0, ci95: 0.0 });
+        unsigned_kb.points.push(Point { x, mean: unsigned.mean_bytes_sent_per_node() / 1024.0, ci95: 0.0 });
+    }
+    Table {
+        id: "unsigned_cost".into(),
+        title: format!(
+            "Conclusion conjecture: signed vs unsigned detection cost (Harary k = {}, t = {})",
+            cfg.k, cfg.t
+        ),
+        x_label: "Number of Nodes (n)".into(),
+        y_label: "messages / KB per node".into(),
+        series: vec![nectar_msgs, unsigned_msgs, nectar_kb, unsigned_kb],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_message_count_dwarfs_nectar() {
+        let t = unsigned_cost(&UnsignedCostConfig::quick());
+        let nectar = &t.series[0];
+        let unsigned = &t.series[1];
+        for (a, b) in nectar.points.iter().zip(&unsigned.points) {
+            assert!(
+                b.mean > 2.0 * a.mean,
+                "n = {}: unsigned {} should dwarf NECTAR {}",
+                a.x,
+                b.mean,
+                a.mean
+            );
+        }
+    }
+
+    #[test]
+    fn unsigned_growth_is_steeper_than_nectar() {
+        let t = unsigned_cost(&UnsignedCostConfig::quick());
+        let ratio_at = |s: &crate::table::Series, i: usize| s.points[i].mean;
+        let nectar_growth = ratio_at(&t.series[0], 1) / ratio_at(&t.series[0], 0);
+        let unsigned_growth = ratio_at(&t.series[1], 1) / ratio_at(&t.series[1], 0);
+        assert!(
+            unsigned_growth > nectar_growth,
+            "unsigned growth {unsigned_growth:.2} vs NECTAR {nectar_growth:.2}"
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! Vertex connectivity, minimum vertex cuts, and t-Byzantine partitionability.
+//!
+//! The paper's Corollary 1 states that a network `G` is *t-Byzantine
+//! partitionable* iff its vertex connectivity `κ(G)` is at most `t`; NECTAR's
+//! decision phase (Alg. 1 l. 17) therefore reduces partition detection to a
+//! connectivity computation on each node's discovered graph.
+//!
+//! Pairwise connectivity `κ(s, t)` is computed via Menger's theorem as a
+//! maximum flow on the vertex-split digraph; global connectivity uses the
+//! classic reduction to `O(deg)` pairwise computations around a
+//! minimum-degree vertex (Even's algorithm).
+
+use crate::flow::{FlowNetwork, INF};
+use crate::graph::Graph;
+use crate::traversal::{is_connected, is_partitioned_without};
+
+/// Builds the vertex-split flow network for `g`.
+///
+/// Node `v` becomes `v_in = 2v` and `v_out = 2v + 1` joined by a capacity-1
+/// arc (capacity ∞ for the `exempt` endpoints, which must not be counted in
+/// a cut); each undirected edge `(u, v)` becomes `u_out → v_in` and
+/// `v_out → u_in` with capacity ∞.
+fn split_network(g: &Graph, exempt: [usize; 2]) -> FlowNetwork {
+    let n = g.node_count();
+    let mut net = FlowNetwork::new(2 * n);
+    for v in 0..n {
+        let cap = if exempt.contains(&v) { INF } else { 1 };
+        net.add_arc(2 * v, 2 * v + 1, cap);
+    }
+    for (u, v) in g.edges() {
+        net.add_arc(2 * u + 1, 2 * v, INF);
+        net.add_arc(2 * v + 1, 2 * u, INF);
+    }
+    net
+}
+
+/// Maximum number of internally vertex-disjoint paths between `s` and `t`
+/// (`κ(s, t)` in Menger's theorem).
+///
+/// For adjacent `s, t` the direct edge contributes one path and the remainder
+/// is computed on `G − (s, t)`.
+///
+/// # Panics
+///
+/// Panics if `s == t` or an endpoint is out of range.
+pub fn local_vertex_connectivity(g: &Graph, s: usize, t: usize) -> usize {
+    assert!(s != t, "local connectivity requires two distinct nodes");
+    assert!(s < g.node_count() && t < g.node_count(), "node out of range");
+    if g.has_edge(s, t) {
+        let mut h = g.clone();
+        h.remove_edge(s, t);
+        return 1 + local_vertex_connectivity(&h, s, t);
+    }
+    let mut net = split_network(g, [s, t]);
+    let flow = net.max_flow(2 * s + 1, 2 * t);
+    usize::try_from(flow).expect("vertex-disjoint path count bounded by n")
+}
+
+/// A minimum `s`–`t` vertex separator for non-adjacent `s, t`, together with
+/// its size (`κ(s, t)`).
+///
+/// # Panics
+///
+/// Panics if `s == t`, if `(s, t)` is an edge (adjacent nodes admit no
+/// separator), or if an endpoint is out of range.
+pub fn local_min_vertex_cut(g: &Graph, s: usize, t: usize) -> Vec<usize> {
+    assert!(s != t, "local cut requires two distinct nodes");
+    assert!(!g.has_edge(s, t), "adjacent nodes cannot be separated by a vertex cut");
+    let mut net = split_network(g, [s, t]);
+    net.max_flow(2 * s + 1, 2 * t);
+    let reach = net.residual_reachable(2 * s + 1);
+    (0..g.node_count())
+        .filter(|&v| v != s && v != t && reach[2 * v] && !reach[2 * v + 1])
+        .collect()
+}
+
+/// Global vertex connectivity `κ(G)`.
+///
+/// Conventions: `κ` of the empty graph, a singleton, or any disconnected
+/// graph is 0; `κ(K_n) = n − 1`.
+pub fn vertex_connectivity(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    if g.is_complete() {
+        return n - 1;
+    }
+    if !is_connected(g) {
+        return 0;
+    }
+    let v = g.min_degree_node().expect("non-empty graph has a min-degree node");
+    let mut best = g.degree(v);
+    for w in g.non_neighbors(v) {
+        best = best.min(local_vertex_connectivity(g, v, w));
+        if best == 0 {
+            return 0;
+        }
+    }
+    let nbrs = g.neighborhood(v);
+    for (i, &x) in nbrs.iter().enumerate() {
+        for &y in &nbrs[i + 1..] {
+            if !g.has_edge(x, y) {
+                best = best.min(local_vertex_connectivity(g, x, y));
+            }
+        }
+    }
+    best
+}
+
+/// A minimum vertex cut of `G`, i.e. a set of `κ(G)` nodes whose removal
+/// partitions the graph.
+///
+/// Returns `None` for complete graphs (no separator exists) and for graphs
+/// with fewer than two nodes. For a disconnected graph the empty cut is
+/// returned. This is how the experiment harness places Byzantine nodes at
+/// the paper's "key positions" (§V-D).
+pub fn min_vertex_cut(g: &Graph) -> Option<Vec<usize>> {
+    let n = g.node_count();
+    if n <= 1 || g.is_complete() {
+        return None;
+    }
+    if !is_connected(g) {
+        return Some(Vec::new());
+    }
+    let v = g.min_degree_node().expect("non-empty graph has a min-degree node");
+    let mut best: Option<(usize, usize)> = None; // minimizing pair
+    let mut best_k = g.degree(v) + 1;
+    for w in g.non_neighbors(v) {
+        let k = local_vertex_connectivity(g, v, w);
+        if k < best_k {
+            best_k = k;
+            best = Some((v, w));
+        }
+    }
+    let nbrs = g.neighborhood(v);
+    for (i, &x) in nbrs.iter().enumerate() {
+        for &y in &nbrs[i + 1..] {
+            if !g.has_edge(x, y) {
+                let k = local_vertex_connectivity(g, x, y);
+                if k < best_k {
+                    best_k = k;
+                    best = Some((x, y));
+                }
+            }
+        }
+    }
+    match best {
+        Some((s, t)) => Some(local_min_vertex_cut(g, s, t)),
+        // Every candidate pair was adjacent yet the graph is not complete:
+        // κ(G) = deg(v) and Γ(v) is a cut isolating v.
+        None => Some(g.neighborhood(v)),
+    }
+}
+
+/// Whether removing `cut` partitions the graph (i.e. `cut` is a vertex cut).
+pub fn is_vertex_cut(g: &Graph, cut: &[usize]) -> bool {
+    is_partitioned_without(g, cut)
+}
+
+/// Whether `G` is *t-Byzantine partitionable* (Definition 2): per
+/// Corollary 1, iff `κ(G) ≤ t`.
+///
+/// In a graph with `κ > t` the subgraph of correct nodes remains connected no
+/// matter where the `t` Byzantine nodes sit; with `κ ≤ t` at least one
+/// placement lets them disconnect correct nodes.
+pub fn is_t_byzantine_partitionable(g: &Graph, t: usize) -> bool {
+    vertex_connectivity(g) <= t
+}
+
+/// Brute-force vertex connectivity by exhaustive cut enumeration.
+///
+/// Intended as a test oracle for small graphs (exponential in `n`).
+///
+/// # Panics
+///
+/// Panics if `n > 20` to guard against accidental blow-up.
+pub fn vertex_connectivity_brute(g: &Graph) -> usize {
+    let n = g.node_count();
+    assert!(n <= 20, "brute-force connectivity is a small-graph test oracle");
+    if n <= 1 {
+        return 0;
+    }
+    if g.is_complete() {
+        return n - 1;
+    }
+    for size in 0..n.saturating_sub(1) {
+        let mut found = false;
+        enumerate_subsets(n, size, &mut |subset| {
+            if is_partitioned_without(g, subset) {
+                found = true;
+            }
+        });
+        if found {
+            return size;
+        }
+    }
+    n - 1
+}
+
+fn enumerate_subsets(n: usize, size: usize, visit: &mut impl FnMut(&[usize])) {
+    fn rec(n: usize, size: usize, start: usize, cur: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+        if cur.len() == size {
+            visit(cur);
+            return;
+        }
+        let remaining = size - cur.len();
+        for v in start..=n.saturating_sub(remaining) {
+            cur.push(v);
+            rec(n, size, v + 1, cur, visit);
+            cur.pop();
+        }
+    }
+    let mut cur = Vec::with_capacity(size);
+    rec(n, size, 0, &mut cur, visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn petersen() -> Graph {
+        // Outer 5-cycle, inner 5-star (pentagram), spokes.
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (5, 7),
+            (7, 9),
+            (9, 6),
+            (6, 8),
+            (8, 5),
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9),
+        ];
+        Graph::from_edges(10, edges).unwrap()
+    }
+
+    #[test]
+    fn connectivity_of_classic_graphs() {
+        assert_eq!(vertex_connectivity(&gen::path(5)), 1);
+        assert_eq!(vertex_connectivity(&gen::cycle(5)), 2);
+        assert_eq!(vertex_connectivity(&gen::star(6)), 1);
+        assert_eq!(vertex_connectivity(&gen::complete(6)), 5);
+        assert_eq!(vertex_connectivity(&petersen()), 3);
+    }
+
+    #[test]
+    fn connectivity_degenerate_cases() {
+        assert_eq!(vertex_connectivity(&Graph::empty(0)), 0);
+        assert_eq!(vertex_connectivity(&Graph::empty(1)), 0);
+        assert_eq!(vertex_connectivity(&Graph::empty(2)), 0);
+        let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(vertex_connectivity(&disconnected), 0);
+        // K2 is complete: κ = 1.
+        assert_eq!(vertex_connectivity(&gen::complete(2)), 1);
+    }
+
+    #[test]
+    fn local_connectivity_on_cycle() {
+        let g = gen::cycle(6);
+        assert_eq!(local_vertex_connectivity(&g, 0, 3), 2);
+        // Adjacent pair: the direct edge plus the long way around.
+        assert_eq!(local_vertex_connectivity(&g, 0, 1), 2);
+    }
+
+    #[test]
+    fn local_connectivity_counts_disjoint_paths() {
+        // Two node-disjoint paths 0-1-5 and 0-2-5 plus a shared-vertex pair
+        // of paths through 3: κ(0,5) = 3 requires 3 disjoint interiors.
+        let g = Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 5), (0, 4), (4, 3)]).unwrap();
+        assert_eq!(local_vertex_connectivity(&g, 0, 5), 3);
+    }
+
+    #[test]
+    fn local_min_cut_separates() {
+        let g = gen::star(6);
+        let cut = local_min_vertex_cut(&g, 1, 2);
+        assert_eq!(cut, vec![0]);
+        assert!(is_vertex_cut(&g, &cut));
+    }
+
+    #[test]
+    fn min_cut_of_star_is_hub() {
+        let cut = min_vertex_cut(&gen::star(8)).unwrap();
+        assert_eq!(cut, vec![0]);
+    }
+
+    #[test]
+    fn min_cut_has_connectivity_size_and_separates() {
+        for g in [gen::path(7), gen::cycle(7), petersen(), gen::harary(4, 11).unwrap()] {
+            let k = vertex_connectivity(&g);
+            let cut = min_vertex_cut(&g).unwrap();
+            assert_eq!(cut.len(), k, "cut size must equal κ");
+            assert!(is_vertex_cut(&g, &cut), "min cut must separate the graph");
+        }
+    }
+
+    #[test]
+    fn min_cut_none_for_complete_and_empty_for_disconnected() {
+        assert_eq!(min_vertex_cut(&gen::complete(5)), None);
+        assert_eq!(min_vertex_cut(&Graph::empty(1)), None);
+        let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(min_vertex_cut(&disconnected), Some(Vec::new()));
+    }
+
+    #[test]
+    fn byzantine_partitionability_matches_figure_1() {
+        // Fig. 1a: a 2-connected graph is not 1-Byzantine partitionable.
+        let ring = gen::cycle(8);
+        assert!(!is_t_byzantine_partitionable(&ring, 1));
+        assert!(is_t_byzantine_partitionable(&ring, 2));
+        // Fig. 1b: the star is 1-Byzantine partitionable (hub placement).
+        let star = gen::star(8);
+        assert!(is_t_byzantine_partitionable(&star, 1));
+    }
+
+    #[test]
+    fn brute_force_agrees_on_small_classics() {
+        for g in [gen::path(6), gen::cycle(6), gen::star(6), gen::complete(5), Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap()]
+        {
+            assert_eq!(vertex_connectivity(&g), vertex_connectivity_brute(&g), "graph: {g:?}");
+        }
+    }
+
+    #[test]
+    fn wheel_graph_connectivity_is_three() {
+        // Hub 0 + 6-cycle: the standard wheel, κ = 3.
+        let mut g = gen::cycle(6);
+        let mut w = Graph::empty(7);
+        for (u, v) in g.edges() {
+            w.add_edge(u + 1, v + 1).unwrap();
+        }
+        for v in 1..7 {
+            w.add_edge(0, v).unwrap();
+        }
+        g = w;
+        assert_eq!(vertex_connectivity(&g), 3);
+        let cut = min_vertex_cut(&g).unwrap();
+        assert_eq!(cut.len(), 3);
+        assert!(is_vertex_cut(&g, &cut));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+        (2..=max_n).prop_flat_map(|n| {
+            let pairs: Vec<(usize, usize)> =
+                (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+            proptest::collection::vec(proptest::bool::ANY, pairs.len()).prop_map(move |mask| {
+                let edges = pairs
+                    .iter()
+                    .zip(&mask)
+                    .filter_map(|(&e, &keep)| keep.then_some(e));
+                Graph::from_edges(n, edges).expect("generated edges are in range")
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn flow_connectivity_matches_brute_force(g in arb_graph(8)) {
+            prop_assert_eq!(vertex_connectivity(&g), vertex_connectivity_brute(&g));
+        }
+
+        #[test]
+        fn min_cut_is_a_minimum_separator(g in arb_graph(8)) {
+            let k = vertex_connectivity(&g);
+            match min_vertex_cut(&g) {
+                None => prop_assert!(g.is_complete() || g.node_count() <= 1),
+                Some(cut) => {
+                    prop_assert_eq!(cut.len(), k);
+                    if g.node_count() - cut.len() >= 2 {
+                        prop_assert!(is_vertex_cut(&g, &cut) || k == 0 && !crate::traversal::is_connected(&g));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn connectivity_is_monotone_under_edge_addition(g in arb_graph(7)) {
+            let k = vertex_connectivity(&g);
+            let n = g.node_count();
+            let mut h = g.clone();
+            'outer: for u in 0..n {
+                for v in u + 1..n {
+                    if !h.has_edge(u, v) {
+                        h.add_edge(u, v).expect("in range");
+                        break 'outer;
+                    }
+                }
+            }
+            prop_assert!(vertex_connectivity(&h) >= k);
+        }
+
+        #[test]
+        fn partitionability_threshold_is_monotone(g in arb_graph(8), t in 0usize..8) {
+            if is_t_byzantine_partitionable(&g, t) {
+                prop_assert!(is_t_byzantine_partitionable(&g, t + 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for graph construction and generator parameter validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building graphs or invoking topology generators with
+/// invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `(u, u)` was requested; the graphs in the paper are simple.
+    SelfLoop {
+        /// The node for which a self-loop was requested.
+        node: usize,
+    },
+    /// A generator was invoked with parameters for which the topology family
+    /// is not defined (e.g. a Harary graph with `k >= n`).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} not allowed in a simple graph")
+            }
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 5 };
+        assert!(e.to_string().contains("node 7"));
+        assert!(e.to_string().contains("5 nodes"));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::InvalidParameters { reason: "k >= n".into() };
+        assert!(e.to_string().contains("k >= n"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,44 @@
+//! Graph substrate for the NECTAR reproduction.
+//!
+//! This crate implements every graph-theoretic ingredient used by the paper
+//! *Partition Detection in Byzantine Networks* (ICDCS 2024):
+//!
+//! * an undirected simple [`Graph`] over nodes `0..n`,
+//! * reachability, connected components and diameter ([`traversal`]),
+//! * Dinic max-flow ([`flow`]) and vertex connectivity / minimum vertex cuts
+//!   ([`connectivity`]), which link *t-Byzantine partitionability* to the
+//!   vertex connectivity of the communication graph (Theorem 1 / Corollary 1),
+//! * all topology families of the evaluation section ([`gen`]): Harary
+//!   k-regular k-connected graphs, Steger–Wormald random regular graphs,
+//!   Logarithmic-Harary-style k-diamond and k-pasted-tree graphs, generalized
+//!   and multipartite wheels, and the two-barycenter random geometric graphs
+//!   of the drone scenario.
+//!
+//! # Example
+//!
+//! ```
+//! use nectar_graph::{Graph, connectivity};
+//!
+//! // The star graph of Fig. 1b is 1-Byzantine partitionable: its vertex
+//! // connectivity is 1 (the hub is a cut vertex).
+//! let star = nectar_graph::gen::star(6);
+//! assert_eq!(connectivity::vertex_connectivity(&star), 1);
+//! assert!(connectivity::is_t_byzantine_partitionable(&star, 1));
+//!
+//! // A cycle is 2-connected, hence not 1-Byzantine partitionable (Fig. 1a).
+//! let ring = nectar_graph::gen::cycle(6);
+//! assert_eq!(connectivity::vertex_connectivity(&ring), 2);
+//! assert!(!connectivity::is_t_byzantine_partitionable(&ring, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod connectivity;
+pub mod error;
+pub mod flow;
+pub mod gen;
+pub mod graph;
+pub mod traversal;
+
+pub use error::GraphError;
+pub use graph::Graph;

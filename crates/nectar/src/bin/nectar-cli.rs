@@ -1,0 +1,13 @@
+//! `nectar-cli` — run Byzantine-resilient partition detection from the
+//! command line. See `nectar-cli help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match nectar::cli::parse(&args).and_then(nectar::cli::run) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

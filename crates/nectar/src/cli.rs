@@ -1,0 +1,427 @@
+//! Argument parsing and command execution for the `nectar-cli` binary.
+//!
+//! The binary is a thin wrapper; everything here is library code so the
+//! parsing rules and command behaviour are unit-tested.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use nectar_graph::{connectivity, gen, traversal, Graph};
+use nectar_protocol::{ByzantineBehavior, Scenario, Verdict};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run NECTAR on a generated topology and report the decision.
+    Detect(DetectArgs),
+    /// Print structural facts (κ, diameter, edges) for every topology
+    /// family at the given size.
+    Families {
+        /// Connectivity parameter.
+        k: usize,
+        /// System size.
+        n: usize,
+    },
+    /// Show usage.
+    Help,
+}
+
+/// Arguments of the `detect` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectArgs {
+    /// Topology family name (as accepted by [`build_topology`]).
+    pub topology: String,
+    /// Connectivity parameter (families that need one).
+    pub k: usize,
+    /// System size.
+    pub n: usize,
+    /// Byzantine budget.
+    pub t: usize,
+    /// Byzantine cast: `(node, behaviour)` pairs.
+    pub byzantine: Vec<(usize, ByzantineBehavior)>,
+    /// Use the thread-per-node runtime instead of the deterministic one.
+    pub threaded: bool,
+    /// Seed for keys and randomized topologies.
+    pub seed: u64,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+nectar-cli — Byzantine-resilient partition detection
+
+USAGE:
+  nectar-cli detect --topology <family> --n <N> [--k <K>] [--t <T>]
+             [--byz <node>:<behavior> ...] [--threaded] [--seed <S>]
+  nectar-cli families --k <K> --n <N>
+  nectar-cli help
+
+FAMILIES:
+  harary | random-regular | pasted-tree | diamond | wheel |
+  multipartite-wheel | cycle | path | star | complete | drone |
+  torus | small-world | scale-free
+
+BEHAVIORS (for --byz):
+  silent | crash@<round> | two-faced@<a>-<b> (silent toward nodes a..=b) |
+  hide@<a>-<b> (hide own edges toward a..=b)
+
+EXAMPLES:
+  nectar-cli detect --topology harary --k 4 --n 20 --t 2 --byz 3:silent
+  nectar-cli detect --topology star --n 8 --t 1 --byz 0:two-faced@4-7
+  nectar-cli families --k 4 --n 24
+";
+
+/// Parses a CLI argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("families") => {
+            let (mut k, mut n) = (4usize, 20usize);
+            parse_flags(it.as_slice(), |flag, value| match flag {
+                "--k" => set_usize(&mut k, value, "--k"),
+                "--n" => set_usize(&mut n, value, "--n"),
+                other => Err(format!("unknown flag {other}")),
+            })?;
+            Ok(Command::Families { k, n })
+        }
+        Some("detect") => {
+            let mut out = DetectArgs {
+                topology: "harary".into(),
+                k: 4,
+                n: 20,
+                t: 1,
+                byzantine: Vec::new(),
+                threaded: false,
+                seed: 42,
+            };
+            let rest: Vec<String> = it.cloned().collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                match flag {
+                    "--threaded" => {
+                        out.threaded = true;
+                        i += 1;
+                    }
+                    "--topology" | "--n" | "--k" | "--t" | "--seed" | "--byz" => {
+                        let value = rest
+                            .get(i + 1)
+                            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+                        match flag {
+                            "--topology" => out.topology = value.clone(),
+                            "--n" => set_usize(&mut out.n, value, "--n")?,
+                            "--k" => set_usize(&mut out.k, value, "--k")?,
+                            "--t" => set_usize(&mut out.t, value, "--t")?,
+                            "--seed" => {
+                                out.seed =
+                                    value.parse().map_err(|_| format!("bad --seed value {value}"))?
+                            }
+                            "--byz" => out.byzantine.push(parse_byz(value)?),
+                            _ => unreachable!("matched above"),
+                        }
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Detect(out))
+        }
+        Some(other) => Err(format!("unknown command {other}; try `nectar-cli help`")),
+    }
+}
+
+fn parse_flags(
+    rest: &[String],
+    mut set: impl FnMut(&str, &str) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let value = rest.get(i + 1).ok_or_else(|| format!("flag {flag} needs a value"))?;
+        set(flag, value)?;
+        i += 2;
+    }
+    Ok(())
+}
+
+fn set_usize(slot: &mut usize, value: &str, flag: &str) -> Result<(), String> {
+    *slot = value.parse().map_err(|_| format!("bad {flag} value {value}"))?;
+    Ok(())
+}
+
+/// Parses `node:behavior` descriptors, e.g. `3:silent`, `0:two-faced@4-7`,
+/// `2:crash@3`, `1:hide@0-2`.
+pub fn parse_byz(spec: &str) -> Result<(usize, ByzantineBehavior), String> {
+    let (node, behavior) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad --byz spec {spec}: expected <node>:<behavior>"))?;
+    let node: usize = node.parse().map_err(|_| format!("bad node id in {spec}"))?;
+    let behavior = match behavior.split_once('@') {
+        None if behavior == "silent" => ByzantineBehavior::Silent,
+        Some(("crash", round)) => ByzantineBehavior::CrashAfter {
+            round: round.parse().map_err(|_| format!("bad round in {spec}"))?,
+        },
+        Some(("two-faced", range)) => {
+            ByzantineBehavior::TwoFaced { silent_toward: parse_range(range, spec)? }
+        }
+        Some(("hide", range)) => ByzantineBehavior::HideEdges { toward: parse_range(range, spec)? },
+        _ => return Err(format!("unknown behavior in {spec}")),
+    };
+    Ok((node, behavior))
+}
+
+fn parse_range(range: &str, spec: &str) -> Result<BTreeSet<usize>, String> {
+    let (a, b) = range
+        .split_once('-')
+        .ok_or_else(|| format!("bad range in {spec}: expected <a>-<b>"))?;
+    let a: usize = a.parse().map_err(|_| format!("bad range start in {spec}"))?;
+    let b: usize = b.parse().map_err(|_| format!("bad range end in {spec}"))?;
+    if a > b {
+        return Err(format!("empty range in {spec}"));
+    }
+    Ok((a..=b).collect())
+}
+
+/// Builds the requested topology.
+///
+/// # Errors
+///
+/// Returns a message for unknown families or invalid parameters.
+pub fn build_topology(name: &str, k: usize, n: usize, seed: u64) -> Result<Graph, String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let err = |e: nectar_graph::GraphError| e.to_string();
+    match name {
+        "harary" => gen::harary(k, n).map_err(err),
+        "random-regular" => gen::random_regular_connected(k, n, &mut rng, 100).map_err(err),
+        "pasted-tree" => gen::k_pasted_tree(k, n).map_err(err),
+        "diamond" => gen::k_diamond(k, n).map_err(err),
+        "wheel" => gen::generalized_wheel(k, n).map_err(err),
+        "multipartite-wheel" => gen::multipartite_wheel(k, n, 2).map_err(err),
+        "cycle" => Ok(gen::cycle(n)),
+        "path" => Ok(gen::path(n)),
+        "star" => Ok(gen::star(n)),
+        "complete" => Ok(gen::complete(n)),
+        "drone" => gen::drone_scenario(n, 3.0, 1.8, &mut rng).map(|p| p.graph).map_err(err),
+        "torus" => {
+            let side = (n as f64).sqrt().round() as usize;
+            gen::torus(side.max(3), side.max(3)).map_err(err)
+        }
+        "small-world" => gen::watts_strogatz(n, k.max(2) & !1, 0.2, &mut rng).map_err(err),
+        "scale-free" => gen::barabasi_albert(n, k.max(1).min(n - 1), &mut rng).map_err(err),
+        other => Err(format!("unknown topology family {other}; try `nectar-cli help`")),
+    }
+}
+
+/// Executes a command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a human-readable message on invalid parameters.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Families { k, n } => {
+            let mut out = String::new();
+            writeln!(out, "{:<22} {:>6} {:>6} {:>9} {:>9}", "family", "nodes", "edges", "kappa", "diameter")
+                .expect("writing to String cannot fail");
+            for family in
+                ["harary", "pasted-tree", "diamond", "wheel", "multipartite-wheel", "cycle", "star"]
+            {
+                match build_topology(family, k, n, 0) {
+                    Ok(g) => {
+                        let kappa = connectivity::vertex_connectivity(&g);
+                        let diameter = traversal::diameter(&g)
+                            .map(|d| d.to_string())
+                            .unwrap_or_else(|| "∞".into());
+                        writeln!(
+                            out,
+                            "{:<22} {:>6} {:>6} {:>9} {:>9}",
+                            family,
+                            g.node_count(),
+                            g.edge_count(),
+                            kappa,
+                            diameter
+                        )
+                        .expect("writing to String cannot fail");
+                    }
+                    Err(e) => {
+                        writeln!(out, "{family:<22} (not constructible: {e})")
+                            .expect("writing to String cannot fail");
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Command::Detect(args) => {
+            let graph = build_topology(&args.topology, args.k, args.n, args.seed)?;
+            let kappa = connectivity::vertex_connectivity(&graph);
+            let mut scenario = Scenario::new(graph, args.t).with_key_seed(args.seed);
+            for (node, behavior) in &args.byzantine {
+                if *node >= args.n {
+                    return Err(format!("byzantine node {node} out of range (n = {})", args.n));
+                }
+                scenario = scenario.with_byzantine(*node, behavior.clone());
+            }
+            let outcome = if args.threaded { scenario.run_threaded() } else { scenario.run() };
+            let mut out = String::new();
+            writeln!(out, "topology: {} (n = {}, κ = {kappa}), t = {}", args.topology, args.n, args.t)
+                .expect("writing to String cannot fail");
+            if !args.byzantine.is_empty() {
+                writeln!(out, "byzantine: {:?}", args.byzantine.iter().map(|(n, _)| *n).collect::<Vec<_>>())
+                    .expect("writing to String cannot fail");
+            }
+            match outcome.unanimous_verdict() {
+                Some(v) => {
+                    let confirmed = outcome.decisions.values().any(|d| d.confirmed);
+                    writeln!(out, "verdict:  {v} (confirmed partition: {confirmed})")
+                        .expect("writing to String cannot fail");
+                    if v == Verdict::Partitionable && kappa > args.t {
+                        writeln!(out, "note:     perceived connectivity dropped to ≤ t; real κ = {kappa}")
+                            .expect("writing to String cannot fail");
+                    }
+                }
+                None => writeln!(out, "verdict:  DISAGREEMENT — this would falsify Lemma 2, please report")
+                    .expect("writing to String cannot fail"),
+            }
+            writeln!(
+                out,
+                "traffic:  {:.1} KB/node mean, {:.1} KB/node max",
+                outcome.metrics.mean_bytes_sent_per_node() / 1024.0,
+                outcome.metrics.max_bytes_sent_per_node() as f64 / 1024.0
+            )
+            .expect("writing to String cannot fail");
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn empty_args_yield_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&strs(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn detect_args_are_parsed() {
+        let cmd = parse(&strs(&[
+            "detect",
+            "--topology",
+            "cycle",
+            "--n",
+            "8",
+            "--t",
+            "2",
+            "--byz",
+            "3:silent",
+            "--threaded",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Detect(args) => {
+                assert_eq!(args.topology, "cycle");
+                assert_eq!(args.n, 8);
+                assert_eq!(args.t, 2);
+                assert!(args.threaded);
+                assert_eq!(args.byzantine, vec![(3, ByzantineBehavior::Silent)]);
+            }
+            other => panic!("expected detect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byz_specs_cover_all_behaviors() {
+        assert_eq!(parse_byz("3:silent").unwrap().1, ByzantineBehavior::Silent);
+        assert_eq!(parse_byz("1:crash@2").unwrap().1, ByzantineBehavior::CrashAfter { round: 2 });
+        assert_eq!(
+            parse_byz("0:two-faced@4-6").unwrap().1,
+            ByzantineBehavior::TwoFaced { silent_toward: [4, 5, 6].into() }
+        );
+        assert_eq!(
+            parse_byz("0:hide@1-2").unwrap().1,
+            ByzantineBehavior::HideEdges { toward: [1, 2].into() }
+        );
+        assert!(parse_byz("nonsense").is_err());
+        assert!(parse_byz("0:warp@1-2").is_err());
+        assert!(parse_byz("0:two-faced@6-4").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_error() {
+        assert!(parse(&strs(&["detect", "--wat", "1"])).is_err());
+        assert!(parse(&strs(&["frobnicate"])).is_err());
+        assert!(parse(&strs(&["detect", "--n"])).is_err());
+    }
+
+    #[test]
+    fn build_topology_knows_all_families() {
+        for family in [
+            "harary",
+            "random-regular",
+            "pasted-tree",
+            "diamond",
+            "wheel",
+            "multipartite-wheel",
+            "cycle",
+            "path",
+            "star",
+            "complete",
+            "drone",
+            "torus",
+            "small-world",
+            "scale-free",
+        ] {
+            assert!(build_topology(family, 4, 20, 1).is_ok(), "{family}");
+        }
+        assert!(build_topology("klein-bottle", 4, 20, 1).is_err());
+    }
+
+    #[test]
+    fn detect_end_to_end_reports_verdict() {
+        let cmd = parse(&strs(&["detect", "--topology", "cycle", "--n", "8", "--t", "1"])).unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("NOT_PARTITIONABLE"), "{out}");
+        assert!(out.contains("KB/node"));
+    }
+
+    #[test]
+    fn detect_with_byzantine_star_hub() {
+        let cmd = parse(&strs(&[
+            "detect", "--topology", "star", "--n", "8", "--t", "1", "--byz", "0:silent",
+        ]))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("PARTITIONABLE"), "{out}");
+    }
+
+    #[test]
+    fn families_table_lists_structural_facts() {
+        let out = run(Command::Families { k: 4, n: 24 }).unwrap();
+        assert!(out.contains("harary"));
+        assert!(out.contains("wheel"));
+        // κ column contains the Harary guarantee.
+        assert!(out.lines().any(|l| l.starts_with("harary") && l.contains(" 4")));
+    }
+
+    #[test]
+    fn out_of_range_byzantine_node_errors() {
+        let cmd = parse(&strs(&[
+            "detect", "--topology", "cycle", "--n", "5", "--byz", "9:silent",
+        ]))
+        .unwrap();
+        assert!(run(cmd).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Fault interposition: wrap a correct process and distort its traffic.
+//!
+//! Byzantine behaviour in the evaluation (§V-D) is largely *traffic-shaped*:
+//! crashing, staying silent toward half the network, or dropping messages.
+//! [`Faulty`] wraps any [`Process`] with a [`FaultModel`] that filters its
+//! incoming and outgoing messages, so the same correct protocol code can be
+//! subjected to every such behaviour. Protocol-specific deviations (lying
+//! about neighborhoods, forging chains) live next to each protocol instead.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::process::{NodeId, Outgoing, Process};
+
+/// A traffic-level fault model applied around a process.
+pub trait FaultModel<M>: fmt::Debug + Send {
+    /// Filters/distorts the messages the wrapped process wants to send.
+    fn filter_outgoing(&mut self, round: usize, out: Vec<Outgoing<M>>) -> Vec<Outgoing<M>>;
+
+    /// Filters/distorts a message before the wrapped process sees it.
+    /// Returning `None` suppresses delivery.
+    fn filter_incoming(&mut self, round: usize, from: NodeId, msg: M) -> Option<M> {
+        let _ = round;
+        let _ = from;
+        Some(msg)
+    }
+}
+
+/// A process whose traffic passes through a [`FaultModel`].
+#[derive(Debug)]
+pub struct Faulty<P: Process> {
+    inner: P,
+    fault: Box<dyn FaultModel<P::Msg>>,
+}
+
+impl<P: Process> Faulty<P> {
+    /// Wraps `inner` with `fault`.
+    pub fn new(inner: P, fault: Box<dyn FaultModel<P::Msg>>) -> Self {
+        Faulty { inner, fault }
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Process> Process for Faulty<P> {
+    type Msg = P::Msg;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<P::Msg>> {
+        let out = self.inner.send(round);
+        self.fault.filter_outgoing(round, out)
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: P::Msg) {
+        if let Some(msg) = self.fault.filter_incoming(round, from, msg) {
+            self.inner.receive(round, from, msg);
+        }
+    }
+}
+
+/// Crash fault: sends nothing from `from_round` onwards (a node that crashed
+/// before round 1 is silent for the whole execution).
+#[derive(Debug, Clone)]
+pub struct Crash {
+    /// First round in which the node is silent.
+    pub from_round: usize,
+}
+
+impl<M> FaultModel<M> for Crash
+where
+    M: fmt::Debug + Send,
+{
+    fn filter_outgoing(&mut self, round: usize, out: Vec<Outgoing<M>>) -> Vec<Outgoing<M>> {
+        if round >= self.from_round {
+            Vec::new()
+        } else {
+            out
+        }
+    }
+}
+
+/// The paper's bridge attack behaviour (§V-D): act correctly toward one part
+/// of the network and as a *crashed* node toward the other. A crashed node
+/// stops sending but still receives, so only outgoing messages to
+/// `silent_toward` are dropped — the node keeps collecting the silenced
+/// side's information and relays it to the favoured side, which is exactly
+/// what splits correct nodes' views in Fig. 8.
+#[derive(Debug, Clone)]
+pub struct TwoFaced {
+    /// Nodes toward which this node plays dead.
+    pub silent_toward: BTreeSet<NodeId>,
+}
+
+impl TwoFaced {
+    /// Builds the fault from any iterator of victim nodes.
+    pub fn new(silent_toward: impl IntoIterator<Item = NodeId>) -> Self {
+        TwoFaced { silent_toward: silent_toward.into_iter().collect() }
+    }
+}
+
+impl<M> FaultModel<M> for TwoFaced
+where
+    M: fmt::Debug + Send,
+{
+    fn filter_outgoing(&mut self, _round: usize, out: Vec<Outgoing<M>>) -> Vec<Outgoing<M>> {
+        out.into_iter().filter(|o| !self.silent_toward.contains(&o.to)).collect()
+    }
+}
+
+/// Message-loss fault: drops each outgoing message independently with
+/// probability `p` (seeded, deterministic).
+pub struct DropRandom {
+    p: f64,
+    rng: StdRng,
+}
+
+impl DropRandom {
+    /// Creates the fault with drop probability `p` (clamped to `[0, 1]`).
+    pub fn new(p: f64, seed: u64) -> Self {
+        DropRandom { p: p.clamp(0.0, 1.0), rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl fmt::Debug for DropRandom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DropRandom").field("p", &self.p).finish()
+    }
+}
+
+impl<M> FaultModel<M> for DropRandom
+where
+    M: fmt::Debug + Send,
+{
+    fn filter_outgoing(&mut self, _round: usize, out: Vec<Outgoing<M>>) -> Vec<Outgoing<M>> {
+        out.into_iter().filter(|_| self.rng.random::<f64>() >= self.p).collect()
+    }
+}
+
+/// Fully scriptable fault for tests: closures over outgoing and incoming
+/// traffic.
+pub struct ClosureFault<M> {
+    outgoing: Box<dyn FnMut(usize, Vec<Outgoing<M>>) -> Vec<Outgoing<M>> + Send>,
+    incoming: Box<dyn FnMut(usize, NodeId, M) -> Option<M> + Send>,
+}
+
+impl<M> ClosureFault<M> {
+    /// Builds the fault from the two filter closures.
+    pub fn new(
+        outgoing: impl FnMut(usize, Vec<Outgoing<M>>) -> Vec<Outgoing<M>> + Send + 'static,
+        incoming: impl FnMut(usize, NodeId, M) -> Option<M> + Send + 'static,
+    ) -> Self {
+        ClosureFault { outgoing: Box::new(outgoing), incoming: Box::new(incoming) }
+    }
+}
+
+impl<M> fmt::Debug for ClosureFault<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ClosureFault(<scripted>)")
+    }
+}
+
+impl<M> FaultModel<M> for ClosureFault<M>
+where
+    M: fmt::Debug + Send,
+{
+    fn filter_outgoing(&mut self, round: usize, out: Vec<Outgoing<M>>) -> Vec<Outgoing<M>> {
+        (self.outgoing)(round, out)
+    }
+
+    fn filter_incoming(&mut self, round: usize, from: NodeId, msg: M) -> Option<M> {
+        (self.incoming)(round, from, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::WireSized;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Beacon(usize);
+
+    impl WireSized for Beacon {
+        fn wire_bytes(&self) -> usize {
+            4
+        }
+    }
+
+    /// Sends one beacon to every peer each round; records receptions.
+    #[derive(Debug)]
+    struct Chatty {
+        id: usize,
+        peers: Vec<usize>,
+        seen: Vec<(usize, usize)>,
+    }
+
+    impl Process for Chatty {
+        type Msg = Beacon;
+        fn id(&self) -> usize {
+            self.id
+        }
+        fn send(&mut self, _round: usize) -> Vec<Outgoing<Beacon>> {
+            self.peers.iter().map(|&to| Outgoing::new(to, Beacon(self.id))).collect()
+        }
+        fn receive(&mut self, round: usize, from: usize, _msg: Beacon) {
+            self.seen.push((round, from));
+        }
+    }
+
+    fn chatty(id: usize, peers: Vec<usize>) -> Chatty {
+        Chatty { id, peers, seen: Vec::new() }
+    }
+
+    #[test]
+    fn crash_silences_from_given_round() {
+        let mut f = Faulty::new(chatty(0, vec![1]), Box::new(Crash { from_round: 2 }));
+        assert_eq!(f.send(1).len(), 1);
+        assert_eq!(f.send(2).len(), 0);
+        assert_eq!(f.send(3).len(), 0);
+    }
+
+    #[test]
+    fn two_faced_silences_outgoing_but_keeps_listening() {
+        let mut f = Faulty::new(chatty(0, vec![1, 2]), Box::new(TwoFaced::new([2])));
+        let out = f.send(1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, 1);
+        // A crashed node still receives: traffic from the silenced side is
+        // processed (and can be leaked to the favoured side).
+        f.receive(1, 2, Beacon(2));
+        f.receive(1, 1, Beacon(1));
+        assert_eq!(f.inner().seen, vec![(1, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn drop_random_extremes() {
+        let mut always = Faulty::new(chatty(0, vec![1]), Box::new(DropRandom::new(1.0, 7)));
+        assert!(always.send(1).is_empty());
+        let mut never = Faulty::new(chatty(0, vec![1]), Box::new(DropRandom::new(0.0, 7)));
+        assert_eq!(never.send(1).len(), 1);
+    }
+
+    #[test]
+    fn closure_fault_scripts_traffic() {
+        let fault = ClosureFault::new(
+            |round, out| if round == 1 { Vec::new() } else { out },
+            |_round, from, msg| (from != 9).then_some(msg),
+        );
+        let mut f = Faulty::new(chatty(0, vec![1]), Box::new(fault));
+        assert!(f.send(1).is_empty());
+        assert_eq!(f.send(2).len(), 1);
+        f.receive(2, 9, Beacon(9));
+        f.receive(2, 1, Beacon(1));
+        assert_eq!(f.inner().seen, vec![(2, 1)]);
+    }
+}

@@ -1,0 +1,148 @@
+//! The process abstraction executed by both runtimes.
+//!
+//! The paper's system model (§II): processes are interconnected by a static
+//! undirected graph, channels are reliable, and communication proceeds in
+//! synchronous rounds — a message sent at round `R` is received before round
+//! `R + 1`. A [`Process`] therefore exposes two phases per round: `send`
+//! (collect this round's outgoing messages) and `receive` (handle the
+//! messages delivered during the round).
+
+use std::fmt;
+
+/// Node identity: dense indices `0..n`, shared with
+/// [`nectar_graph::Graph`] vertices.
+pub type NodeId = usize;
+
+/// Anything that can report its serialized size, for the evaluation's
+/// data-sent-per-node accounting.
+pub trait WireSized {
+    /// Size of this value on the wire, in bytes.
+    fn wire_bytes(&self) -> usize;
+}
+
+/// An outgoing message: destination plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing<M> {
+    /// Destination node.
+    pub to: NodeId,
+    /// Message payload.
+    pub msg: M,
+}
+
+impl<M> Outgoing<M> {
+    /// Convenience constructor.
+    pub fn new(to: NodeId, msg: M) -> Self {
+        Outgoing { to, msg }
+    }
+}
+
+/// Forward the implementation through boxes so heterogeneous systems
+/// (correct nodes next to Byzantine variants) can run as
+/// `Box<dyn Process<Msg = M>>`.
+impl<M, P> Process for Box<P>
+where
+    M: Clone + fmt::Debug + WireSized,
+    P: Process<Msg = M> + ?Sized,
+{
+    type Msg = M;
+
+    fn id(&self) -> NodeId {
+        (**self).id()
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<M>> {
+        (**self).send(round)
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: M) {
+        (**self).receive(round, from, msg)
+    }
+}
+
+/// A protocol participant driven by a synchronous runtime.
+///
+/// The runtime calls, for every round `r = 1, 2, …`:
+/// 1. [`send`](Process::send) on every process, collecting outgoing
+///    messages;
+/// 2. [`receive`](Process::receive) on every destination, once per delivered
+///    message, in increasing sender order (deterministic).
+///
+/// Messages to non-neighbors are discarded by the runtime (channels only
+/// exist along graph edges) and recorded as violations.
+pub trait Process {
+    /// Message type exchanged by the protocol.
+    type Msg: Clone + fmt::Debug + WireSized;
+
+    /// This process's node id.
+    fn id(&self) -> NodeId;
+
+    /// Produces the messages to transmit during round `round` (1-based).
+    fn send(&mut self, round: usize) -> Vec<Outgoing<Self::Msg>>;
+
+    /// Handles a message delivered during round `round`, sent by `from`.
+    fn receive(&mut self, round: usize, from: NodeId, msg: Self::Msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Ping(u32);
+
+    impl WireSized for Ping {
+        fn wire_bytes(&self) -> usize {
+            4
+        }
+    }
+
+    #[test]
+    fn outgoing_is_a_simple_pair() {
+        let o = Outgoing::new(3, Ping(7));
+        assert_eq!(o.to, 3);
+        assert_eq!(o.msg, Ping(7));
+        assert_eq!(o.msg.wire_bytes(), 4);
+    }
+}
+
+#[cfg(test)]
+mod box_tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Unit;
+    impl WireSized for Unit {
+        fn wire_bytes(&self) -> usize {
+            1
+        }
+    }
+
+    #[derive(Debug)]
+    struct Echo {
+        id: usize,
+        got: usize,
+    }
+    impl Process for Echo {
+        type Msg = Unit;
+        fn id(&self) -> usize {
+            self.id
+        }
+        fn send(&mut self, _round: usize) -> Vec<Outgoing<Unit>> {
+            vec![Outgoing::new(1 - self.id, Unit)]
+        }
+        fn receive(&mut self, _round: usize, _from: usize, _msg: Unit) {
+            self.got += 1;
+        }
+    }
+
+    #[test]
+    fn boxed_trait_objects_run_in_the_engine() {
+        // Heterogeneous systems can run as Box<dyn Process<Msg = M>>.
+        let procs: Vec<Box<dyn Process<Msg = Unit>>> =
+            vec![Box::new(Echo { id: 0, got: 0 }), Box::new(Echo { id: 1, got: 0 })];
+        let g = nectar_graph::Graph::from_edges(2, [(0, 1)]).expect("valid edge");
+        let mut net = crate::sync::SyncNetwork::new(procs, g);
+        net.run_rounds(3);
+        assert_eq!(net.metrics().total_bytes_sent(), 6);
+    }
+}

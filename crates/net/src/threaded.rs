@@ -1,0 +1,200 @@
+//! Thread-per-node runtime: the same [`Process`] code, actually concurrent.
+//!
+//! The paper evaluates NECTAR with "up to 100 nodes running real code" (one
+//! Docker container per process). This runtime preserves that flavour inside
+//! one address space: every node runs on its own OS thread, messages travel
+//! through crossbeam channels, and rounds are aligned with barriers so the
+//! synchronous model of §II still holds. Delivery order within a round is
+//! normalized (sorted by sender) so results are bit-identical to
+//! [`crate::sync::SyncNetwork`] — a property the cross-runtime equivalence
+//! tests assert.
+
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use nectar_graph::Graph;
+
+use crate::metrics::Metrics;
+use crate::process::{NodeId, Process, WireSized};
+
+/// Runs `rounds` synchronous rounds of the given processes over `topology`,
+/// one OS thread per node. Returns the processes (in node order) and the
+/// traffic metrics.
+///
+/// # Panics
+///
+/// Panics unless `processes[i].id() == i` for every `i` and the process
+/// count equals the topology's node count; also panics if a worker thread
+/// panics.
+pub fn run_threaded<P>(processes: Vec<P>, topology: &Graph, rounds: usize) -> (Vec<P>, Metrics)
+where
+    P: Process + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    let n = processes.len();
+    assert_eq!(n, topology.node_count(), "need exactly one process per topology node");
+    for (i, p) in processes.iter().enumerate() {
+        assert_eq!(p.id(), i, "process at index {i} reports id {}", p.id());
+    }
+    if n == 0 {
+        return (processes, Metrics::new(0));
+    }
+
+    type Packet<M> = (usize, NodeId, M); // (round, from, msg)
+    let mut senders: Vec<Sender<Packet<P::Msg>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Packet<P::Msg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let topology = Arc::new(topology.clone());
+    let metrics = Arc::new(Mutex::new(Metrics::new(n)));
+    let barrier = Arc::new(Barrier::new(n));
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, (mut proc, rx)) in processes.into_iter().zip(receivers).enumerate() {
+        let senders = senders.clone();
+        let topology = Arc::clone(&topology);
+        let metrics = Arc::clone(&metrics);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            for round in 1..=rounds {
+                let out = proc.send(round);
+                for o in out {
+                    if o.to >= senders.len() || !topology.has_edge(i, o.to) {
+                        metrics.lock().record_illegal_send();
+                        continue;
+                    }
+                    metrics.lock().record_send(round, i, o.to, o.msg.wire_bytes());
+                    // Receiver ends live as long as every worker, so a send
+                    // can only fail if a peer panicked; propagate by panic.
+                    senders[o.to].send((round, i, o.msg)).expect("peer thread alive during round");
+                }
+                // All sends for this round are in flight.
+                barrier.wait();
+                let mut inbox: Vec<Packet<P::Msg>> = rx.try_iter().collect();
+                inbox.sort_by_key(|&(_, from, _)| from);
+                for (msg_round, from, msg) in inbox {
+                    debug_assert_eq!(msg_round, round, "synchrony: no message may cross a round");
+                    proc.receive(round, from, msg);
+                }
+                // All receives done before anyone starts the next round.
+                barrier.wait();
+            }
+            proc
+        }));
+    }
+    drop(senders);
+
+    let mut out: Vec<P> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+    out.sort_by_key(|p| p.id());
+
+    let metrics = Arc::try_unwrap(metrics).expect("all workers joined").into_inner();
+    (out, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Outgoing;
+    use crate::sync::SyncNetwork;
+    use nectar_graph::gen;
+    use std::collections::BTreeSet;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct IdMsg(usize);
+
+    impl WireSized for IdMsg {
+        fn wire_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    /// Same toy flooding protocol as the sync engine tests.
+    #[derive(Debug, Clone)]
+    struct Flood {
+        id: usize,
+        neighbors: Vec<usize>,
+        known: BTreeSet<usize>,
+        outbox: Vec<usize>,
+    }
+
+    impl Flood {
+        fn new(id: usize, g: &Graph) -> Self {
+            Flood { id, neighbors: g.neighborhood(id), known: [id].into_iter().collect(), outbox: vec![id] }
+        }
+    }
+
+    impl Process for Flood {
+        type Msg = IdMsg;
+
+        fn id(&self) -> usize {
+            self.id
+        }
+
+        fn send(&mut self, _round: usize) -> Vec<Outgoing<IdMsg>> {
+            let outbox = std::mem::take(&mut self.outbox);
+            outbox
+                .into_iter()
+                .flat_map(|payload| self.neighbors.iter().map(move |&to| Outgoing::new(to, IdMsg(payload))))
+                .collect()
+        }
+
+        fn receive(&mut self, _round: usize, _from: usize, msg: IdMsg) {
+            if self.known.insert(msg.0) {
+                self.outbox.push(msg.0);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_flooding_covers_connected_graph() {
+        let g = gen::cycle(8);
+        let procs: Vec<Flood> = (0..8).map(|i| Flood::new(i, &g)).collect();
+        let (procs, metrics) = run_threaded(procs, &g, 7);
+        for p in &procs {
+            assert_eq!(p.known.len(), 8, "node {}", p.id);
+        }
+        assert!(metrics.total_bytes_sent() > 0);
+        assert_eq!(metrics.illegal_sends(), 0);
+    }
+
+    #[test]
+    fn threaded_equals_sync_engine() {
+        let g = gen::harary(4, 12).unwrap();
+        let sync_procs: Vec<Flood> = (0..12).map(|i| Flood::new(i, &g)).collect();
+        let mut sync_net = SyncNetwork::new(sync_procs, g.clone());
+        sync_net.run_rounds(11);
+
+        let threaded_procs: Vec<Flood> = (0..12).map(|i| Flood::new(i, &g)).collect();
+        let (threaded_procs, threaded_metrics) = run_threaded(threaded_procs, &g, 11);
+
+        for (a, b) in sync_net.processes().iter().zip(&threaded_procs) {
+            assert_eq!(a.known, b.known);
+        }
+        assert_eq!(sync_net.metrics(), &threaded_metrics);
+    }
+
+    #[test]
+    fn empty_system_is_a_no_op() {
+        let g = Graph::empty(0);
+        let (procs, metrics) = run_threaded(Vec::<Flood>::new(), &g, 3);
+        assert!(procs.is_empty());
+        assert_eq!(metrics.total_bytes_sent(), 0);
+    }
+
+    #[test]
+    fn single_node_runs_without_peers() {
+        let g = Graph::empty(1);
+        let (procs, metrics) = run_threaded(vec![Flood::new(0, &g)], &g, 2);
+        assert_eq!(procs[0].known.len(), 1);
+        assert_eq!(metrics.total_bytes_sent(), 0);
+    }
+}

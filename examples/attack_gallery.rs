@@ -1,0 +1,83 @@
+//! Attack gallery: every Byzantine behaviour from §IV/§V-D against NECTAR,
+//! plus the classic poisoning attack that breaks MindTheGap.
+//!
+//! ```text
+//! cargo run -p nectar --example attack_gallery
+//! ```
+
+use std::collections::BTreeMap;
+
+use nectar::baselines::{run_mtg, MtgBehavior, MtgConfig};
+use nectar::prelude::*;
+
+fn nectar_line(name: &str, outcome: &Outcome) {
+    let verdict = outcome
+        .unanimous_verdict()
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| "NO AGREEMENT (bug!)".into());
+    println!("  {name:<44} -> {verdict} (agreement: {})", outcome.agreement());
+}
+
+fn main() -> Result<(), nectar::graph::GraphError> {
+    // A 4-connected arena; t = 2 means κ = 2t, so every attack below must
+    // leave the verdict at NOT_PARTITIONABLE (2t-Sensitivity, Lemma 1).
+    let g = gen::harary(4, 12)?;
+    println!("NECTAR on H(4,12), t = 2 — every attack, same verdict:");
+
+    let attacks: Vec<(&str, Vec<(usize, ByzantineBehavior)>)> = vec![
+        ("silent (crash from round 1)", vec![(3, ByzantineBehavior::Silent), (9, ByzantineBehavior::Silent)]),
+        ("crash after round 2", vec![(3, ByzantineBehavior::CrashAfter { round: 2 })]),
+        (
+            "two-faced bridge (silent toward half)",
+            vec![(3, ByzantineBehavior::TwoFaced { silent_toward: (6..12).collect() })],
+        ),
+        ("hide own edges", vec![(3, ByzantineBehavior::HideEdges { toward: [2, 4].into() })]),
+        (
+            "fictitious Byzantine-Byzantine edge",
+            vec![
+                (3, ByzantineBehavior::FictitiousEdges { partners: vec![9] }),
+                (9, ByzantineBehavior::FictitiousEdges { partners: vec![3] }),
+            ],
+        ),
+        (
+            "late reveal (Dolev-Strong replay)",
+            vec![(3, ByzantineBehavior::LateReveal { partner: 4, others: vec![] }), (4, ByzantineBehavior::Silent)],
+        ),
+        (
+            "equivocation (poor view to victims)",
+            vec![(3, ByzantineBehavior::Equivocate { victims: [2, 4].into() })],
+        ),
+    ];
+
+    for (name, cast) in attacks {
+        let mut scenario = Scenario::new(g.clone(), 2);
+        for (node, behavior) in cast {
+            scenario = scenario.with_byzantine(node, behavior);
+        }
+        let outcome = scenario.run();
+        nectar_line(name, &outcome);
+        assert!(outcome.agreement(), "NECTAR must preserve Agreement under {name}");
+    }
+
+    // And the one attack NECTAR's signatures rule out entirely, shown
+    // against MtG where it works disturbingly well.
+    println!("\nMindTheGap on two disconnected cliques (ground truth: PARTITIONED):");
+    let split = Graph::from_edges(8, [
+        (0, 1), (1, 2), (2, 3), (0, 2), (0, 3), (1, 3), // clique A
+        (4, 5), (5, 6), (6, 7), (4, 6), (4, 7), (5, 7), // clique B
+    ])?;
+    for t in 0..=2 {
+        let byz: BTreeMap<usize, MtgBehavior> = [(0, MtgBehavior::SaturateFilter), (4, MtgBehavior::SaturateFilter)]
+            .into_iter()
+            .take(t)
+            .collect();
+        let out = run_mtg(&split, MtgConfig::new(8), &byz, 7);
+        println!(
+            "  {t} byzantine all-ones filter(s)      -> {:>4.0}% of correct nodes detect the partition",
+            100.0 * out.success_rate(BaselineVerdict::Partitioned)
+        );
+    }
+    println!("\nWith two poisoned filters (one per side), MtG's detection collapses to 0%");
+    println!("while NECTAR above never wavers — the core claim of the paper's Fig. 8.");
+    Ok(())
+}

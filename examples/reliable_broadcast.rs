@@ -1,0 +1,102 @@
+//! Partition detection as a pre-flight check for reliable broadcast.
+//!
+//! ```text
+//! cargo run -p nectar --example reliable_broadcast
+//! ```
+//!
+//! The paper's motivation (§I): Byzantine-tolerant protocols "always rely
+//! on the assumption of connected networks". This example makes the
+//! dependency concrete: a mesh first runs NECTAR to check that `t`
+//! Byzantine nodes cannot sever it, then runs Bracha reliable broadcast
+//! over Dolev path-vector transport (§VI-B) — and the broadcast succeeds
+//! even with a Byzantine relay crashing mid-protocol.
+
+use nectar::net::{Crash, Faulty, NodeId, Outgoing, Process, SyncNetwork};
+use nectar::prelude::*;
+use nectar::unsigned::{BcastClaim, BrachaConfig, BrachaNode, PathMsg};
+
+#[derive(Debug)]
+enum Participant {
+    Honest(BrachaNode),
+    Byz(Faulty<BrachaNode>),
+}
+
+impl Process for Participant {
+    type Msg = PathMsg<BcastClaim>;
+    fn id(&self) -> NodeId {
+        match self {
+            Participant::Honest(x) => x.id(),
+            Participant::Byz(x) => x.id(),
+        }
+    }
+    fn send(&mut self, round: usize) -> Vec<Outgoing<Self::Msg>> {
+        match self {
+            Participant::Honest(x) => x.send(round),
+            Participant::Byz(x) => x.send(round),
+        }
+    }
+    fn receive(&mut self, round: usize, from: NodeId, msg: Self::Msg) {
+        match self {
+            Participant::Honest(x) => x.receive(round, from, msg),
+            Participant::Byz(x) => x.receive(round, from, msg),
+        }
+    }
+}
+
+fn main() -> Result<(), nectar::graph::GraphError> {
+    let n = 10;
+    let t = 1;
+    let byzantine_relay = 5;
+    let graph = gen::harary(3, n)?;
+    let kappa = connectivity::vertex_connectivity(&graph);
+    println!("mesh: H(3,{n}), κ = {kappa}, t = {t}, Byzantine relay: node {byzantine_relay}\n");
+
+    // Pre-flight: can t Byzantine nodes sever this mesh?
+    let outcome = Scenario::new(graph.clone(), t)
+        .with_byzantine(byzantine_relay, ByzantineBehavior::Silent)
+        .run();
+    let verdict = outcome.unanimous_verdict().expect("NECTAR guarantees agreement");
+    println!("NECTAR pre-flight: {verdict}");
+    assert_eq!(verdict, Verdict::NotPartitionable, "κ = 3 > 2t: safe to proceed");
+
+    // Safe to broadcast: Bracha over Dolev path-vector transport, with the
+    // same Byzantine node crashing from round 1.
+    let value = 0xB10C;
+    let cfg = BrachaConfig::new(n, t, 0);
+    let participants: Vec<Participant> = (0..n)
+        .map(|i| {
+            let node = if i == 0 {
+                BrachaNode::dealer(i, cfg, graph.neighborhood(i), value)
+            } else {
+                BrachaNode::new(i, cfg, graph.neighborhood(i))
+            };
+            if i == byzantine_relay {
+                Participant::Byz(Faulty::new(node, Box::new(Crash { from_round: 1 })))
+            } else {
+                Participant::Honest(node)
+            }
+        })
+        .collect();
+    let mut net = SyncNetwork::new(participants, graph);
+    net.run_rounds(cfg.rounds());
+    let (participants, metrics) = net.into_parts();
+
+    println!("broadcast:         dealer 0 proposes {value:#x}");
+    for p in &participants {
+        if let Participant::Honest(h) = p {
+            let delivered = h
+                .delivered_value()
+                .map(|v| format!("{v:#x}"))
+                .unwrap_or_else(|| "nothing".into());
+            println!("  node {:>2} delivered {delivered}", h.node_id());
+            assert_eq!(h.delivered_value(), Some(value));
+        }
+    }
+    println!(
+        "\nAll correct nodes delivered the dealer's value despite the crashed\n\
+         Byzantine relay — the connectivity NECTAR certified (κ > 2t) is exactly\n\
+         what Dolev's t+1 disjoint-path delivery needed. Total traffic: {:.1} KB.",
+        metrics.total_bytes_sent() as f64 / 1024.0
+    );
+    Ok(())
+}
