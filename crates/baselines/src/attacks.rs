@@ -76,7 +76,10 @@ impl Process for FilterSaturator {
         self.fired = true;
         let mut filter = BloomFilter::new(self.config.filter_bits, self.config.filter_hashes);
         filter.saturate();
-        self.neighbors.iter().map(|&to| Outgoing::new(to, FilterMsg { filter: filter.clone() })).collect()
+        self.neighbors
+            .iter()
+            .map(|&to| Outgoing::new(to, FilterMsg { filter: filter.clone() }))
+            .collect()
     }
 
     fn receive(&mut self, _round: usize, _from: NodeId, _msg: FilterMsg) {}
@@ -206,14 +209,13 @@ pub fn run_mtg(
             let node = MtgNode::new(i, config, topology.neighborhood(i));
             match byzantine.get(&i) {
                 None => MtgParticipant::Correct(node),
-                Some(MtgBehavior::SaturateFilter) => MtgParticipant::Saturator(FilterSaturator::new(
-                    i,
-                    config,
-                    topology.neighborhood(i),
+                Some(MtgBehavior::SaturateFilter) => MtgParticipant::Saturator(
+                    FilterSaturator::new(i, config, topology.neighborhood(i)),
+                ),
+                Some(MtgBehavior::Silent) => MtgParticipant::TrafficFault(Faulty::new(
+                    node,
+                    Box::new(Crash { from_round: 1 }),
                 )),
-                Some(MtgBehavior::Silent) => {
-                    MtgParticipant::TrafficFault(Faulty::new(node, Box::new(Crash { from_round: 1 })))
-                }
                 Some(MtgBehavior::TwoFaced { silent_toward }) => MtgParticipant::TrafficFault(
                     Faulty::new(node, Box::new(TwoFaced::new(silent_toward.iter().copied()))),
                 ),
@@ -246,13 +248,19 @@ pub fn run_mtg_v2(
     let keys = KeyStore::generate(n, key_seed);
     let participants: Vec<MtgV2Participant> = (0..n)
         .map(|i| {
-            let node =
-                MtgV2Node::new(i, n, topology.neighborhood(i), &keys.signer(i as u16), keys.verifier());
+            let node = MtgV2Node::new(
+                i,
+                n,
+                topology.neighborhood(i),
+                &keys.signer(i as u16),
+                keys.verifier(),
+            );
             match byzantine.get(&i) {
                 None => MtgV2Participant::Correct(node),
-                Some(MtgV2Behavior::Silent) => {
-                    MtgV2Participant::TrafficFault(Faulty::new(node, Box::new(Crash { from_round: 1 })))
-                }
+                Some(MtgV2Behavior::Silent) => MtgV2Participant::TrafficFault(Faulty::new(
+                    node,
+                    Box::new(Crash { from_round: 1 }),
+                )),
                 Some(MtgV2Behavior::TwoFaced { silent_toward }) => MtgV2Participant::TrafficFault(
                     Faulty::new(node, Box::new(TwoFaced::new(silent_toward.iter().copied()))),
                 ),
@@ -332,7 +340,8 @@ mod tests {
         for (u, v) in [(0, 1), (1, 2), (0, 2), (4, 5), (5, 6), (4, 6), (2, 3), (3, 4)] {
             g.add_edge(u, v).unwrap();
         }
-        let byz = BTreeMap::from([(3, MtgV2Behavior::TwoFaced { silent_toward: [4, 5, 6].into() })]);
+        let byz =
+            BTreeMap::from([(3, MtgV2Behavior::TwoFaced { silent_toward: [4, 5, 6].into() })]);
         let out = run_mtg_v2(&g, &byz, 6, 1);
         assert!(!out.agreement(), "one bridge suffices to break agreement");
         let rate = out.success_rate(BaselineVerdict::Partitioned);

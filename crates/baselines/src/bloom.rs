@@ -39,7 +39,8 @@ impl BloomFilter {
     fn positions(&self, item: u64) -> impl Iterator<Item = usize> + '_ {
         let h1 = splitmix64(item);
         let h2 = splitmix64(h1) | 1; // odd stride
-        (0..self.k_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % self.m_bits as u64) as usize)
+        (0..self.k_hashes as u64)
+            .map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % self.m_bits as u64) as usize)
     }
 
     /// Inserts an item.

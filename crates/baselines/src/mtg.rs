@@ -142,7 +142,9 @@ mod tests {
 
     #[test]
     fn partitioned_graph_is_reported_partitioned() {
-        let g = nectar_graph::Graph::from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]).unwrap();
+        let g =
+            nectar_graph::Graph::from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)])
+                .unwrap();
         for node in run(&g, 7) {
             assert_eq!(node.decide(), BaselineVerdict::Partitioned);
         }

@@ -59,7 +59,13 @@ impl MtgV2Node {
     /// # Panics
     ///
     /// Panics if `signer` does not match `id`.
-    pub fn new(id: NodeId, n: usize, neighbors: Vec<NodeId>, signer: &Signer, verifier: Verifier) -> Self {
+    pub fn new(
+        id: NodeId,
+        n: usize,
+        neighbors: Vec<NodeId>,
+        signer: &Signer,
+        verifier: Verifier,
+    ) -> Self {
         assert_eq!(signer.id() as usize, id, "signer identity must match node id");
         let mut known = BTreeMap::new();
         known.insert(signer.id(), signer.sign(&alive_statement(signer.id())));

@@ -26,7 +26,9 @@ fn bench_sign_verify(c: &mut Criterion) {
     let msg = vec![0x5au8; 128];
     c.bench_function("sign_128B", |b| b.iter(|| signer.sign(black_box(&msg))));
     let sig = signer.sign(&msg);
-    c.bench_function("verify_128B", |b| b.iter(|| verifier.verify(black_box(&msg), black_box(&sig))));
+    c.bench_function("verify_128B", |b| {
+        b.iter(|| verifier.verify(black_box(&msg), black_box(&sig)))
+    });
 }
 
 fn bench_proof_and_chain(c: &mut Criterion) {
@@ -36,7 +38,9 @@ fn bench_proof_and_chain(c: &mut Criterion) {
         b.iter(|| NeighborhoodProof::new(&ks.signer(0), &ks.signer(1)))
     });
     let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
-    c.bench_function("neighborhood_proof_verify", |b| b.iter(|| proof.verify(black_box(&verifier))));
+    c.bench_function("neighborhood_proof_verify", |b| {
+        b.iter(|| proof.verify(black_box(&verifier)))
+    });
 
     let digest = proof.digest();
     let mut group = c.benchmark_group("chain_verify");

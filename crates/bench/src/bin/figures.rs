@@ -33,7 +33,8 @@ fn emit(table: &Table) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let wanted: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
     if want("fig3") {
@@ -73,8 +74,11 @@ fn main() {
         emit(&fig8_byzantine_resilience(&cfg));
     }
     if want("topology_resilience") {
-        let cfg =
-            if quick { TopologyResilienceConfig::quick() } else { TopologyResilienceConfig::paper() };
+        let cfg = if quick {
+            TopologyResilienceConfig::quick()
+        } else {
+            TopologyResilienceConfig::paper()
+        };
         for table in topology_resilience(&cfg) {
             emit(&table);
         }

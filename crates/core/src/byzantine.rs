@@ -293,7 +293,13 @@ mod tests {
             .neighbors(id)
             .map(|j| (j, NeighborhoodProof::new(&ks.signer(id as u16), &ks.signer(j as u16))))
             .collect();
-        NectarNode::new(id, NectarConfig::new(g.node_count(), t), ks.signer(id as u16), ks.verifier(), proofs)
+        NectarNode::new(
+            id,
+            NectarConfig::new(g.node_count(), t),
+            ks.signer(id as u16),
+            ks.verifier(),
+            proofs,
+        )
     }
 
     #[test]
@@ -407,7 +413,8 @@ mod tests {
     fn silent_fault_sends_nothing_ever() {
         let g = gen::cycle(4);
         let ks = KeyStore::generate(4, 5);
-        let mut faulty = wrap_traffic_fault(correct_node(0, &g, &ks, 1), &ByzantineBehavior::Silent);
+        let mut faulty =
+            wrap_traffic_fault(correct_node(0, &g, &ks, 1), &ByzantineBehavior::Silent);
         for round in 1..4 {
             assert!(faulty.send(round).is_empty(), "round {round}");
         }

@@ -50,9 +50,8 @@ impl EpochMonitor {
             .into_iter()
             .enumerate()
             .map(|(epoch, graph)| {
-                let outcome = Scenario::new(graph, self.t)
-                    .with_key_seed(self.key_seed + epoch as u64)
-                    .run();
+                let outcome =
+                    Scenario::new(graph, self.t).with_key_seed(self.key_seed + epoch as u64).run();
                 EpochReport { epoch, outcome }
             })
             .collect()
@@ -110,9 +109,6 @@ mod tests {
             reports[0].outcome.metrics.total_bytes_sent(),
             reports[1].outcome.metrics.total_bytes_sent()
         );
-        assert_eq!(
-            reports[0].outcome.unanimous_verdict(),
-            reports[1].outcome.unanimous_verdict()
-        );
+        assert_eq!(reports[0].outcome.unanimous_verdict(), reports[1].outcome.unanimous_verdict());
     }
 }

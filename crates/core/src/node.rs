@@ -116,7 +116,11 @@ impl NectarNode {
     /// that declare fictitious edges").
     pub fn announce_extra_proof(&mut self, proof: NeighborhoodProof) {
         self.discovered.insert(proof.endpoints(), proof.clone());
-        self.pending.push(PendingRelay { proof, chain: SignatureChain::new(), exclude: BTreeSet::new() });
+        self.pending.push(PendingRelay {
+            proof,
+            chain: SignatureChain::new(),
+            exclude: BTreeSet::new(),
+        });
     }
 
     /// Removes the proof (and pending announcement) for edge to `neighbor`,
@@ -184,7 +188,12 @@ impl NectarNode {
         let reachable = traversal::reachable_count(&g, self.id);
         let all_reachable = reachable == self.config.n;
         if connectivity > self.config.t && all_reachable {
-            Decision { verdict: Verdict::NotPartitionable, confirmed: false, reachable, connectivity }
+            Decision {
+                verdict: Verdict::NotPartitionable,
+                confirmed: false,
+                reachable,
+                connectivity,
+            }
         } else {
             Decision {
                 verdict: Verdict::Partitionable,
@@ -262,7 +271,9 @@ impl Process for NectarNode {
         }
         per_dest
             .into_iter()
-            .map(|(to, edges)| Outgoing::new(to, NectarMsg { edges, format: self.config.wire_format }))
+            .map(|(to, edges)| {
+                Outgoing::new(to, NectarMsg { edges, format: self.config.wire_format })
+            })
             .collect()
     }
 
@@ -304,9 +315,17 @@ mod tests {
             .map(|i| {
                 let proofs: BTreeMap<NodeId, NeighborhoodProof> = g
                     .neighbors(i)
-                    .map(|j| (j, NeighborhoodProof::new(&ks.signer(i as u16), &ks.signer(j as u16))))
+                    .map(|j| {
+                        (j, NeighborhoodProof::new(&ks.signer(i as u16), &ks.signer(j as u16)))
+                    })
                     .collect();
-                NectarNode::new(i, NectarConfig::new(n, t), ks.signer(i as u16), ks.verifier(), proofs)
+                NectarNode::new(
+                    i,
+                    NectarConfig::new(n, t),
+                    ks.signer(i as u16),
+                    ks.verifier(),
+                    proofs,
+                )
             })
             .collect()
     }
@@ -455,7 +474,10 @@ mod tests {
             nectar_crypto::Signature::from_parts(2, *bogus_sig.tag()),
         );
         let chain = SignatureChain::new().extend(&ks.signer(2), &forged.digest());
-        let msg = NectarMsg { edges: vec![RelayedEdge { proof: forged, chain }], format: WireFormat::PerEdgeChains };
+        let msg = NectarMsg {
+            edges: vec![RelayedEdge { proof: forged, chain }],
+            format: WireFormat::PerEdgeChains,
+        };
         nodes[1].receive(1, 2, msg);
         assert_eq!(nodes[1].rejections()[&RejectReason::BadProof], 1);
     }
@@ -467,8 +489,12 @@ mod tests {
         let mut nodes = build_nodes(&g, 1);
         let proof = NeighborhoodProof::new(&ks.signer(2), &ks.signer(3));
         let digest = proof.digest();
-        let chain = SignatureChain::new().extend(&ks.signer(2), &digest).extend(&ks.signer(2), &digest);
-        let msg = NectarMsg { edges: vec![RelayedEdge { proof, chain }], format: WireFormat::PerEdgeChains };
+        let chain =
+            SignatureChain::new().extend(&ks.signer(2), &digest).extend(&ks.signer(2), &digest);
+        let msg = NectarMsg {
+            edges: vec![RelayedEdge { proof, chain }],
+            format: WireFormat::PerEdgeChains,
+        };
         nodes[1].receive(2, 2, msg);
         assert_eq!(nodes[1].rejections()[&RejectReason::DuplicateSigner], 1);
     }
@@ -562,9 +588,7 @@ mod config_knob_tests {
         // symmetric topologies still agree. This is why the paper insists
         // on R = n − 1 for unknown topologies.
         let g = gen::cycle(8);
-        let out = Scenario::new(g, 1)
-            .with_config(NectarConfig::new(8, 1).with_rounds(2))
-            .run();
+        let out = Scenario::new(g, 1).with_config(NectarConfig::new(8, 1).with_rounds(2)).run();
         assert!(out.agreement());
         assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
         assert!(out.decisions.values().all(|d| d.reachable < 8));

@@ -1,5 +1,6 @@
 //! Scenario builder and runner: NECTAR over any topology with any Byzantine
-//! cast, on either runtime.
+//! cast, on either runtime — the execution harness behind the paper's
+//! evaluation campaigns (§V).
 //!
 //! This is the entry point the experiments, examples and integration tests
 //! share. A [`Scenario`] owns the topology, the protocol parameters and the
@@ -12,7 +13,9 @@ use nectar_crypto::{KeyStore, NeighborhoodProof};
 use nectar_graph::{connectivity, traversal, Graph};
 use nectar_net::{Metrics, NodeId, SyncNetwork};
 
-use crate::byzantine::{wrap_traffic_fault, ByzantineBehavior, EquivocatorNode, LateRevealNode, Participant};
+use crate::byzantine::{
+    wrap_traffic_fault, ByzantineBehavior, EquivocatorNode, LateRevealNode, Participant,
+};
 use crate::config::{Decision, NectarConfig, Verdict};
 use crate::node::NectarNode;
 
@@ -89,15 +92,24 @@ impl Scenario {
                 let proofs: BTreeMap<NodeId, NeighborhoodProof> = self
                     .topology
                     .neighbors(i)
-                    .map(|j| (j, NeighborhoodProof::new(&keys.signer(i as u16), &keys.signer(j as u16))))
+                    .map(|j| {
+                        (j, NeighborhoodProof::new(&keys.signer(i as u16), &keys.signer(j as u16)))
+                    })
                     .collect();
-                let mut node =
-                    NectarNode::new(i, self.config.clone(), keys.signer(i as u16), verifier.clone(), proofs);
+                let mut node = NectarNode::new(
+                    i,
+                    self.config.clone(),
+                    keys.signer(i as u16),
+                    verifier.clone(),
+                    proofs,
+                );
                 match self.byzantine.get(&i) {
                     None => Participant::Correct(node),
-                    Some(b @ (ByzantineBehavior::Silent
-                    | ByzantineBehavior::CrashAfter { .. }
-                    | ByzantineBehavior::TwoFaced { .. })) => wrap_traffic_fault(node, b),
+                    Some(
+                        b @ (ByzantineBehavior::Silent
+                        | ByzantineBehavior::CrashAfter { .. }
+                        | ByzantineBehavior::TwoFaced { .. }),
+                    ) => wrap_traffic_fault(node, b),
                     Some(ByzantineBehavior::HideEdges { toward }) => {
                         for &v in toward {
                             node.hide_edge_to(v);
@@ -131,8 +143,10 @@ impl Scenario {
                                 "late-reveal accomplice {o} must be Byzantine"
                             );
                         }
-                        let proof =
-                            NeighborhoodProof::new(&keys.signer(i as u16), &keys.signer(*partner as u16));
+                        let proof = NeighborhoodProof::new(
+                            &keys.signer(i as u16),
+                            &keys.signer(*partner as u16),
+                        );
                         let partner_signer = keys.signer(*partner as u16);
                         let other_signers: Vec<_> =
                             others.iter().map(|&o| keys.signer(o as u16)).collect();
@@ -188,7 +202,8 @@ impl Scenario {
     pub fn run_threaded(&self) -> Outcome {
         let participants = self.build_participants();
         let rounds = self.config.effective_rounds();
-        let (participants, metrics) = nectar_net::run_threaded(participants, &self.topology, rounds);
+        let (participants, metrics) =
+            nectar_net::run_threaded(participants, &self.topology, rounds);
         self.collect(participants, metrics)
     }
 
@@ -328,9 +343,7 @@ mod tests {
     #[test]
     fn star_hub_byzantine_is_detected_as_partitionable() {
         // Fig. 1b: the hub is a cut vertex; κ = 1 ≤ t.
-        let out = Scenario::new(gen::star(6), 1)
-            .with_byzantine(0, ByzantineBehavior::Silent)
-            .run();
+        let out = Scenario::new(gen::star(6), 1).with_byzantine(0, ByzantineBehavior::Silent).run();
         assert!(out.agreement());
         assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
         // The hub's silence means leaves saw nothing beyond themselves:

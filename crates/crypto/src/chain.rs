@@ -155,7 +155,8 @@ mod tests {
     #[test]
     fn reordered_links_fail() {
         let (ks, digest) = setup();
-        let chain = SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(1), &digest);
+        let chain =
+            SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(1), &digest);
         let mut links = chain.links().to_vec();
         links.swap(0, 1);
         let reordered = SignatureChain::from_links(links);
@@ -168,7 +169,8 @@ mod tests {
         // yields the inner (older) chain. NECTAR defends against truncation
         // replay with the length-equals-round check, not the chain itself.
         let (ks, digest) = setup();
-        let chain = SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(1), &digest);
+        let chain =
+            SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(1), &digest);
         let truncated = SignatureChain::from_links(chain.links()[..1].to_vec());
         assert!(truncated.verify(&ks.verifier(), &digest));
         assert_eq!(truncated.len(), 1);
@@ -179,7 +181,9 @@ mod tests {
         let (ks, digest) = setup();
         let a = SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(1), &digest);
         let other_digest = sha256(b"other");
-        let b = SignatureChain::new().extend(&ks.signer(0), &other_digest).extend(&ks.signer(2), &other_digest);
+        let b = SignatureChain::new()
+            .extend(&ks.signer(0), &other_digest)
+            .extend(&ks.signer(2), &other_digest);
         let mut links = a.links().to_vec();
         links[1] = b.links()[1].clone();
         assert!(!SignatureChain::from_links(links).verify(&ks.verifier(), &digest));
@@ -188,7 +192,8 @@ mod tests {
     #[test]
     fn duplicate_signers_are_detected() {
         let (ks, digest) = setup();
-        let chain = SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(0), &digest);
+        let chain =
+            SignatureChain::new().extend(&ks.signer(0), &digest).extend(&ks.signer(0), &digest);
         assert!(!chain.signers_distinct());
         // The chain itself is cryptographically valid; the protocol layer
         // rejects it via the distinctness rule.
@@ -198,7 +203,8 @@ mod tests {
     #[test]
     fn forged_link_fails() {
         let (ks, digest) = setup();
-        let forged = SignatureChain::from_links(vec![crate::keys::Signature::from_parts(3, [7; 32])]);
+        let forged =
+            SignatureChain::from_links(vec![crate::keys::Signature::from_parts(3, [7; 32])]);
         assert!(!forged.verify(&ks.verifier(), &digest));
     }
 }

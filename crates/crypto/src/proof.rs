@@ -151,12 +151,8 @@ mod tests {
         let honest = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
         let (a, b) = honest.endpoints();
         // Re-label the proof as covering a different edge.
-        let relabeled = NeighborhoodProof::from_parts(
-            a,
-            b + 1,
-            honest.sig_a.clone(),
-            honest.sig_b.clone(),
-        );
+        let relabeled =
+            NeighborhoodProof::from_parts(a, b + 1, honest.sig_a.clone(), honest.sig_b.clone());
         assert!(!relabeled.verify(&ks.verifier()));
     }
 

@@ -231,8 +231,7 @@ impl BrachaNode {
             // Recount including any READY we just originated.
             for (&value, witnesses) in &ready_counts {
                 let mut count = witnesses.len();
-                let own =
-                    BcastClaim { phase: Phase::Ready, origin: self.id, value };
+                let own = BcastClaim { phase: Phase::Ready, origin: self.id, value };
                 if self.own_claims.contains(&own) && !witnesses.contains(&self.id) {
                     count += 1;
                 }
@@ -349,10 +348,7 @@ mod tests {
         // One crashed/Byzantine relay cannot stop delivery: κ = 3 leaves 2
         // disjoint relay routes plus the direct edges.
         let g = gen::harary(3, 10).unwrap();
-        let mut nodes: Vec<_> = build(&g, 1, 0, 7)
-            .into_iter()
-            .map(Some)
-            .collect();
+        let mut nodes: Vec<_> = build(&g, 1, 0, 7).into_iter().map(Some).collect();
         #[derive(Debug)]
         enum P {
             Honest(BrachaNode),
@@ -427,7 +423,11 @@ mod tests {
                         Outgoing::new(
                             nbr,
                             PathMsg {
-                                claim: BcastClaim { phase: Phase::Send, origin: self.dealer, value },
+                                claim: BcastClaim {
+                                    phase: Phase::Send,
+                                    origin: self.dealer,
+                                    value,
+                                },
                                 path: vec![self.dealer],
                             },
                         )
@@ -496,7 +496,8 @@ mod tests {
         let g = gen::harary(3, 10).unwrap();
         let cfg = BrachaConfig::new(10, 1, 0);
         // Everyone is a non-dealer: nothing ever gets proposed.
-        let nodes: Vec<BrachaNode> = (0..10).map(|i| BrachaNode::new(i, cfg, g.neighborhood(i))).collect();
+        let nodes: Vec<BrachaNode> =
+            (0..10).map(|i| BrachaNode::new(i, cfg, g.neighborhood(i))).collect();
         let mut net = SyncNetwork::new(nodes, g.clone());
         net.run_rounds(cfg.rounds());
         let (nodes, _) = net.into_parts();
@@ -514,7 +515,10 @@ mod tests {
             path: vec![1],
         };
         node.receive(1, 1, forged);
-        assert_eq!(node.store.path_count(&BcastClaim { phase: Phase::Send, origin: 1, value: 9 }), 0);
+        assert_eq!(
+            node.store.path_count(&BcastClaim { phase: Phase::Send, origin: 1, value: 9 }),
+            0
+        );
     }
 }
 
@@ -544,7 +548,12 @@ mod coverage_tests {
             net.run_rounds(cfg.rounds());
             let (nodes, _) = net.into_parts();
             for node in nodes {
-                assert_eq!(node.delivered_value(), Some(value), "dealer {dealer}, node {}", node.node_id());
+                assert_eq!(
+                    node.delivered_value(),
+                    Some(value),
+                    "dealer {dealer}, node {}",
+                    node.node_id()
+                );
             }
         }
     }

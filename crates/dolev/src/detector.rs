@@ -1,4 +1,6 @@
-//! The unsigned partition detector.
+//! The unsigned partition detector — a constructive take on the paper's
+//! §VII conjecture that detection "can be accomplished without signatures
+//! in synchronous networks, albeit at a significant cost".
 //!
 //! Runs NECTAR's skeleton — flood your neighborhood, reconstruct the graph,
 //! decide on reachability and vertex connectivity — but replaces signature
@@ -133,7 +135,12 @@ impl UnsignedNode {
         let connectivity = connectivity::vertex_connectivity(&g);
         let all_reachable = reachable == self.config.n;
         if connectivity > self.config.t && all_reachable {
-            Decision { verdict: Verdict::NotPartitionable, confirmed: false, reachable, connectivity }
+            Decision {
+                verdict: Verdict::NotPartitionable,
+                confirmed: false,
+                reachable,
+                connectivity,
+            }
         } else {
             Decision {
                 verdict: Verdict::Partitionable,

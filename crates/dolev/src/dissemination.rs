@@ -1,4 +1,5 @@
-//! Dolev-style path-vector dissemination.
+//! Dolev-style path-vector dissemination (the §VI-B related-work
+//! primitive, FOCS 1981).
 //!
 //! A *claim* (here: "edge `(u, v)` exists", announced by endpoint `origin`)
 //! floods through the network inside [`PathMsg`]s that record the exact
@@ -150,7 +151,9 @@ impl<C: Claim> PathStore<C> {
         if claim.origin() == me {
             return false;
         }
-        let Some(paths) = self.paths.get(&claim) else { return false };
+        let Some(paths) = self.paths.get(&claim) else {
+            return false;
+        };
         // Direct reception from the origin is a route with no interior
         // nodes: nothing can sever it, deliver immediately (Dolev's base
         // case).
@@ -196,7 +199,12 @@ impl<C: Claim> PathStore<C> {
 /// small `t` — the search picks/skips each path with a remaining-count
 /// prune, which is instantaneous at the path-count caps the store enforces.
 fn find_disjoint(interiors: &[BTreeSet<NodeId>], needed: usize) -> bool {
-    fn rec(interiors: &[BTreeSet<NodeId>], idx: usize, used: &mut BTreeSet<NodeId>, left: usize) -> bool {
+    fn rec(
+        interiors: &[BTreeSet<NodeId>],
+        idx: usize,
+        used: &mut BTreeSet<NodeId>,
+        left: usize,
+    ) -> bool {
         if left == 0 {
             return true;
         }

@@ -38,7 +38,10 @@ impl WireFormatConfig {
 /// **E9a** — NECTAR's cost per node under both wire formats, on k-regular
 /// graphs.
 pub fn wire_format_ablation(cfg: &WireFormatConfig) -> Table {
-    let formats = [("per-edge chains", WireFormat::PerEdgeChains), ("batched chain", WireFormat::BatchedChain)];
+    let formats = [
+        ("per-edge chains", WireFormat::PerEdgeChains),
+        ("batched chain", WireFormat::BatchedChain),
+    ];
     let series = formats
         .into_iter()
         .map(|(label, format)| Series {
@@ -52,7 +55,11 @@ pub fn wire_format_ablation(cfg: &WireFormatConfig) -> Table {
                     let config = NectarConfig::new(n, cfg.k / 2).with_wire_format(format);
                     let metrics =
                         Scenario::new(g, cfg.k / 2).with_config(config).run_metrics_only();
-                    Point { x: n as f64, mean: metrics.mean_bytes_sent_per_node() / 1024.0, ci95: 0.0 }
+                    Point {
+                        x: n as f64,
+                        mean: metrics.mean_bytes_sent_per_node() / 1024.0,
+                        ci95: 0.0,
+                    }
                 })
                 .collect(),
         })
@@ -131,11 +138,7 @@ pub fn rounds_ablation(cfg: &RoundsConfig) -> Table {
 fn completeness_fraction(scenario: &Scenario, total_edges: f64) -> f64 {
     let participants = scenario.run_participants();
     let n = participants.len() as f64;
-    participants
-        .iter()
-        .map(|p| p.nectar().known_edge_count() as f64 / total_edges)
-        .sum::<f64>()
-        / n
+    participants.iter().map(|p| p.nectar().known_edge_count() as f64 / total_edges).sum::<f64>() / n
 }
 
 #[cfg(test)]

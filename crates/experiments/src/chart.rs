@@ -87,7 +87,9 @@ mod tests {
             series: vec![
                 Series {
                     label: "rising".into(),
-                    points: (0..5).map(|i| Point { x: i as f64, mean: i as f64 * 2.0, ci95: 0.0 }).collect(),
+                    points: (0..5)
+                        .map(|i| Point { x: i as f64, mean: i as f64 * 2.0, ci95: 0.0 })
+                        .collect(),
                 },
                 Series {
                     label: "flat".into(),
@@ -117,7 +119,13 @@ mod tests {
 
     #[test]
     fn empty_table_renders_placeholder() {
-        let empty = Table { id: "e".into(), title: "E".into(), x_label: "x".into(), y_label: "y".into(), series: vec![] };
+        let empty = Table {
+            id: "e".into(),
+            title: "E".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
         assert!(render(&empty, 40, 10).contains("no data"));
     }
 
@@ -128,7 +136,10 @@ mod tests {
             title: "S".into(),
             x_label: "x".into(),
             y_label: "y".into(),
-            series: vec![Series { label: "p".into(), points: vec![Point { x: 1.0, mean: 1.0, ci95: 0.0 }] }],
+            series: vec![Series {
+                label: "p".into(),
+                points: vec![Point { x: 1.0, mean: 1.0, ci95: 0.0 }],
+            }],
         };
         let chart = render(&single, 20, 5);
         assert!(chart.contains('*'));

@@ -170,7 +170,13 @@ impl DroneCostConfig {
 
     /// Scaled-down setting for tests.
     pub fn quick() -> Self {
-        DroneCostConfig { n: 10, ds: vec![0.0, 3.0, 6.0], radii: vec![1.2, 2.4], runs: 3, base_seed: 2024 }
+        DroneCostConfig {
+            n: 10,
+            ds: vec![0.0, 3.0, 6.0],
+            radii: vec![1.2, 2.4],
+            runs: 3,
+            base_seed: 2024,
+        }
     }
 }
 
@@ -205,7 +211,10 @@ pub fn fig4_drone_nectar(cfg: &DroneCostConfig) -> Table {
     series.push(mtg_reference_series(cfg));
     Table {
         id: "fig4".into(),
-        title: format!("Fig. 4: NECTAR data sent per node (KB) vs d, drone scenario (n = {})", cfg.n),
+        title: format!(
+            "Fig. 4: NECTAR data sent per node (KB) vs d, drone scenario (n = {})",
+            cfg.n
+        ),
         x_label: "Distance between barycenters (d)".into(),
         y_label: "Data sent per node (KBytes)".into(),
         series,
@@ -238,7 +247,10 @@ pub fn fig5_drone_mtgv2(cfg: &DroneCostConfig) -> Table {
     series.push(mtg_reference_series(cfg));
     Table {
         id: "fig5".into(),
-        title: format!("Fig. 5: MtGv2 data sent per node (KB) vs d, drone scenario (n = {})", cfg.n),
+        title: format!(
+            "Fig. 5: MtGv2 data sent per node (KB) vs d, drone scenario (n = {})",
+            cfg.n
+        ),
         x_label: "Distance between barycenters (d)".into(),
         y_label: "Data sent per node (KBytes)".into(),
         series,
@@ -300,12 +312,22 @@ impl DroneScalingConfig {
 
     /// Scaled-down setting for tests.
     pub fn quick() -> Self {
-        DroneScalingConfig { ns: vec![10, 16], ds: vec![0.0, 5.0], radius: 1.2, runs: 3, base_seed: 2025 }
+        DroneScalingConfig {
+            ns: vec![10, 16],
+            ds: vec![0.0, 5.0],
+            radius: 1.2,
+            runs: 3,
+            base_seed: 2025,
+        }
     }
 }
 
 /// Shared sweep for Figs. 6 and 7.
-fn drone_scaling(cfg: &DroneScalingConfig, label: &str, cost: impl Fn(&Graph, usize, u64) -> f64) -> Vec<Series> {
+fn drone_scaling(
+    cfg: &DroneScalingConfig,
+    label: &str,
+    cost: impl Fn(&Graph, usize, u64) -> f64,
+) -> Vec<Series> {
     let mut series = Vec::new();
     for (di, &d) in cfg.ds.iter().enumerate() {
         let points = cfg
@@ -338,7 +360,10 @@ pub fn fig6_drone_scaling_nectar(cfg: &DroneScalingConfig) -> Table {
     }));
     Table {
         id: "fig6".into(),
-        title: format!("Fig. 6: NECTAR data sent per node (KB) vs n, drone scenario (radius = {})", cfg.radius),
+        title: format!(
+            "Fig. 6: NECTAR data sent per node (KB) vs n, drone scenario (radius = {})",
+            cfg.radius
+        ),
         x_label: "Number of nodes (n)".into(),
         y_label: "Data sent per node (KBytes)".into(),
         series,
@@ -356,7 +381,10 @@ pub fn fig7_drone_scaling_mtgv2(cfg: &DroneScalingConfig) -> Table {
     }));
     Table {
         id: "fig7".into(),
-        title: format!("Fig. 7: MtGv2 data sent per node (KB) vs n, drone scenario (radius = {})", cfg.radius),
+        title: format!(
+            "Fig. 7: MtGv2 data sent per node (KB) vs n, drone scenario (radius = {})",
+            cfg.radius
+        ),
         x_label: "Number of nodes (n)".into(),
         y_label: "Data sent per node (KBytes)".into(),
         series,
@@ -421,7 +449,11 @@ mod tests {
         let cfg = DroneScalingConfig::quick();
         for t in [fig6_drone_scaling_nectar(&cfg), fig7_drone_scaling_mtgv2(&cfg)] {
             let dense = &t.series[0]; // d = 0
-            assert!(dense.points.last().unwrap().mean > dense.points.first().unwrap().mean, "{}", t.title);
+            assert!(
+                dense.points.last().unwrap().mean > dense.points.first().unwrap().mean,
+                "{}",
+                t.title
+            );
         }
     }
 }
@@ -442,7 +474,8 @@ pub fn topology_quiescence(cfg: &TopologyCostConfig) -> Table {
     ];
     let mut series = Vec::new();
     for (name, build) in families {
-        let mut active_rounds = Series { label: format!("{name}: active rounds"), points: Vec::new() };
+        let mut active_rounds =
+            Series { label: format!("{name}: active rounds"), points: Vec::new() };
         let mut per_msg = Series { label: format!("{name}: KB/message"), points: Vec::new() };
         for &n in &cfg.ns {
             let Some(g) = build(k, n) else { continue };
@@ -492,8 +525,16 @@ pub fn per_node_disparity(cfg: &TopologyCostConfig) -> Table {
             let kb = |b: u64| b as f64 / 1024.0;
             let min = metrics.bytes_sent().iter().copied().min().unwrap_or(0);
             min_s.points.push(Point { x: n as f64, mean: kb(min), ci95: 0.0 });
-            mean_s.points.push(Point { x: n as f64, mean: metrics.mean_bytes_sent_per_node() / 1024.0, ci95: 0.0 });
-            max_s.points.push(Point { x: n as f64, mean: kb(metrics.max_bytes_sent_per_node()), ci95: 0.0 });
+            mean_s.points.push(Point {
+                x: n as f64,
+                mean: metrics.mean_bytes_sent_per_node() / 1024.0,
+                ci95: 0.0,
+            });
+            max_s.points.push(Point {
+                x: n as f64,
+                mean: kb(metrics.max_bytes_sent_per_node()),
+                ci95: 0.0,
+            });
         }
         series.extend([min_s, mean_s, max_s]);
     }
@@ -537,7 +578,8 @@ mod mechanism_tests {
                 .expect("series present")
         };
         let regular_spread = val("k-regular: max KB") / val("k-regular: min KB").max(1e-9);
-        let wheel_spread = val("generalized-wheel: max KB") / val("generalized-wheel: min KB").max(1e-9);
+        let wheel_spread =
+            val("generalized-wheel: max KB") / val("generalized-wheel: min KB").max(1e-9);
         assert!(
             wheel_spread > regular_spread,
             "hub-heavy wheel spread {wheel_spread:.2} should exceed regular {regular_spread:.2}"

@@ -15,7 +15,9 @@
 
 use std::collections::BTreeMap;
 
-use nectar_baselines::{run_mtg, run_mtg_v2, BaselineVerdict, MtgBehavior, MtgConfig, MtgV2Behavior};
+use nectar_baselines::{
+    run_mtg, run_mtg_v2, BaselineVerdict, MtgBehavior, MtgConfig, MtgV2Behavior,
+};
 use nectar_graph::{gen, traversal, Graph};
 use nectar_net::NodeId;
 use nectar_protocol::{ByzantineBehavior, Outcome, Scenario, Verdict};
@@ -97,7 +99,8 @@ fn mtg_insider_run(cfg: &Fig8Config, t: usize, seed: u64) -> f64 {
     let s = partitioned_with_insiders(cfg.n, t, seed);
     let byz: BTreeMap<NodeId, MtgBehavior> =
         s.byzantine.into_iter().map(|b| (b, MtgBehavior::SaturateFilter)).collect();
-    run_mtg(&s.graph, MtgConfig::new(cfg.n), &byz, cfg.n - 1).success_rate(BaselineVerdict::Partitioned)
+    run_mtg(&s.graph, MtgConfig::new(cfg.n), &byz, cfg.n - 1)
+        .success_rate(BaselineVerdict::Partitioned)
 }
 
 /// **Fig. 8** — decision success rate vs number of Byzantine nodes, for
@@ -249,7 +252,9 @@ fn family_resilience(cfg: &TopologyResilienceConfig, family: &str, g: &Graph) ->
                     if silenced.is_empty() {
                         ByzantineBehavior::Silent
                     } else {
-                        ByzantineBehavior::TwoFaced { silent_toward: silenced.iter().copied().collect() }
+                        ByzantineBehavior::TwoFaced {
+                            silent_toward: silenced.iter().copied().collect(),
+                        }
                     },
                 );
             }
@@ -261,8 +266,11 @@ fn family_resilience(cfg: &TopologyResilienceConfig, family: &str, g: &Graph) ->
             let mtg_byz: BTreeMap<NodeId, MtgBehavior> =
                 byz.iter().map(|&b| (b, MtgBehavior::SaturateFilter)).collect();
             let mtg_out = run_mtg(g, MtgConfig::new(cfg.n), &mtg_byz, cfg.n - 1);
-            let expected =
-                if correct_partitioned { BaselineVerdict::Partitioned } else { BaselineVerdict::Connected };
+            let expected = if correct_partitioned {
+                BaselineVerdict::Partitioned
+            } else {
+                BaselineVerdict::Connected
+            };
             mtg_samples.push(mtg_out.success_rate(expected));
 
             // MtGv2: two-faced bridges.
@@ -274,7 +282,9 @@ fn family_resilience(cfg: &TopologyResilienceConfig, family: &str, g: &Graph) ->
                         if silenced.is_empty() {
                             MtgV2Behavior::Silent
                         } else {
-                            MtgV2Behavior::TwoFaced { silent_toward: silenced.iter().copied().collect() }
+                            MtgV2Behavior::TwoFaced {
+                                silent_toward: silenced.iter().copied().collect(),
+                            }
                         },
                     )
                 })

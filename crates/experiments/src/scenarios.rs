@@ -40,8 +40,8 @@ pub struct InsiderScenario {
 /// Panics if `t` exceeds the size of either part.
 pub fn partitioned_with_insiders(n: usize, t: usize, seed: u64) -> InsiderScenario {
     let mut rng = StdRng::seed_from_u64(seed);
-    let placement = gen::drone_scenario(n, 6.0, 2.4, &mut rng)
-        .expect("drone parameters are valid constants");
+    let placement =
+        gen::drone_scenario(n, 6.0, 2.4, &mut rng).expect("drone parameters are valid constants");
     let part_a: Vec<NodeId> = placement.first_cluster().collect();
     let part_b: Vec<NodeId> = placement.second_cluster().collect();
     assert!(t <= part_a.len().min(part_b.len()) * 2, "too many Byzantine insiders");

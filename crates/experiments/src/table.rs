@@ -57,7 +57,8 @@ impl Table {
     /// Renders a Markdown table with one column per series (rows aligned by
     /// x value).
     pub fn to_markdown(&self) -> String {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.x)).collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|p| p.x)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
         xs.dedup();
         let mut out = format!("### {}\n\n", self.title);
@@ -98,7 +99,10 @@ mod tests {
             series: vec![
                 Series {
                     label: "a".into(),
-                    points: vec![Point { x: 1.0, mean: 2.0, ci95: 0.1 }, Point { x: 2.0, mean: 3.0, ci95: 0.2 }],
+                    points: vec![
+                        Point { x: 1.0, mean: 2.0, ci95: 0.1 },
+                        Point { x: 2.0, mean: 3.0, ci95: 0.2 },
+                    ],
                 },
                 Series { label: "b".into(), points: vec![Point { x: 2.0, mean: 9.0, ci95: 0.0 }] },
             ],

@@ -67,8 +67,16 @@ pub fn unsigned_cost(cfg: &UnsignedCostConfig) -> Table {
             mean: per_node(unsigned.msgs_sent().iter().sum()),
             ci95: 0.0,
         });
-        nectar_kb.points.push(Point { x, mean: nectar.mean_bytes_sent_per_node() / 1024.0, ci95: 0.0 });
-        unsigned_kb.points.push(Point { x, mean: unsigned.mean_bytes_sent_per_node() / 1024.0, ci95: 0.0 });
+        nectar_kb.points.push(Point {
+            x,
+            mean: nectar.mean_bytes_sent_per_node() / 1024.0,
+            ci95: 0.0,
+        });
+        unsigned_kb.points.push(Point {
+            x,
+            mean: unsigned.mean_bytes_sent_per_node() / 1024.0,
+            ci95: 0.0,
+        });
     }
     Table {
         id: "unsigned_cost".into(),

@@ -69,9 +69,7 @@ pub fn local_min_vertex_cut(g: &Graph, s: usize, t: usize) -> Vec<usize> {
     let mut net = split_network(g, [s, t]);
     net.max_flow(2 * s + 1, 2 * t);
     let reach = net.residual_reachable(2 * s + 1);
-    (0..g.node_count())
-        .filter(|&v| v != s && v != t && reach[2 * v] && !reach[2 * v + 1])
-        .collect()
+    (0..g.node_count()).filter(|&v| v != s && v != t && reach[2 * v] && !reach[2 * v + 1]).collect()
 }
 
 /// Global vertex connectivity `κ(G)`.
@@ -199,7 +197,13 @@ pub fn vertex_connectivity_brute(g: &Graph) -> usize {
 }
 
 fn enumerate_subsets(n: usize, size: usize, visit: &mut impl FnMut(&[usize])) {
-    fn rec(n: usize, size: usize, start: usize, cur: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+    fn rec(
+        n: usize,
+        size: usize,
+        start: usize,
+        cur: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
         if cur.len() == size {
             visit(cur);
             return;
@@ -274,7 +278,9 @@ mod tests {
     fn local_connectivity_counts_disjoint_paths() {
         // Two node-disjoint paths 0-1-5 and 0-2-5 plus a shared-vertex pair
         // of paths through 3: κ(0,5) = 3 requires 3 disjoint interiors.
-        let g = Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 5), (0, 4), (4, 3)]).unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 5), (0, 4), (4, 3)])
+                .unwrap();
         assert_eq!(local_vertex_connectivity(&g, 0, 5), 3);
     }
 
@@ -323,8 +329,13 @@ mod tests {
 
     #[test]
     fn brute_force_agrees_on_small_classics() {
-        for g in [gen::path(6), gen::cycle(6), gen::star(6), gen::complete(5), Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap()]
-        {
+        for g in [
+            gen::path(6),
+            gen::cycle(6),
+            gen::star(6),
+            gen::complete(5),
+            Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap(),
+        ] {
             assert_eq!(vertex_connectivity(&g), vertex_connectivity_brute(&g), "graph: {g:?}");
         }
     }
@@ -358,10 +369,7 @@ mod proptests {
             let pairs: Vec<(usize, usize)> =
                 (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
             proptest::collection::vec(proptest::bool::ANY, pairs.len()).prop_map(move |mask| {
-                let edges = pairs
-                    .iter()
-                    .zip(&mask)
-                    .filter_map(|(&e, &keep)| keep.then_some(e));
+                let edges = pairs.iter().zip(&mask).filter_map(|(&e, &keep)| keep.then_some(e));
                 Graph::from_edges(n, edges).expect("generated edges are in range")
             })
         })

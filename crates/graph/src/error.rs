@@ -1,4 +1,9 @@
 //! Error type for graph construction and generator parameter validation.
+//!
+//! The paper's model (§II) assumes simple undirected graphs, so self-loops
+//! and out-of-range endpoints are construction errors rather than silently
+//! normalized inputs; generator preconditions (e.g. Harary's `k < n`)
+//! surface through the same type.
 
 use std::error::Error;
 use std::fmt;

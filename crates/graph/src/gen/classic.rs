@@ -1,4 +1,8 @@
 //! Classic graph families: complete, path, cycle, star, Erdős–Rényi.
+//!
+//! These are the small motivating topologies of the paper's Fig. 1 (the
+//! ring that is safe against one Byzantine node, the star whose hub is a
+//! cut vertex) plus the standard families tests sweep over.
 
 use rand::{Rng, RngExt};
 

@@ -106,7 +106,11 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameters`] unless `1 ≤ m < n`.
-pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if m == 0 || m >= n {
         return Err(GraphError::InvalidParameters {
             reason: format!("Barabasi-Albert requires 1 <= m < n (got m={m}, n={n})"),

@@ -52,7 +52,11 @@ impl DronePlacement {
         for i in self.second_cluster() {
             positions[i].0 += dx;
         }
-        DronePlacement { graph: graph_from_positions(&positions, self.radius), positions, radius: self.radius }
+        DronePlacement {
+            graph: graph_from_positions(&positions, self.radius),
+            positions,
+            radius: self.radius,
+        }
     }
 }
 

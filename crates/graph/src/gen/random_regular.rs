@@ -18,7 +18,11 @@ use crate::traversal::is_connected;
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameters`] if `k ≥ n` or `k·n` is odd.
-pub fn random_regular<R: Rng + ?Sized>(k: usize, n: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn random_regular<R: Rng + ?Sized>(
+    k: usize,
+    n: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if k >= n {
         return Err(GraphError::InvalidParameters {
             reason: format!("random regular graph requires k < n (got k={k}, n={n})"),
@@ -60,7 +64,9 @@ pub fn random_regular_connected<R: Rng + ?Sized>(
         }
     }
     Err(GraphError::InvalidParameters {
-        reason: format!("no connected {k}-regular graph on {n} nodes found in {max_attempts} attempts"),
+        reason: format!(
+            "no connected {k}-regular graph on {n} nodes found in {max_attempts} attempts"
+        ),
     })
 }
 
@@ -100,7 +106,8 @@ fn try_pairing<R: Rng + ?Sized>(k: usize, n: usize, rng: &mut R) -> Option<Graph
                     for node in [a, b] {
                         free[node] -= 1;
                         if free[node] == 0 {
-                            let pos = open.iter().position(|&x| x == node).expect("open node present");
+                            let pos =
+                                open.iter().position(|&x| x == node).expect("open node present");
                             open.swap_remove(pos);
                         }
                     }

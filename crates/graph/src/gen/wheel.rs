@@ -74,7 +74,12 @@ pub fn multipartite_wheel(k: usize, n: usize, parts: usize) -> Result<Graph, Gra
 
 /// Adds the outer ring over nodes `hubs..n` and connects each ring node to
 /// every hub for which `spoke(ring_node, hub)` holds.
-fn wire_ring_and_spokes(g: &mut Graph, hubs: usize, n: usize, spoke: impl Fn(usize, usize) -> bool) {
+fn wire_ring_and_spokes(
+    g: &mut Graph,
+    hubs: usize,
+    n: usize,
+    spoke: impl Fn(usize, usize) -> bool,
+) {
     let ring: Vec<usize> = (hubs..n).collect();
     for (i, &u) in ring.iter().enumerate() {
         let v = ring[(i + 1) % ring.len()];

@@ -108,17 +108,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         i += 1;
                     }
                     "--topology" | "--n" | "--k" | "--t" | "--seed" | "--byz" => {
-                        let value = rest
-                            .get(i + 1)
-                            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+                        let value =
+                            rest.get(i + 1).ok_or_else(|| format!("flag {flag} needs a value"))?;
                         match flag {
                             "--topology" => out.topology = value.clone(),
                             "--n" => set_usize(&mut out.n, value, "--n")?,
                             "--k" => set_usize(&mut out.k, value, "--k")?,
                             "--t" => set_usize(&mut out.t, value, "--t")?,
                             "--seed" => {
-                                out.seed =
-                                    value.parse().map_err(|_| format!("bad --seed value {value}"))?
+                                out.seed = value
+                                    .parse()
+                                    .map_err(|_| format!("bad --seed value {value}"))?
                             }
                             "--byz" => out.byzantine.push(parse_byz(value)?),
                             _ => unreachable!("matched above"),
@@ -175,9 +175,8 @@ pub fn parse_byz(spec: &str) -> Result<(usize, ByzantineBehavior), String> {
 }
 
 fn parse_range(range: &str, spec: &str) -> Result<BTreeSet<usize>, String> {
-    let (a, b) = range
-        .split_once('-')
-        .ok_or_else(|| format!("bad range in {spec}: expected <a>-<b>"))?;
+    let (a, b) =
+        range.split_once('-').ok_or_else(|| format!("bad range in {spec}: expected <a>-<b>"))?;
     let a: usize = a.parse().map_err(|_| format!("bad range start in {spec}"))?;
     let b: usize = b.parse().map_err(|_| format!("bad range end in {spec}"))?;
     if a > b {
@@ -228,8 +227,12 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Families { k, n } => {
             let mut out = String::new();
-            writeln!(out, "{:<22} {:>6} {:>6} {:>9} {:>9}", "family", "nodes", "edges", "kappa", "diameter")
-                .expect("writing to String cannot fail");
+            writeln!(
+                out,
+                "{:<22} {:>6} {:>6} {:>9} {:>9}",
+                "family", "nodes", "edges", "kappa", "diameter"
+            )
+            .expect("writing to String cannot fail");
             for family in
                 ["harary", "pasted-tree", "diamond", "wheel", "multipartite-wheel", "cycle", "star"]
             {
@@ -270,11 +273,19 @@ pub fn run(cmd: Command) -> Result<String, String> {
             }
             let outcome = if args.threaded { scenario.run_threaded() } else { scenario.run() };
             let mut out = String::new();
-            writeln!(out, "topology: {} (n = {}, κ = {kappa}), t = {}", args.topology, args.n, args.t)
-                .expect("writing to String cannot fail");
+            writeln!(
+                out,
+                "topology: {} (n = {}, κ = {kappa}), t = {}",
+                args.topology, args.n, args.t
+            )
+            .expect("writing to String cannot fail");
             if !args.byzantine.is_empty() {
-                writeln!(out, "byzantine: {:?}", args.byzantine.iter().map(|(n, _)| *n).collect::<Vec<_>>())
-                    .expect("writing to String cannot fail");
+                writeln!(
+                    out,
+                    "byzantine: {:?}",
+                    args.byzantine.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+                )
+                .expect("writing to String cannot fail");
             }
             match outcome.unanimous_verdict() {
                 Some(v) => {
@@ -282,12 +293,18 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     writeln!(out, "verdict:  {v} (confirmed partition: {confirmed})")
                         .expect("writing to String cannot fail");
                     if v == Verdict::Partitionable && kappa > args.t {
-                        writeln!(out, "note:     perceived connectivity dropped to ≤ t; real κ = {kappa}")
-                            .expect("writing to String cannot fail");
+                        writeln!(
+                            out,
+                            "note:     perceived connectivity dropped to ≤ t; real κ = {kappa}"
+                        )
+                        .expect("writing to String cannot fail");
                     }
                 }
-                None => writeln!(out, "verdict:  DISAGREEMENT — this would falsify Lemma 2, please report")
-                    .expect("writing to String cannot fail"),
+                None => writeln!(
+                    out,
+                    "verdict:  DISAGREEMENT — this would falsify Lemma 2, please report"
+                )
+                .expect("writing to String cannot fail"),
             }
             writeln!(
                 out,
@@ -400,7 +417,15 @@ mod tests {
     #[test]
     fn detect_with_byzantine_star_hub() {
         let cmd = parse(&strs(&[
-            "detect", "--topology", "star", "--n", "8", "--t", "1", "--byz", "0:silent",
+            "detect",
+            "--topology",
+            "star",
+            "--n",
+            "8",
+            "--t",
+            "1",
+            "--byz",
+            "0:silent",
         ]))
         .unwrap();
         let out = run(cmd).unwrap();
@@ -418,10 +443,8 @@ mod tests {
 
     #[test]
     fn out_of_range_byzantine_node_errors() {
-        let cmd = parse(&strs(&[
-            "detect", "--topology", "cycle", "--n", "5", "--byz", "9:silent",
-        ]))
-        .unwrap();
+        let cmd = parse(&strs(&["detect", "--topology", "cycle", "--n", "5", "--byz", "9:silent"]))
+            .unwrap();
         assert!(run(cmd).is_err());
     }
 }

@@ -103,7 +103,11 @@ impl Metrics {
     ///
     /// Panics if the two metrics cover different system sizes.
     pub fn merge(&mut self, other: &Metrics) {
-        assert_eq!(self.bytes_sent.len(), other.bytes_sent.len(), "metrics cover different systems");
+        assert_eq!(
+            self.bytes_sent.len(),
+            other.bytes_sent.len(),
+            "metrics cover different systems"
+        );
         for (a, b) in self.bytes_sent.iter_mut().zip(&other.bytes_sent) {
             *a += b;
         }

@@ -59,7 +59,12 @@ impl<P: Process> SyncNetwork<P> {
                     self.metrics.record_illegal_send();
                     continue;
                 }
-                self.metrics.record_send(round, i, out.to, crate::process::WireSized::wire_bytes(&out.msg));
+                self.metrics.record_send(
+                    round,
+                    i,
+                    out.to,
+                    crate::process::WireSized::wire_bytes(&out.msg),
+                );
                 inboxes[out.to].push((i, out.msg));
             }
         }
@@ -162,7 +167,9 @@ mod tests {
             let outbox = std::mem::take(&mut self.outbox);
             outbox
                 .into_iter()
-                .flat_map(|payload| self.neighbors.iter().map(move |&to| Outgoing::new(to, IdMsg(payload))))
+                .flat_map(|payload| {
+                    self.neighbors.iter().map(move |&to| Outgoing::new(to, IdMsg(payload)))
+                })
                 .collect()
         }
 
@@ -299,7 +306,12 @@ mod proptests {
 
     impl Flood {
         fn new(id: usize, g: &Graph) -> Self {
-            Flood { id, neighbors: g.neighborhood(id), known: [id].into_iter().collect(), outbox: vec![id] }
+            Flood {
+                id,
+                neighbors: g.neighborhood(id),
+                known: [id].into_iter().collect(),
+                outbox: vec![id],
+            }
         }
     }
 
@@ -314,7 +326,9 @@ mod proptests {
             let outbox = std::mem::take(&mut self.outbox);
             outbox
                 .into_iter()
-                .flat_map(|payload| self.neighbors.iter().map(move |&to| Outgoing::new(to, IdMsg(payload))))
+                .flat_map(|payload| {
+                    self.neighbors.iter().map(move |&to| Outgoing::new(to, IdMsg(payload)))
+                })
                 .collect()
         }
 

@@ -90,10 +90,8 @@ where
     }
     drop(senders);
 
-    let mut out: Vec<P> = handles
-        .into_iter()
-        .map(|h| h.join().expect("worker thread panicked"))
-        .collect();
+    let mut out: Vec<P> =
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect();
     out.sort_by_key(|p| p.id());
 
     let metrics = Arc::try_unwrap(metrics).expect("all workers joined").into_inner();
@@ -128,7 +126,12 @@ mod tests {
 
     impl Flood {
         fn new(id: usize, g: &Graph) -> Self {
-            Flood { id, neighbors: g.neighborhood(id), known: [id].into_iter().collect(), outbox: vec![id] }
+            Flood {
+                id,
+                neighbors: g.neighborhood(id),
+                known: [id].into_iter().collect(),
+                outbox: vec![id],
+            }
         }
     }
 
@@ -143,7 +146,9 @@ mod tests {
             let outbox = std::mem::take(&mut self.outbox);
             outbox
                 .into_iter()
-                .flat_map(|payload| self.neighbors.iter().map(move |&to| Outgoing::new(to, IdMsg(payload))))
+                .flat_map(|payload| {
+                    self.neighbors.iter().map(move |&to| Outgoing::new(to, IdMsg(payload)))
+                })
                 .collect()
         }
 

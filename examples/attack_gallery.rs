@@ -25,7 +25,10 @@ fn main() -> Result<(), nectar::graph::GraphError> {
     println!("NECTAR on H(4,12), t = 2 — every attack, same verdict:");
 
     let attacks: Vec<(&str, Vec<(usize, ByzantineBehavior)>)> = vec![
-        ("silent (crash from round 1)", vec![(3, ByzantineBehavior::Silent), (9, ByzantineBehavior::Silent)]),
+        (
+            "silent (crash from round 1)",
+            vec![(3, ByzantineBehavior::Silent), (9, ByzantineBehavior::Silent)],
+        ),
         ("crash after round 2", vec![(3, ByzantineBehavior::CrashAfter { round: 2 })]),
         (
             "two-faced bridge (silent toward half)",
@@ -41,7 +44,10 @@ fn main() -> Result<(), nectar::graph::GraphError> {
         ),
         (
             "late reveal (Dolev-Strong replay)",
-            vec![(3, ByzantineBehavior::LateReveal { partner: 4, others: vec![] }), (4, ByzantineBehavior::Silent)],
+            vec![
+                (3, ByzantineBehavior::LateReveal { partner: 4, others: vec![] }),
+                (4, ByzantineBehavior::Silent),
+            ],
         ),
         (
             "equivocation (poor view to victims)",
@@ -62,15 +68,29 @@ fn main() -> Result<(), nectar::graph::GraphError> {
     // And the one attack NECTAR's signatures rule out entirely, shown
     // against MtG where it works disturbingly well.
     println!("\nMindTheGap on two disconnected cliques (ground truth: PARTITIONED):");
-    let split = Graph::from_edges(8, [
-        (0, 1), (1, 2), (2, 3), (0, 2), (0, 3), (1, 3), // clique A
-        (4, 5), (5, 6), (6, 7), (4, 6), (4, 7), (5, 7), // clique B
-    ])?;
+    let split = Graph::from_edges(
+        8,
+        [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 2),
+            (0, 3),
+            (1, 3), // clique A
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (4, 6),
+            (4, 7),
+            (5, 7), // clique B
+        ],
+    )?;
     for t in 0..=2 {
-        let byz: BTreeMap<usize, MtgBehavior> = [(0, MtgBehavior::SaturateFilter), (4, MtgBehavior::SaturateFilter)]
-            .into_iter()
-            .take(t)
-            .collect();
+        let byz: BTreeMap<usize, MtgBehavior> =
+            [(0, MtgBehavior::SaturateFilter), (4, MtgBehavior::SaturateFilter)]
+                .into_iter()
+                .take(t)
+                .collect();
         let out = run_mtg(&split, MtgConfig::new(8), &byz, 7);
         println!(
             "  {t} byzantine all-ones filter(s)      -> {:>4.0}% of correct nodes detect the partition",

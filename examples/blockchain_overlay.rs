@@ -34,7 +34,9 @@ fn main() {
     let byz: BTreeMap<usize, MtgV2Behavior> = scenario
         .byzantine
         .iter()
-        .map(|&b| (b, MtgV2Behavior::TwoFaced { silent_toward: part_b.clone().into_iter().collect() }))
+        .map(|&b| {
+            (b, MtgV2Behavior::TwoFaced { silent_toward: part_b.clone().into_iter().collect() })
+        })
         .collect();
     let v2 = run_mtg_v2(&scenario.graph, &byz, n - 1, 7);
     let connected = v2.verdicts.values().filter(|&&v| v == BaselineVerdict::Connected).count();

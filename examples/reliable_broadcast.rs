@@ -84,10 +84,8 @@ fn main() -> Result<(), nectar::graph::GraphError> {
     println!("broadcast:         dealer 0 proposes {value:#x}");
     for p in &participants {
         if let Participant::Honest(h) = p {
-            let delivered = h
-                .delivered_value()
-                .map(|v| format!("{v:#x}"))
-                .unwrap_or_else(|| "nothing".into());
+            let delivered =
+                h.delivered_value().map(|v| format!("{v:#x}")).unwrap_or_else(|| "nothing".into());
             println!("  node {:>2} delivered {delivered}", h.node_id());
             assert_eq!(h.delivered_value(), Some(value));
         }

@@ -1,0 +1,213 @@
+//! Offline stand-in for `criterion`, covering the subset the workspace's
+//! benches use: [`Criterion`], benchmark groups with
+//! `sample_size`/`throughput`, [`BenchmarkId`], `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark is
+//! timed with a short warm-up followed by `samples` timed batches; the
+//! median per-iteration time (and derived throughput, when declared) is
+//! printed to stdout. That keeps `cargo bench` orders of magnitude faster
+//! than real criterion while still producing comparable numbers; swap in
+//! the real crate via the manifest once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Declared per-iteration workload, used to derive throughput output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives the timed closure of one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median per-iteration cost over several
+    /// batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration, then adaptively size batches so a
+        // sample is long enough for the clock but the whole bench stays fast.
+        std::hint::black_box(f());
+        let probe = Instant::now();
+        std::hint::black_box(f());
+        let once = probe.elapsed();
+        let per_batch = ((Duration::from_micros(200).as_nanos())
+            .checked_div(once.as_nanos().max(1))
+            .unwrap_or(1))
+        .clamp(1, 10_000) as u64;
+
+        const SAMPLES: usize = 7;
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed() / per_batch as u32);
+        }
+        samples.sort_unstable();
+        self.last_median = Some(samples[SAMPLES / 2]);
+    }
+}
+
+/// The benchmark registry/driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by a name within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let median = bencher.last_median.unwrap_or_default();
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib_s = bytes as f64
+                / median.as_secs_f64().max(f64::MIN_POSITIVE)
+                / (1024.0 * 1024.0 * 1024.0);
+            println!("bench {label:<40} {median:>12?} /iter  ({gib_s:.3} GiB/s)");
+        }
+        Some(Throughput::Elements(elems)) => {
+            let melem_s = elems as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE) / 1_000_000.0;
+            println!("bench {label:<40} {median:>12?} /iter  ({melem_s:.3} Melem/s)");
+        }
+        None => println!("bench {label:<40} {median:>12?} /iter"),
+    }
+}
+
+/// Bundles benchmark functions into a single group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test` pass harness flags like
+            // `--bench`; a plain main ignores them.
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_median() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.last_median.is_some());
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x + 1));
+        });
+        g.bench_function("plain", |b| b.iter(|| std::hint::black_box(1u8)));
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| std::hint::black_box(0u8)));
+        assert_eq!(BenchmarkId::new("a", "b").id, "a/b");
+        assert_eq!(BenchmarkId::from_parameter(5).id, "5");
+    }
+}

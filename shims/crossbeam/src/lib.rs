@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam`, providing the [`channel`] module the
+//! thread-per-node runtime uses, implemented over `std::sync::mpsc`. The
+//! runtime only needs multi-producer/single-consumer unbounded channels
+//! with `try_iter` draining, which mpsc covers exactly.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Unbounded MPSC channels with the crossbeam-channel API subset the
+    //! workspace uses (`unbounded`, `Sender::send`, `Receiver::try_iter`).
+
+    use std::sync::mpsc::{Receiver as StdReceiver, Sender as StdSender, TryIter};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half; cloneable for multi-producer use.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: StdSender<T>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only if the receiver was dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] containing the value if the channel is
+        /// disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: StdReceiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders are dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] if every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError`] if the channel is empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Drains every message currently queued, without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn multi_producer_try_iter_drains() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx.send(1).unwrap()).join().unwrap();
+            std::thread::spawn(move || tx2.send(2).unwrap()).join().unwrap();
+            let mut got: Vec<i32> = rx.try_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+            assert!(rx.try_recv().is_err());
+        }
+
+        #[test]
+        fn send_after_receiver_drop_errors() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(7).is_err());
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! Offline stand-in for `proptest`, covering the subset the workspace's
+//! property tests use.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case index
+//!   and the assertion message; re-running the test replays the identical
+//!   stream, so failures are reproducible without persistence files.
+//! * **Deterministic generation.** Case `i` of every test derives its RNG
+//!   from `i` via SplitMix64, so CI and local runs see the same inputs.
+//!
+//! Supported surface: the [`proptest!`] macro (with
+//! `#![proptest_config(...)]` and multiple `fn name(pat in strategy, ...)`
+//! items), [`Strategy`] with `prop_map`/`prop_flat_map`, integer and float
+//! range strategies, tuple strategies, [`collection::vec`] /
+//! [`collection::btree_set`] with flexible size specs, [`bool::ANY`],
+//! [`num::u8::ANY`], [`ProptestConfig::with_cases`], and the
+//! `prop_assert*` macros returning [`TestCaseError`].
+
+#![forbid(unsafe_code)]
+// The `bool` and `num::u8` module names shadow primitive types on purpose:
+// they mirror the real proptest's module layout.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Deterministic RNG used to drive generation.
+
+    /// SplitMix64 generator; one instance per test case, seeded from the
+    /// case index so every run replays identically.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for a given test-case index.
+        pub fn deterministic(case: u64) -> Self {
+            // Offset so case 0 doesn't start from the all-zero state.
+            TestRng { state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03 }
+        }
+
+        /// Creates the RNG for a given test name and case index. Mixing in
+        /// the name keeps different properties on independent streams —
+        /// otherwise case `i` of every test would sample identical inputs.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, folded into the case seed.
+            let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+            for byte in test_name.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::deterministic(case ^ hash)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `[lo, hi]`.
+        pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u64 + 1;
+            lo + (self.next_u64() % span) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Configuration accepted via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure of a single property case; produced by the `prop_assert*`
+/// macros and an early `return Err(...)` from a test body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Feeds generated values into `f`, which yields a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { strategy: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.strategy.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Go through i128 so signed ranges with negative starts
+                // neither underflow the span nor overflow the offset add.
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng),)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng), self.3.generate(rng))
+    }
+}
+
+pub mod collection {
+    //! Collection strategies with flexible size specifications.
+
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy producing `BTreeSet`s of `element` with *up to* the
+    /// requested number of elements (duplicates collapse, as in real
+    /// proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_inclusive(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = rng.usize_inclusive(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding uniform booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random `true`/`false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies (`proptest::num::u8::ANY`, ...).
+
+    macro_rules! num_any_mod {
+        ($($m:ident : $t:ty),*) => {$(
+            pub mod $m {
+                use crate::{Strategy, test_runner::TestRng};
+
+                /// Strategy yielding uniform values over the full domain.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// The full-domain uniform strategy.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    num_any_mod!(u8: core::primitive::u8, u16: core::primitive::u16, u32: core::primitive::u32, u64: core::primitive::u64, usize: core::primitive::usize);
+}
+
+pub mod prelude {
+    //! The glob import every property-test module uses.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; ) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ( $($strategy,)+ );
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case as u64);
+                let ( $($pat,)+ ) = $crate::Strategy::generate(&strategy, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at deterministic case {}/{}: {}",
+                        stringify!($name), case, config.cases, err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Discards the current case when its inputs don't satisfy a precondition.
+/// Unlike the real proptest (which resamples), the shim simply skips the
+/// case — acceptable because preconditions in this workspace reject only a
+/// small fraction of inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), left, right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left), stringify!($right), left
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+), left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 0u16..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn signed_ranges_cross_zero(x in -5i32..5, y in -3i64..=3, z in i8::MIN..=i8::MAX) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            let _ = z; // full-domain i8 must not overflow the span math
+        }
+
+        #[test]
+        fn vec_sizes_respect_spec(v in crate::collection::vec(0u8..255, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn flat_map_dependencies_hold(
+            (n, v) in (1usize..5).prop_flat_map(|n| {
+                crate::collection::vec(0usize..n, n).prop_map(move |v| (n, v))
+            }),
+        ) {
+            prop_assert_eq!(v.len(), n);
+            for x in v {
+                prop_assert!(x < n);
+            }
+        }
+
+        #[test]
+        fn tuple_and_set_strategies_work(
+            (a, s) in (0u64..100, crate::collection::btree_set(0usize..8, 0..=4)),
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!(s.len() <= 4);
+            prop_assert_ne!(s.len(), 9);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strategy = crate::collection::vec(0u64..1000, 3..9);
+        let a: Vec<Vec<u64>> = (0..20)
+            .map(|i| strategy.generate(&mut crate::test_runner::TestRng::deterministic(i)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..20)
+            .map(|i| strategy.generate(&mut crate::test_runner::TestRng::deterministic(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failing_case_reports_index() {
+        // A property failing on every case must panic with the case index.
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(unused)]
+                fn always_fails(x in 0usize..10) {
+                    prop_assert!(false, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("deterministic case 0/4"), "got: {msg}");
+    }
+}

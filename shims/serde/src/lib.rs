@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds in an air-gapped environment, so the real serde
+//! cannot be fetched. No code in the tree serializes through serde — the
+//! `#[derive(Serialize, Deserialize)]` attributes document intent (and keep
+//! the door open for swapping in the real crate once a registry is
+//! available) — so the two traits are pure markers and the derive macros
+//! (re-exported from the sibling `serde_derive` shim) emit empty impls.
+//!
+//! Swapping in real serde later is a manifest-only change: the trait names,
+//! import paths and derive spellings match the real crate.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize {}

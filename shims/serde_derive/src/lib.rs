@@ -1,0 +1,131 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real serde cannot be
+//! vendored. Nothing in the tree actually serializes through serde — the
+//! derives only mark types as wire-representable — so `Serialize` /
+//! `Deserialize` are marker traits (see the sibling `serde` shim) and this
+//! derive just emits the corresponding empty `impl` blocks.
+//!
+//! The hand-rolled parser (no `syn`/`quote` available offline) supports
+//! plain and generically-parameterized `struct`/`enum` items, which covers
+//! every derive site in the workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
+
+/// Parses `[attrs] [pub] (struct|enum|union) Name [<params>] …` and emits
+/// `impl<params> Trait for Name<param-names> {}`.
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+    let mut name: Option<String> = None;
+
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute's bracket group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id)
+                if id.to_string() == "struct"
+                    || id.to_string() == "enum"
+                    || id.to_string() == "union" =>
+            {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("derive input must be a struct, enum or union");
+
+    // Optional generic parameter list: collect raw tokens between the outer
+    // `<` `>` pair, tracking nesting depth for embedded generics.
+    let mut params_decl = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                params_decl.push_str(&tt.to_string());
+                params_decl.push(' ');
+            }
+        }
+    }
+
+    let output = if params_decl.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        let args = param_names(&params_decl).join(", ");
+        format!("impl<{params_decl}> {trait_path} for {name}<{args}> {{}}")
+    };
+    output.parse().expect("generated impl is valid Rust")
+}
+
+/// Extracts the bare parameter names (`'a`, `T`, `N`) from a declaration
+/// list like `'a , T : Clone , const N : usize`.
+fn param_names(decl: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    for segment in split_top_level_commas(decl, &mut depth) {
+        let segment = segment.trim();
+        let head = segment.split(':').next().unwrap_or(segment).trim();
+        let head = head.strip_prefix("const").unwrap_or(head).trim();
+        if !head.is_empty() {
+            names.push(head.to_string());
+        }
+    }
+    names
+}
+
+fn split_top_level_commas(s: &str, depth: &mut usize) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    for c in s.chars() {
+        match c {
+            '<' | '(' | '[' => {
+                *depth += 1;
+                current.push(c);
+            }
+            '>' | ')' | ']' => {
+                *depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if *depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}

@@ -50,8 +50,8 @@ fn one_byzantine_breaks_baseline_agreement_but_not_nectar() {
         // NECTAR under the exact same bridge attack: 100% correct.
         let mut scenario = Scenario::new(b.graph.clone(), 1).with_key_seed(seed);
         for &x in &b.byzantine {
-            scenario =
-                scenario.with_byzantine(x, ByzantineBehavior::TwoFaced { silent_toward: silent.clone() });
+            scenario = scenario
+                .with_byzantine(x, ByzantineBehavior::TwoFaced { silent_toward: silent.clone() });
         }
         let nectar = scenario.run();
         assert!(nectar.agreement(), "NECTAR keeps Agreement (seed {seed})");
@@ -85,8 +85,8 @@ fn nectar_stays_perfect_up_to_six_byzantine() {
         let silent: std::collections::BTreeSet<usize> = s.part_b.iter().copied().collect();
         let mut scenario = Scenario::new(s.graph, t).with_key_seed(t as u64);
         for &b in &s.byzantine {
-            scenario =
-                scenario.with_byzantine(b, ByzantineBehavior::TwoFaced { silent_toward: silent.clone() });
+            scenario = scenario
+                .with_byzantine(b, ByzantineBehavior::TwoFaced { silent_toward: silent.clone() });
         }
         let out = scenario.run();
         assert!(out.agreement(), "t = {t}");

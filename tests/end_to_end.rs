@@ -14,7 +14,12 @@ fn forced_cases() -> Vec<(&'static str, Graph, usize, Verdict)> {
         // κ = 4 = 2t.
         ("harary(4,12) t=2", gen::harary(4, 12).unwrap(), 2, Verdict::NotPartitionable),
         // κ = 5 > 2t = 4.
-        ("wheel GW(5,12) t=2", gen::generalized_wheel(5, 12).unwrap(), 2, Verdict::NotPartitionable),
+        (
+            "wheel GW(5,12) t=2",
+            gen::generalized_wheel(5, 12).unwrap(),
+            2,
+            Verdict::NotPartitionable,
+        ),
         // Disconnected graph.
         (
             "two paths t=1",
@@ -46,9 +51,8 @@ fn forced_verdicts_on_the_threaded_runtime() {
 #[test]
 fn both_runtimes_are_bit_identical() {
     let g = gen::k_pasted_tree(3, 15).unwrap();
-    let scenario = Scenario::new(g, 1)
-        .with_key_seed(99)
-        .with_byzantine(4, ByzantineBehavior::Silent);
+    let scenario =
+        Scenario::new(g, 1).with_key_seed(99).with_byzantine(4, ByzantineBehavior::Silent);
     let sync = scenario.run();
     let threaded = scenario.run_threaded();
     assert_eq!(sync.decisions, threaded.decisions);
@@ -76,8 +80,8 @@ fn byzantine_bridge_keeps_all_correct_nodes_on_partitionable() {
     let silent: std::collections::BTreeSet<usize> = s.part_b.iter().copied().collect();
     let mut scenario = Scenario::new(s.graph, 2).with_key_seed(11);
     for &b in &s.byzantine {
-        scenario =
-            scenario.with_byzantine(b, ByzantineBehavior::TwoFaced { silent_toward: silent.clone() });
+        scenario = scenario
+            .with_byzantine(b, ByzantineBehavior::TwoFaced { silent_toward: silent.clone() });
     }
     let out = scenario.run();
     assert!(out.agreement());
@@ -100,7 +104,12 @@ fn traffic_metrics_are_plausible() {
     // Dissemination stops at the diameter: later rounds are silent.
     let diameter = traversal::diameter(&g).unwrap();
     let per_round = m.bytes_per_round();
-    assert!(per_round.len() <= diameter + 1, "rounds active: {} > diameter {}", per_round.len(), diameter);
+    assert!(
+        per_round.len() <= diameter + 1,
+        "rounds active: {} > diameter {}",
+        per_round.len(),
+        diameter
+    );
 }
 
 #[test]

@@ -18,7 +18,12 @@ fn assert_well_formed(t: &Table) {
     for s in &t.series {
         assert!(!s.points.is_empty(), "{}/{}: empty series", t.id, s.label);
         for p in &s.points {
-            assert!(p.mean.is_finite() && p.ci95.is_finite(), "{}/{}: non-finite point", t.id, s.label);
+            assert!(
+                p.mean.is_finite() && p.ci95.is_finite(),
+                "{}/{}: non-finite point",
+                t.id,
+                s.label
+            );
             assert!(p.mean >= 0.0, "{}/{}: negative mean", t.id, s.label);
         }
     }

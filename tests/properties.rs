@@ -12,12 +12,10 @@ use nectar::prelude::*;
 /// given density; may be disconnected, which is a valid input too).
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (4..=max_n).prop_flat_map(|n| {
-        let pairs: Vec<(usize, usize)> = (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
         proptest::collection::vec(0.0f64..1.0, pairs.len()).prop_map(move |weights| {
-            let edges = pairs
-                .iter()
-                .zip(&weights)
-                .filter_map(|(&e, &w)| (w < 0.45).then_some(e));
+            let edges = pairs.iter().zip(&weights).filter_map(|(&e, &w)| (w < 0.45).then_some(e));
             Graph::from_edges(n, edges).expect("edges in range")
         })
     })
@@ -53,8 +51,31 @@ fn run_with_cast(g: &Graph, t: usize, cast: &[(usize, ByzantineBehavior)]) -> Ou
     scenario.run()
 }
 
+/// A graph, the Byzantine budget `t` used to size its cast, and a cast
+/// drawn from the full behaviour zoo (silent / crash / two-faced / hide /
+/// equivocate) via [`arb_cast`]. Yielding `t` keeps the budget and the
+/// cast size defined in one place.
+fn arb_graph_and_cast(
+    max_n: usize,
+) -> impl Strategy<Value = (Graph, usize, Vec<(usize, ByzantineBehavior)>)> {
+    arb_graph(max_n).prop_flat_map(|g| {
+        let n = g.node_count();
+        let t = 2.min(n / 3);
+        arb_cast(n, t).prop_map(move |cast| (g.clone(), t, cast))
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Agreement over the *full* behaviour zoo: casts sampled by
+    /// [`arb_cast`] include CrashAfter and Equivocate, which the
+    /// seed-derived cast below cannot produce.
+    #[test]
+    fn agreement_under_zoo_casts((g, t, cast) in arb_graph_and_cast(9)) {
+        let out = run_with_cast(&g, t, &cast);
+        prop_assert!(out.agreement(), "verdicts: {:?}", out.decisions);
+    }
 
     /// Agreement: all correct nodes decide the same verdict, whatever the
     /// Byzantine cast does. (Termination is implicit: `run` returns after

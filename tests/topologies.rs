@@ -14,7 +14,10 @@ fn family_zoo() -> Vec<(String, Graph)> {
     zoo.push(("gw(4,12)".into(), gen::generalized_wheel(4, 12).unwrap()));
     zoo.push(("mw(4,12)".into(), gen::multipartite_wheel(4, 12, 2).unwrap()));
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(17);
-    zoo.push(("random_regular(4,14)".into(), gen::random_regular_connected(4, 14, &mut rng, 50).unwrap()));
+    zoo.push((
+        "random_regular(4,14)".into(),
+        gen::random_regular_connected(4, 14, &mut rng, 50).unwrap(),
+    ));
     zoo
 }
 
@@ -78,7 +81,8 @@ fn wheel_center_byzantine_clique_cannot_hide_spoke_edges() {
     let g = gen::generalized_wheel(5, 14).unwrap();
     let mut scenario = Scenario::new(g, 3);
     for hub in 0..3 {
-        scenario = scenario.with_byzantine(hub, ByzantineBehavior::HideEdges { toward: (0..14).collect() });
+        scenario = scenario
+            .with_byzantine(hub, ByzantineBehavior::HideEdges { toward: (0..14).collect() });
     }
     let out = scenario.run();
     assert!(out.agreement());
@@ -139,9 +143,17 @@ fn drone_graphs_over_the_whole_distance_range() {
         // Verdict must match ground truth thresholds.
         let kappa = connectivity::vertex_connectivity(&placement.graph);
         if kappa >= 2 {
-            assert_eq!(out.unanimous_verdict(), Some(Verdict::NotPartitionable), "d = {d}, κ = {kappa}");
+            assert_eq!(
+                out.unanimous_verdict(),
+                Some(Verdict::NotPartitionable),
+                "d = {d}, κ = {kappa}"
+            );
         } else {
-            assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable), "d = {d}, κ = {kappa}");
+            assert_eq!(
+                out.unanimous_verdict(),
+                Some(Verdict::Partitionable),
+                "d = {d}, κ = {kappa}"
+            );
         }
     }
 }
