@@ -35,8 +35,41 @@ pub struct Decision {
     pub confirmed: bool,
     /// Number of nodes this node saw as reachable (`r` in Alg. 1).
     pub reachable: usize,
-    /// Vertex connectivity of the discovered graph (`k` in Alg. 1).
+    /// The vertex-connectivity bound of the discovered graph that justified
+    /// the verdict (`k` in Alg. 1). The reference path
+    /// ([`NectarNode::decide`](crate::node::NectarNode::decide)) reports the
+    /// exact `κ`; the oracle path
+    /// ([`decide_with`](crate::node::NectarNode::decide_with)) reports a
+    /// witness bound instead — `≤ t` for PARTITIONABLE (a cut of that size
+    /// exists), `t + 1` for NOT_PARTITIONABLE (`κ` is at least that). The
+    /// verdict-relevant comparison `connectivity > t` agrees between the two.
     pub connectivity: usize,
+}
+
+impl Decision {
+    /// Applies the decision rule of Alg. 1 ll. 17–23 to a view summarized
+    /// by its reachable count `r` and its connectivity (bound): decide
+    /// NOT_PARTITIONABLE iff `k > t ∧ r = n`, PARTITIONABLE otherwise with
+    /// `confirmed = (r ≠ n)`. Single home of the rule, shared by the exact
+    /// and oracle paths of `NectarNode` and by the dolev detector.
+    pub fn from_view(n: usize, t: usize, reachable: usize, connectivity: usize) -> Decision {
+        let all_reachable = reachable == n;
+        if connectivity > t && all_reachable {
+            Decision {
+                verdict: Verdict::NotPartitionable,
+                confirmed: false,
+                reachable,
+                connectivity,
+            }
+        } else {
+            Decision {
+                verdict: Verdict::Partitionable,
+                confirmed: !all_reachable,
+                reachable,
+                connectivity,
+            }
+        }
+    }
 }
 
 /// NECTAR's parameters: the paper's inputs (`n`, `t`) plus reproduction

@@ -7,8 +7,15 @@
 //! usage: one NECTAR execution per topology snapshot, with fresh keys per
 //! epoch and a report history — the pattern behind the `drone_patrol`
 //! example and any deployment that re-runs detection periodically.
+//!
+//! One [`ConnectivityOracle`] is shared across all epochs of a monitoring
+//! run: a snapshot whose topology did not move since an earlier epoch —
+//! the overwhelmingly common case for a stable deployment — re-resolves
+//! its decision phase from the verdict cache in O(n + m) instead of
+//! re-running max-flow connectivity computations (see
+//! [`Outcome::oracle`](crate::runner::Outcome::oracle) per epoch).
 
-use nectar_graph::Graph;
+use nectar_graph::{ConnectivityOracle, Graph};
 
 use crate::config::Verdict;
 use crate::runner::{Outcome, Scenario};
@@ -41,17 +48,20 @@ impl EpochMonitor {
         self
     }
 
-    /// Runs NECTAR over each snapshot in turn.
+    /// Runs NECTAR over each snapshot in turn, sharing one connectivity
+    /// oracle across the epochs so unchanged topologies decide from cache.
     pub fn run_epochs<I>(&self, snapshots: I) -> Vec<EpochReport>
     where
         I: IntoIterator<Item = Graph>,
     {
+        let mut oracle = ConnectivityOracle::new();
         snapshots
             .into_iter()
             .enumerate()
             .map(|(epoch, graph)| {
-                let outcome =
-                    Scenario::new(graph, self.t).with_key_seed(self.key_seed + epoch as u64).run();
+                let outcome = Scenario::new(graph, self.t)
+                    .with_key_seed(self.key_seed + epoch as u64)
+                    .run_with_oracle(&mut oracle);
                 EpochReport { epoch, outcome }
             })
             .collect()
@@ -97,6 +107,19 @@ mod tests {
         let reports = monitor.run_epochs(std::iter::repeat_n(gen::cycle(6), 3));
         assert_eq!(EpochMonitor::first_partitionable_epoch(&reports), None);
         assert!(reports.iter().all(|r| r.outcome.agreement()));
+    }
+
+    #[test]
+    fn unchanged_snapshots_decide_from_the_shared_cache() {
+        let monitor = EpochMonitor::new(1);
+        let reports = monitor.run_epochs(std::iter::repeat_n(gen::cycle(8), 3));
+        // Epoch 0 pays for the one real connectivity query; epochs 1 and 2
+        // answer every node's decision from the shared verdict cache.
+        assert_eq!(reports[0].outcome.oracle.cache_hits, 7);
+        for r in &reports[1..] {
+            assert_eq!(r.outcome.oracle.cache_hits, r.outcome.oracle.queries);
+            assert_eq!(r.outcome.oracle.bounded_flows, 0);
+        }
     }
 
     #[test]

@@ -52,5 +52,6 @@ pub use byzantine::{ByzantineBehavior, Participant};
 pub use config::{Decision, NectarConfig, Verdict};
 pub use epochs::{EpochMonitor, EpochReport};
 pub use message::{NectarMsg, RelayedEdge, WireFormat};
+pub use nectar_graph::{ConnectivityOracle, OracleStats};
 pub use node::{NectarNode, RejectReason};
 pub use runner::{Outcome, Scenario};

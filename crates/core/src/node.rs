@@ -19,10 +19,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use nectar_crypto::{NeighborhoodProof, SignatureChain, Signer, Verifier};
-use nectar_graph::{connectivity, traversal, Graph};
+use nectar_graph::{connectivity, traversal, ConnectivityOracle, Graph};
 use nectar_net::{NodeId, Outgoing, Process};
 
-use crate::config::{Decision, NectarConfig, Verdict};
+use crate::config::{Decision, NectarConfig};
 use crate::message::{NectarMsg, RelayedEdge};
 
 /// Reasons a relayed edge can be rejected, counted for diagnostics.
@@ -174,9 +174,33 @@ impl NectarNode {
 
     /// The decision phase (Alg. 1 ll. 16–23). Callable once the propagation
     /// rounds have run; pure, so callers may invoke it repeatedly.
+    ///
+    /// This is the *reference* path: it computes the exact vertex
+    /// connectivity of `G_i`. Production callers that re-run the decision
+    /// phase repeatedly should prefer [`decide_with`](Self::decide_with),
+    /// which answers the same `κ > t` question through the
+    /// [`ConnectivityOracle`]'s bounded fast path.
     pub fn decide(&self) -> Decision {
         let g = self.discovered_graph();
         self.decide_given_connectivity(connectivity::vertex_connectivity(&g))
+    }
+
+    /// The decision phase answered through a [`ConnectivityOracle`].
+    ///
+    /// Corollary 1 only needs the decision bit `κ(G_i) ≤ t`, so the oracle
+    /// can stop each max-flow after `t + 1` disjoint paths and reuse cached
+    /// verdicts when `G_i` did not change since the last call (or matches
+    /// another node's identical view, per Lemma 2). The verdict and
+    /// `confirmed` flag are identical to [`decide`](Self::decide); the
+    /// reported [`Decision::connectivity`] is the oracle's witness bound
+    /// rather than the exact `κ` — the bound sits on the same side of `t`
+    /// as the exact value by construction, so the shared rule in
+    /// [`Decision::from_view`] yields the same verdict.
+    pub fn decide_with(&self, oracle: &mut ConnectivityOracle) -> Decision {
+        let g = self.discovered_graph();
+        let answer = oracle.answer(&g, self.config.t);
+        let reachable = traversal::reachable_count(&g, self.id);
+        Decision::from_view(self.config.n, self.config.t, reachable, answer.kappa.report())
     }
 
     /// The decision phase with an externally computed vertex connectivity of
@@ -186,22 +210,7 @@ impl NectarNode {
     pub fn decide_given_connectivity(&self, connectivity: usize) -> Decision {
         let g = self.discovered_graph();
         let reachable = traversal::reachable_count(&g, self.id);
-        let all_reachable = reachable == self.config.n;
-        if connectivity > self.config.t && all_reachable {
-            Decision {
-                verdict: Verdict::NotPartitionable,
-                confirmed: false,
-                reachable,
-                connectivity,
-            }
-        } else {
-            Decision {
-                verdict: Verdict::Partitionable,
-                confirmed: !all_reachable,
-                reachable,
-                connectivity,
-            }
-        }
+        Decision::from_view(self.config.n, self.config.t, reachable, connectivity)
     }
 
     /// Canonical key of the discovered edge set (for decision caching across
@@ -303,6 +312,7 @@ impl Process for NectarNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Verdict;
     use crate::message::WireFormat;
     use nectar_crypto::KeyStore;
 
@@ -530,6 +540,44 @@ mod tests {
         let d1 = nodes[0].decide();
         let d2 = nodes[0].decide();
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn oracle_decision_agrees_with_the_reference_path() {
+        // Verdict, confirmed flag and reachable count must match decide()
+        // exactly; only the connectivity report may differ (bound vs exact).
+        for (g, t) in [
+            (nectar_graph::gen::cycle(6), 1),
+            (nectar_graph::gen::star(6), 1),
+            (nectar_graph::gen::harary(4, 8).unwrap(), 2),
+            (Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap(), 1),
+        ] {
+            let mut oracle = ConnectivityOracle::new();
+            for node in run(&g, t) {
+                let exact = node.decide();
+                let fast = node.decide_with(&mut oracle);
+                assert_eq!(fast.verdict, exact.verdict, "graph {g:?}");
+                assert_eq!(fast.confirmed, exact.confirmed);
+                assert_eq!(fast.reachable, exact.reachable);
+                // The oracle's bound brackets the verdict threshold like κ.
+                assert_eq!(fast.connectivity > t, exact.connectivity > t);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_views_share_one_oracle_verdict() {
+        // All 6 correct nodes of a clean run converge to the same G_i
+        // (Lemma 2): with a shared oracle, 5 of the 6 decisions are cache
+        // hits and only the first runs any flow.
+        let g = nectar_graph::gen::cycle(6);
+        let nodes = run(&g, 1);
+        let mut oracle = ConnectivityOracle::new();
+        for node in &nodes {
+            node.decide_with(&mut oracle);
+        }
+        assert_eq!(oracle.stats().queries, 6);
+        assert_eq!(oracle.stats().cache_hits, 5);
     }
 }
 

@@ -10,7 +10,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use nectar_crypto::{KeyStore, NeighborhoodProof};
-use nectar_graph::{connectivity, traversal, Graph};
+use nectar_graph::{connectivity, traversal, ConnectivityOracle, Graph, OracleStats};
 use nectar_net::{Metrics, NodeId, SyncNetwork};
 
 use crate::byzantine::{
@@ -166,12 +166,20 @@ impl Scenario {
 
     /// Runs the scenario on the deterministic synchronous engine.
     pub fn run(&self) -> Outcome {
+        self.run_with_oracle(&mut ConnectivityOracle::new())
+    }
+
+    /// Runs the scenario with a caller-supplied [`ConnectivityOracle`], so
+    /// repeated executions — epoch monitoring, experiment sweeps over the
+    /// same topology — share cached verdicts across runs. The returned
+    /// [`Outcome::oracle`] counters cover this run only.
+    pub fn run_with_oracle(&self, oracle: &mut ConnectivityOracle) -> Outcome {
         let participants = self.build_participants();
         let rounds = self.config.effective_rounds();
         let mut net = SyncNetwork::new(participants, self.topology.clone());
         net.run_rounds(rounds);
         let (participants, metrics) = net.into_parts();
-        self.collect(participants, metrics)
+        self.collect(participants, metrics, oracle)
     }
 
     /// Runs the scenario and returns only the traffic metrics, skipping the
@@ -200,31 +208,44 @@ impl Scenario {
     /// Runs the scenario on the thread-per-node runtime (same results, real
     /// concurrency).
     pub fn run_threaded(&self) -> Outcome {
+        self.run_threaded_with_oracle(&mut ConnectivityOracle::new())
+    }
+
+    /// [`run_threaded`](Self::run_threaded) with a caller-supplied oracle.
+    pub fn run_threaded_with_oracle(&self, oracle: &mut ConnectivityOracle) -> Outcome {
         let participants = self.build_participants();
         let rounds = self.config.effective_rounds();
         let (participants, metrics) =
             nectar_net::run_threaded(participants, &self.topology, rounds);
-        self.collect(participants, metrics)
+        self.collect(participants, metrics, oracle)
     }
 
-    fn collect(&self, participants: Vec<Participant>, metrics: Metrics) -> Outcome {
+    fn collect(
+        &self,
+        participants: Vec<Participant>,
+        metrics: Metrics,
+        oracle: &mut ConnectivityOracle,
+    ) -> Outcome {
         let byzantine = self.byzantine_nodes();
+        let before = *oracle.stats();
         // Correct nodes that ended up with identical G_i (the common case,
-        // per Lemma 2) share one vertex-connectivity computation.
-        let mut kappa_cache: std::collections::HashMap<Vec<(u16, u16)>, usize> =
-            std::collections::HashMap::new();
+        // per Lemma 2) share one cached oracle verdict: the fingerprint
+        // cache plays the role the old per-run κ memo table used to.
         let decisions = participants
             .iter()
             .filter(|p| !byzantine.contains(&p.nectar().node_id()))
             .map(|p| {
                 let node = p.nectar();
-                let kappa = *kappa_cache.entry(node.discovered_edge_key()).or_insert_with(|| {
-                    nectar_graph::connectivity::vertex_connectivity(&node.discovered_graph())
-                });
-                (node.node_id(), node.decide_given_connectivity(kappa))
+                (node.node_id(), node.decide_with(oracle))
             })
             .collect();
-        Outcome { decisions, metrics, byzantine, topology: self.topology.clone() }
+        Outcome {
+            decisions,
+            metrics,
+            byzantine,
+            topology: self.topology.clone(),
+            oracle: oracle.stats().since(&before),
+        }
     }
 }
 
@@ -239,6 +260,9 @@ pub struct Outcome {
     pub byzantine: BTreeSet<NodeId>,
     /// The ground-truth topology (for property checks).
     pub topology: Graph,
+    /// Connectivity-oracle counters for this run's decision phase (cache
+    /// hits across identical views, bounded-flow early exits, …).
+    pub oracle: OracleStats,
 }
 
 impl Outcome {
@@ -350,6 +374,28 @@ mod tests {
         // everyone confirms a real partition.
         assert!(out.decisions.values().all(|d| d.confirmed));
         assert!(out.byzantine_cast_is_vertex_cut());
+    }
+
+    #[test]
+    fn outcome_reports_oracle_cache_sharing_across_identical_views() {
+        // Clean ring: all 6 correct views are identical (Lemma 2), so the
+        // decision phase pays for one connectivity query and hits the cache
+        // five times.
+        let out = Scenario::new(gen::cycle(6), 1).run();
+        assert_eq!(out.oracle.queries, 6);
+        assert_eq!(out.oracle.cache_hits, 5);
+    }
+
+    #[test]
+    fn shared_oracle_carries_verdicts_across_runs() {
+        let scenario = Scenario::new(gen::cycle(6), 1);
+        let mut oracle = nectar_graph::ConnectivityOracle::new();
+        let first = scenario.run_with_oracle(&mut oracle);
+        let second = scenario.run_with_oracle(&mut oracle);
+        assert_eq!(first.decisions, second.decisions);
+        // Per-run deltas: the second run answers every query from cache.
+        assert_eq!(second.oracle.cache_hits, second.oracle.queries);
+        assert_eq!(second.oracle.bounded_flows, 0);
     }
 
     #[test]

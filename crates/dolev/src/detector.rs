@@ -25,9 +25,9 @@
 
 use std::collections::BTreeSet;
 
-use nectar_graph::{connectivity, traversal, Graph};
+use nectar_graph::{traversal, ConnectivityOracle, Graph, OracleStats};
 use nectar_net::{NodeId, Outgoing, Process};
-use nectar_protocol::{Decision, Verdict};
+use nectar_protocol::Decision;
 
 use crate::dissemination::{ClaimId, PathMsg, PathStore};
 
@@ -66,6 +66,10 @@ pub struct UnsignedNode {
     outbox: Vec<(PathMsg<ClaimId>, BTreeSet<NodeId>)>,
     /// Relay dedup: paths this node has already forwarded.
     relayed: BTreeSet<(ClaimId, Vec<NodeId>)>,
+    /// Bounded/cached `κ ≤ t` decisions: re-deciding on an unchanged
+    /// accepted graph (the steady state once dissemination quiesces) is a
+    /// cache hit instead of a connectivity recomputation.
+    oracle: ConnectivityOracle,
 }
 
 impl UnsignedNode {
@@ -78,6 +82,7 @@ impl UnsignedNode {
             store: PathStore::new(),
             outbox: Vec::new(),
             relayed: BTreeSet::new(),
+            oracle: ConnectivityOracle::new(),
         };
         // Round 1 announces each own edge as a claim with path [self].
         for &nbr in &neighbors {
@@ -128,27 +133,19 @@ impl UnsignedNode {
     }
 
     /// The decision phase, identical to NECTAR's (Alg. 1 ll. 16–23) over
-    /// the accepted graph.
+    /// the accepted graph, answered through the node's connectivity oracle
+    /// (`κ ≤ t` decided with bounded flows; repeated decisions on an
+    /// unchanged accepted graph hit the verdict cache).
     pub fn decide(&mut self) -> Decision {
         let g = self.accepted_graph();
         let reachable = traversal::reachable_count(&g, self.id);
-        let connectivity = connectivity::vertex_connectivity(&g);
-        let all_reachable = reachable == self.config.n;
-        if connectivity > self.config.t && all_reachable {
-            Decision {
-                verdict: Verdict::NotPartitionable,
-                confirmed: false,
-                reachable,
-                connectivity,
-            }
-        } else {
-            Decision {
-                verdict: Verdict::Partitionable,
-                confirmed: !all_reachable,
-                reachable,
-                connectivity,
-            }
-        }
+        let answer = self.oracle.answer(&g, self.config.t);
+        Decision::from_view(self.config.n, self.config.t, reachable, answer.kappa.report())
+    }
+
+    /// Connectivity-oracle counters accumulated by this node's decisions.
+    pub fn oracle_stats(&self) -> &OracleStats {
+        self.oracle.stats()
     }
 
     /// Total stored paths (cost diagnostics).
@@ -201,6 +198,7 @@ impl Process for UnsignedNode {
 mod tests {
     use super::*;
     use nectar_net::SyncNetwork;
+    use nectar_protocol::Verdict;
 
     fn run(g: &Graph, t: usize) -> Vec<UnsignedNode> {
         let n = g.node_count();
@@ -231,6 +229,33 @@ mod tests {
         for mut node in run(&g, 2) {
             assert_eq!(node.accepted_graph(), g);
             assert_eq!(node.decide().verdict, Verdict::NotPartitionable);
+        }
+    }
+
+    #[test]
+    fn oracle_decision_matches_exact_recomputation() {
+        use nectar_graph::connectivity;
+        for (g, t) in [
+            (nectar_graph::gen::cycle(6), 1usize),
+            (nectar_graph::gen::harary(4, 10).unwrap(), 2),
+            (nectar_graph::gen::path(5), 1),
+        ] {
+            for mut node in run(&g, t) {
+                let d = node.decide();
+                let view = node.accepted_graph();
+                let kappa = connectivity::vertex_connectivity(&view);
+                let reachable = nectar_graph::traversal::reachable_count(&view, node.node_id());
+                let expected = if kappa > t && reachable == g.node_count() {
+                    Verdict::NotPartitionable
+                } else {
+                    Verdict::Partitionable
+                };
+                assert_eq!(d.verdict, expected, "node {}", node.node_id());
+                // Re-deciding an unchanged view is answered from cache.
+                let before = node.oracle_stats().cache_hits;
+                assert_eq!(node.decide(), d);
+                assert_eq!(node.oracle_stats().cache_hits, before + 1);
+            }
         }
     }
 

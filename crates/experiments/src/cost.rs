@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use nectar_baselines::{run_mtg, run_mtg_v2, MtgConfig};
-use nectar_graph::{gen, Graph};
+use nectar_graph::{gen, ConnectivityOracle, Graph};
 use nectar_protocol::Scenario;
 
 use crate::stats::summarize;
@@ -29,6 +29,20 @@ fn mix_seed(base: u64, a: u64, b: u64, c: u64) -> u64 {
 fn nectar_kb_per_node(g: &Graph, t: usize) -> f64 {
     let metrics = Scenario::new(g.clone(), t).run_metrics_only();
     metrics.mean_bytes_sent_per_node() / 1024.0
+}
+
+/// Debug-build guard for the deterministic cost figures: the §V-C sweeps
+/// pick `t = k/2` on families advertised as k-connected, so `κ > t` must
+/// hold or the series would silently measure a partitionable regime. The
+/// oracle decides the threshold with bounded flows; in release sweeps
+/// (`figures` binary, paper presets) the check compiles away.
+fn debug_assert_supports_t(oracle: &mut ConnectivityOracle, label: &str, g: &Graph, t: usize) {
+    if cfg!(debug_assertions) {
+        assert!(
+            !oracle.is_t_partitionable(g, t),
+            "{label}: generated graph is {t}-partitionable, cost series would be misleading"
+        );
+    }
 }
 
 /// Parameters for Fig. 3 (k-regular graphs).
@@ -55,6 +69,7 @@ impl Fig3Config {
 /// **Fig. 3** — data sent per node (KB) vs `n` on k-regular k-connected
 /// (Harary) graphs, one series per `k`.
 pub fn fig3_kregular_cost(cfg: &Fig3Config) -> Table {
+    let mut oracle = ConnectivityOracle::new();
     let series = cfg
         .ks
         .iter()
@@ -66,6 +81,7 @@ pub fn fig3_kregular_cost(cfg: &Fig3Config) -> Table {
                 .filter(|&&n| k < n)
                 .map(|&n| {
                     let g = gen::harary(k, n).expect("k < n checked");
+                    debug_assert_supports_t(&mut oracle, "fig3 harary", &g, k / 2);
                     Point { x: n as f64, mean: nectar_kb_per_node(&g, k / 2), ci95: 0.0 }
                 })
                 .collect(),
@@ -114,6 +130,7 @@ pub fn topology_cost(cfg: &TopologyCostConfig) -> Table {
         ("generalized-wheel", |k, n| gen::generalized_wheel(k, n).ok()),
         ("multipartite-wheel", |k, n| gen::multipartite_wheel(k, n, 2).ok()),
     ];
+    let mut oracle = ConnectivityOracle::new();
     let series = families
         .into_iter()
         .map(|(name, build)| Series {
@@ -122,10 +139,9 @@ pub fn topology_cost(cfg: &TopologyCostConfig) -> Table {
                 .ns
                 .iter()
                 .filter_map(|&n| {
-                    build(k, n).map(|g| Point {
-                        x: n as f64,
-                        mean: nectar_kb_per_node(&g, k / 2),
-                        ci95: 0.0,
+                    build(k, n).map(|g| {
+                        debug_assert_supports_t(&mut oracle, name, &g, k / 2);
+                        Point { x: n as f64, mean: nectar_kb_per_node(&g, k / 2), ci95: 0.0 }
                     })
                 })
                 .collect(),

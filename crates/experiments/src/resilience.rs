@@ -18,11 +18,13 @@ use std::collections::BTreeMap;
 use nectar_baselines::{
     run_mtg, run_mtg_v2, BaselineVerdict, MtgBehavior, MtgConfig, MtgV2Behavior,
 };
-use nectar_graph::{gen, traversal, Graph};
+use nectar_graph::{gen, traversal, ConnectivityOracle, Graph};
 use nectar_net::NodeId;
 use nectar_protocol::{ByzantineBehavior, Outcome, Scenario, Verdict};
 
-use crate::scenarios::{bridged_partition, cut_byzantine_placement, partitioned_with_insiders};
+use crate::scenarios::{
+    bridged_partition, cut_byzantine_placement_with, partitioned_with_insiders,
+};
 use crate::stats::summarize;
 use crate::table::{Point, Series, Table};
 
@@ -150,6 +152,18 @@ pub fn fig8_byzantine_resilience(cfg: &Fig8Config) -> Table {
 ///   node with no correct neighbors counts as cut off);
 /// * otherwise both verdicts are acceptable.
 pub fn nectar_spec_compliant(out: &Outcome, t: usize) -> bool {
+    nectar_spec_compliant_with(&mut ConnectivityOracle::new(), out, t)
+}
+
+/// [`nectar_spec_compliant`] with a caller-supplied oracle: the
+/// 2t-Sensitivity check `κ(G) ≥ 2t` is a threshold decision, so sweeps that
+/// test many runs over the same topology resolve it from cache after the
+/// first (and with bounded flows even on the first).
+pub fn nectar_spec_compliant_with(
+    oracle: &mut ConnectivityOracle,
+    out: &Outcome,
+    t: usize,
+) -> bool {
     if !out.agreement() {
         return false;
     }
@@ -160,7 +174,7 @@ pub fn nectar_spec_compliant(out: &Outcome, t: usize) -> bool {
     if out.byzantine_cast_is_vertex_cut() && verdict != Verdict::Partitionable {
         return false;
     }
-    if out.true_connectivity() >= 2 * t && verdict != Verdict::NotPartitionable {
+    if oracle.kappa_at_least(&out.topology, 2 * t) && verdict != Verdict::NotPartitionable {
         return false;
     }
     if out.decisions.values().any(|d| d.confirmed) && !out.byzantine_cast_can_cut() {
@@ -231,13 +245,18 @@ fn family_resilience(cfg: &TopologyResilienceConfig, family: &str, g: &Graph) ->
     let mut nectar_series = Series { label: "Nectar (ours)".into(), points: Vec::new() };
     let mut mtg_series = Series { label: "MtG".into(), points: Vec::new() };
     let mut v2_series = Series { label: "MtGv2".into(), points: Vec::new() };
+    // One oracle per family: every run of the sweep places casts on (and
+    // spec-checks against) the same topology, so the per-run feasibility
+    // and 2t-sensitivity queries all resolve from the shared verdict cache
+    // after their first occurrence.
+    let mut oracle = ConnectivityOracle::new();
     for &t in &cfg.ts {
         let mut nectar_samples = Vec::new();
         let mut mtg_samples = Vec::new();
         let mut v2_samples = Vec::new();
         for run in 0..cfg.runs {
             let seed = mix(cfg.base_seed, t as u64, run as u64);
-            let byz = cut_byzantine_placement(g, t, seed);
+            let byz = cut_byzantine_placement_with(&mut oracle, g, t, seed);
             let correct_partitioned = traversal::is_partitioned_without(g, &byz);
             // The silenced side: nodes outside the component of the
             // smallest correct node (empty if the correct subgraph stays
@@ -258,8 +277,12 @@ fn family_resilience(cfg: &TopologyResilienceConfig, family: &str, g: &Graph) ->
                     },
                 );
             }
-            let out = scenario.run();
-            nectar_samples.push(if nectar_spec_compliant(&out, t) { 1.0 } else { 0.0 });
+            let out = scenario.run_with_oracle(&mut oracle);
+            nectar_samples.push(if nectar_spec_compliant_with(&mut oracle, &out, t) {
+                1.0
+            } else {
+                0.0
+            });
 
             // MtG: saturating insiders; the correct answer tracks the
             // correct subgraph.

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use nectar_graph::{gen, Graph};
+use nectar_graph::{gen, traversal, ConnectivityOracle, Graph};
 use nectar_net::NodeId;
 
 /// A partitioned drone graph with Byzantine insiders.
@@ -142,8 +142,25 @@ pub fn random_byzantine_placement(g: &Graph, t: usize, seed: u64) -> Vec<NodeId>
 /// partition (e.g. when the min cut is the neighborhood of a single node,
 /// adding that node to the cast would reconnect the rest).
 pub fn cut_byzantine_placement(g: &Graph, t: usize, seed: u64) -> Vec<NodeId> {
-    let kappa = nectar_graph::connectivity::vertex_connectivity(g);
-    if t < kappa || kappa == 0 {
+    cut_byzantine_placement_with(&mut ConnectivityOracle::new(), g, t, seed)
+}
+
+/// [`cut_byzantine_placement`] with a caller-supplied oracle: resilience
+/// sweeps place casts on the *same* topology dozens of times, so the
+/// feasibility check `t ≥ κ(G)` ("does a cut of size ≤ t exist at all?") is
+/// a cached, bounded decision instead of an exact `κ` recomputation per
+/// run. Only placements that do cut still pay for one exact
+/// [`min_vertex_cut`](nectar_graph::connectivity::min_vertex_cut) to obtain
+/// the witness nodes.
+pub fn cut_byzantine_placement_with(
+    oracle: &mut ConnectivityOracle,
+    g: &Graph,
+    t: usize,
+    seed: u64,
+) -> Vec<NodeId> {
+    // t < κ (no cut of size ≤ t exists) or κ = 0 (already partitioned;
+    // "key positions" are meaningless): fall back to a random cast.
+    if !oracle.is_t_partitionable(g, t) || !traversal::is_connected(g) {
         return random_byzantine_placement(g, t, seed);
     }
     let mut cut = nectar_graph::connectivity::min_vertex_cut(g).unwrap_or_default();
@@ -235,5 +252,28 @@ mod tests {
         let g = gen::cycle(8);
         let byz = cut_byzantine_placement(&g, 2, 2);
         assert!(traversal::is_partitioned_without(&g, &byz));
+    }
+
+    #[test]
+    fn shared_oracle_placement_matches_the_transient_one() {
+        // The oracle only answers the feasibility question; the placement
+        // itself must stay bit-identical whether the oracle is shared
+        // (resilience sweeps) or created per call.
+        let mut oracle = ConnectivityOracle::new();
+        for (g, ts) in [
+            (gen::cycle(8), vec![0usize, 1, 2, 3]),
+            (gen::harary(4, 10).unwrap(), vec![2, 4, 5]),
+            (gen::star(6), vec![1, 2]),
+        ] {
+            for &t in &ts {
+                for seed in 0..3 {
+                    assert_eq!(
+                        cut_byzantine_placement_with(&mut oracle, &g, t, seed),
+                        cut_byzantine_placement(&g, t, seed),
+                    );
+                }
+            }
+        }
+        assert!(oracle.stats().cache_hits > 0, "repeat feasibility checks must hit the cache");
     }
 }

@@ -44,16 +44,79 @@ fn split_network(g: &Graph, exempt: [usize; 2]) -> FlowNetwork {
 ///
 /// Panics if `s == t` or an endpoint is out of range.
 pub fn local_vertex_connectivity(g: &Graph, s: usize, t: usize) -> usize {
+    local_vertex_connectivity_bounded(g, s, t, usize::MAX)
+}
+
+/// [`local_vertex_connectivity`] with an early exit: the result is exact
+/// when it is `< cap`, while any result `>= cap` only certifies
+/// `κ(s, t) ≥ cap`.
+///
+/// Direct `s`–`t` edges are stripped in a single clone up front (each one
+/// contributes exactly one disjoint path; a simple [`Graph`] holds at most
+/// one, but the loop stays correct should parallel edges ever appear), so
+/// the flow computation runs once instead of once per recursion step.
+///
+/// # Panics
+///
+/// Panics if `s == t` or an endpoint is out of range.
+pub fn local_vertex_connectivity_bounded(g: &Graph, s: usize, t: usize, cap: usize) -> usize {
     assert!(s != t, "local connectivity requires two distinct nodes");
     assert!(s < g.node_count() && t < g.node_count(), "node out of range");
-    if g.has_edge(s, t) {
-        let mut h = g.clone();
-        h.remove_edge(s, t);
-        return 1 + local_vertex_connectivity(&h, s, t);
+    let mut stripped;
+    let (h, direct) = if g.has_edge(s, t) {
+        stripped = g.clone();
+        let mut direct = 0;
+        while stripped.remove_edge(s, t) {
+            direct += 1;
+        }
+        (&stripped, direct)
+    } else {
+        (g, 0)
+    };
+    if direct >= cap {
+        return direct;
     }
-    let mut net = split_network(g, [s, t]);
-    let flow = net.max_flow(2 * s + 1, 2 * t);
-    usize::try_from(flow).expect("vertex-disjoint path count bounded by n")
+    let mut net = split_network(h, [s, t]);
+    let limit = (cap - direct) as u64;
+    let flow = net.max_flow_bounded(2 * s + 1, 2 * t, limit);
+    direct + usize::try_from(flow).expect("vertex-disjoint path count bounded by n")
+}
+
+/// Reusable vertex-split network for scanning many `s`–`t` pairs of one
+/// graph: the adjacency structure is built once and capacities are reset
+/// between pairs, so each pair costs an O(n + m) sweep plus the (bounded)
+/// flow itself instead of a full network reconstruction. This is what makes
+/// the [`ConnectivityOracle`](crate::oracle::ConnectivityOracle)'s Even scan
+/// cheap — the scanned pairs are always non-adjacent, so no edge stripping
+/// is ever needed.
+#[derive(Debug)]
+pub(crate) struct PairScanner {
+    net: FlowNetwork,
+}
+
+impl PairScanner {
+    /// Builds the split network of `g` with every vertex arc at capacity 1.
+    pub(crate) fn new(g: &Graph) -> Self {
+        // No endpoints are exempted at construction; the per-pair overrides
+        // below lift the current pair's vertex arcs to INF instead.
+        let net = split_network(g, [usize::MAX, usize::MAX]);
+        PairScanner { net }
+    }
+
+    /// `κ(s, t)` for non-adjacent `s ≠ t`, computed with the flow capped at
+    /// `cap` (exact when the result is `< cap`, see
+    /// [`local_vertex_connectivity_bounded`]).
+    pub(crate) fn bounded_pair_connectivity(&mut self, s: usize, t: usize, cap: usize) -> usize {
+        self.net.reset();
+        for endpoint in [s, t] {
+            // split_network inserts each vertex arc v_in → v_out before any
+            // edge arc touches v_in, so it sits at index 0.
+            debug_assert_eq!(self.net.arc_head(2 * endpoint, 0), 2 * endpoint + 1);
+            self.net.override_arc_capacity(2 * endpoint, 0, INF);
+        }
+        let flow = self.net.max_flow_bounded(2 * s + 1, 2 * t, cap as u64);
+        usize::try_from(flow).expect("vertex-disjoint path count bounded by n")
+    }
 }
 
 /// A minimum `s`–`t` vertex separator for non-adjacent `s, t`, together with
@@ -282,6 +345,49 @@ mod tests {
             Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 5), (0, 4), (4, 3)])
                 .unwrap();
         assert_eq!(local_vertex_connectivity(&g, 0, 5), 3);
+    }
+
+    #[test]
+    fn local_connectivity_bounded_is_exact_below_the_cap() {
+        let g = petersen();
+        for (s, t) in [(0usize, 7usize), (1, 9), (0, 2)] {
+            if g.has_edge(s, t) {
+                continue;
+            }
+            let exact = local_vertex_connectivity(&g, s, t);
+            assert_eq!(local_vertex_connectivity_bounded(&g, s, t, exact + 1), exact);
+            assert!(local_vertex_connectivity_bounded(&g, s, t, exact) >= exact);
+            assert_eq!(local_vertex_connectivity_bounded(&g, s, t, 1), 1);
+        }
+        // Adjacent pair on a cycle: direct edge + the long way, bounded.
+        let ring = gen::cycle(6);
+        assert_eq!(local_vertex_connectivity_bounded(&ring, 0, 1, 10), 2);
+        assert_eq!(local_vertex_connectivity_bounded(&ring, 0, 1, 1), 1);
+    }
+
+    #[test]
+    fn pair_scanner_matches_per_pair_networks() {
+        // One scanner, many pairs: results must equal the fresh-network
+        // reference for every non-adjacent pair, in any query order.
+        for g in [petersen(), gen::harary(4, 11).unwrap(), gen::star(7)] {
+            let mut scanner = PairScanner::new(&g);
+            let n = g.node_count();
+            for s in 0..n {
+                for t in 0..n {
+                    if s == t || g.has_edge(s, t) {
+                        continue;
+                    }
+                    assert_eq!(
+                        scanner.bounded_pair_connectivity(s, t, usize::MAX),
+                        local_vertex_connectivity(&g, s, t),
+                        "pair ({s}, {t})"
+                    );
+                    // Bounded queries interleaved with exact ones must not
+                    // poison later resets (all pairs here are connected).
+                    assert_eq!(scanner.bounded_pair_connectivity(s, t, 1), 1);
+                }
+            }
+        }
     }
 
     #[test]

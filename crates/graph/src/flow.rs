@@ -15,6 +15,8 @@ pub const INF: u64 = u64::MAX / 4;
 struct Arc {
     to: usize,
     cap: u64,
+    /// Construction-time capacity, restored by [`FlowNetwork::reset`].
+    init: u64,
     /// Index of the reverse arc in `to`'s adjacency list.
     rev: usize,
 }
@@ -61,8 +63,45 @@ impl FlowNetwork {
         assert!(from < self.arcs.len() && to < self.arcs.len(), "arc endpoint out of range");
         let rev_from = self.arcs[to].len();
         let rev_to = self.arcs[from].len();
-        self.arcs[from].push(Arc { to, cap, rev: rev_from });
-        self.arcs[to].push(Arc { to: from, cap: 0, rev: rev_to });
+        self.arcs[from].push(Arc { to, cap, init: cap, rev: rev_from });
+        self.arcs[to].push(Arc { to: from, cap: 0, init: 0, rev: rev_to });
+    }
+
+    /// Restores every arc to its construction-time capacity, undoing all
+    /// flow (and any [`override_arc_capacity`] overrides).
+    ///
+    /// This turns one network into a reusable template: computing max-flows
+    /// for many source/sink pairs of the same graph costs one construction
+    /// plus an O(arcs) sweep per pair, instead of rebuilding the adjacency
+    /// structure from scratch each time — the connectivity oracle's pair
+    /// scan depends on this.
+    ///
+    /// [`override_arc_capacity`]: Self::override_arc_capacity
+    pub fn reset(&mut self) {
+        for arcs in &mut self.arcs {
+            for arc in arcs {
+                arc.cap = arc.init;
+            }
+        }
+    }
+
+    /// Overrides the *current* capacity of the `idx`-th arc out of `from`
+    /// (reverse arcs included, in insertion order), leaving the value
+    /// [`reset`](Self::reset) restores untouched. Pair scanners use this to
+    /// mark the current endpoints' vertex arcs as uncuttable (capacity
+    /// [`INF`]) for one computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `idx` is out of range.
+    pub fn override_arc_capacity(&mut self, from: usize, idx: usize, cap: u64) {
+        self.arcs[from][idx].cap = cap;
+    }
+
+    /// The head of the `idx`-th arc out of `from` (for layout assertions in
+    /// code that relies on insertion order).
+    pub fn arc_head(&self, from: usize, idx: usize) -> usize {
+        self.arcs[from][idx].to
     }
 
     fn bfs(&mut self, s: usize, t: usize) -> bool {
@@ -111,9 +150,29 @@ impl FlowNetwork {
     ///
     /// Panics if `s == t` or either endpoint is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        self.max_flow_bounded(s, t, u64::MAX)
+    }
+
+    /// Computes the maximum flow from `s` to `t`, but stops augmenting as
+    /// soon as the accumulated flow reaches `limit`.
+    ///
+    /// The return value is exact when it is `< limit`; a return value
+    /// `>= limit` only certifies that the true maximum flow is at least
+    /// `limit`. This is the decision-problem workhorse behind
+    /// [`ConnectivityOracle`](crate::oracle::ConnectivityOracle): deciding
+    /// `κ(s, t) ≤ t` never needs more than `t + 1` vertex-disjoint paths, so
+    /// the flow computation can quit `κ − t` augmentations early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either endpoint is out of range.
+    pub fn max_flow_bounded(&mut self, s: usize, t: usize, limit: u64) -> u64 {
         assert!(s != t, "source and sink must differ");
         assert!(s < self.arcs.len() && t < self.arcs.len(), "flow endpoint out of range");
         let mut flow = 0;
+        if flow >= limit {
+            return flow;
+        }
         while self.bfs(s, t) {
             self.iter.iter_mut().for_each(|i| *i = 0);
             loop {
@@ -122,6 +181,9 @@ impl FlowNetwork {
                     break;
                 }
                 flow += f;
+                if flow >= limit {
+                    return flow;
+                }
             }
         }
         flow
@@ -208,6 +270,54 @@ mod tests {
         assert!(seen[0]);
         assert!(!seen[1]);
         assert!(!seen[2]);
+    }
+
+    #[test]
+    fn bounded_flow_stops_early_but_stays_exact_below_the_limit() {
+        // Four parallel unit paths 0 -> i -> 5: max flow 4.
+        let build = || {
+            let mut net = FlowNetwork::new(6);
+            for mid in 1..5 {
+                net.add_arc(0, mid, 1);
+                net.add_arc(mid, 5, 1);
+            }
+            net
+        };
+        // Unbounded (or generous limits) return the exact value.
+        assert_eq!(build().max_flow(0, 5), 4);
+        assert_eq!(build().max_flow_bounded(0, 5, u64::MAX), 4);
+        assert_eq!(build().max_flow_bounded(0, 5, 5), 4);
+        // At or below the true flow the result saturates at the limit.
+        assert_eq!(build().max_flow_bounded(0, 5, 2), 2);
+        assert_eq!(build().max_flow_bounded(0, 5, 0), 0);
+    }
+
+    #[test]
+    fn reset_restores_capacities_and_overrides_are_transient() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 1);
+        net.add_arc(1, 2, 1);
+        assert_eq!(net.max_flow(0, 2), 1);
+        // Consumed: a second run on the residual finds nothing.
+        assert_eq!(net.max_flow(0, 2), 0);
+        net.reset();
+        assert_eq!(net.max_flow(0, 2), 1);
+        // An override widens the bottleneck for one computation only.
+        net.reset();
+        net.override_arc_capacity(0, 0, 7);
+        assert_eq!(net.arc_head(0, 0), 1);
+        assert_eq!(net.max_flow(0, 1), 7);
+        net.reset();
+        assert_eq!(net.max_flow(0, 1), 1);
+    }
+
+    #[test]
+    fn bounded_flow_may_overshoot_on_fat_arcs() {
+        // A single capacity-5 path pushes 5 in one augmentation: the bound
+        // certifies "at least 2" without splitting the push.
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 5);
+        assert!(net.max_flow_bounded(0, 1, 2) >= 2);
     }
 
     #[test]

@@ -8,11 +8,33 @@
 //! * Dinic max-flow ([`flow`]) and vertex connectivity / minimum vertex cuts
 //!   ([`connectivity`]), which link *t-Byzantine partitionability* to the
 //!   vertex connectivity of the communication graph (Theorem 1 / Corollary 1),
+//! * the [`oracle`] answering the partitionability *decision* question with
+//!   bounds, early exit and caching,
 //! * all topology families of the evaluation section ([`gen`]): Harary
 //!   k-regular k-connected graphs, Steger–Wormald random regular graphs,
 //!   Logarithmic-Harary-style k-diamond and k-pasted-tree graphs, generalized
 //!   and multipartite wheels, and the two-barycenter random geometric graphs
 //!   of the drone scenario.
+//!
+//! # Oracle vs exact connectivity
+//!
+//! Corollary 1 states that `G` is t-Byzantine partitionable iff
+//! `κ(G) ≤ t` — a *decision* question, which is strictly cheaper than
+//! computing `κ` itself. The crate therefore offers two tiers:
+//!
+//! * [`connectivity::vertex_connectivity`] / [`connectivity::min_vertex_cut`]
+//!   compute exact values and witnesses via full max-flow runs. Use them
+//!   when the number matters: ground-truth checks, reporting `κ` to a
+//!   human, or placing Byzantine nodes on an actual minimum cut.
+//! * [`oracle::ConnectivityOracle::is_t_partitionable`] decides `κ ≤ t`
+//!   through layered shortcuts — O(n + m) structure checks, min-degree
+//!   bounds, max-flows capped at `t + 1` augmentations, and a fingerprint
+//!   cache for repeated queries on unchanged graphs. Use it on every hot
+//!   path that re-runs the decision phase round after round (NECTAR's
+//!   `decide`, epoch monitoring, the dolev detector, experiment sweeps).
+//!
+//! The oracle is property-tested against the exact routines across the full
+//! generator zoo; its answers are identical, only its cost profile differs.
 //!
 //! # Example
 //!
@@ -38,7 +60,9 @@ pub mod error;
 pub mod flow;
 pub mod gen;
 pub mod graph;
+pub mod oracle;
 pub mod traversal;
 
 pub use error::GraphError;
 pub use graph::Graph;
+pub use oracle::{ConnectivityOracle, OracleStats};

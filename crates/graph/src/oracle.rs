@@ -1,0 +1,571 @@
+//! The connectivity oracle: bounded, cached `κ(G) ≤ t` decisions.
+//!
+//! The paper's Corollary 1 reduces partition detection to the *decision*
+//! question "is the discovered graph t-Byzantine partitionable", i.e.
+//! `κ(G) ≤ t` — the exact value of `κ` is never needed by Algorithm 1's
+//! decision phase. [`ConnectivityOracle`] exploits that with a layered fast
+//! path in front of the exact [`connectivity`](crate::connectivity)
+//! routines (which remain the reference implementation this module is
+//! property-tested against):
+//!
+//! 1. **O(n + m) short-circuits.** A disconnected graph has `κ = 0 ≤ t`;
+//!    a complete graph has `κ = n − 1`; and since `κ ≤ δ` (the minimum
+//!    degree), `δ ≤ t` already proves partitionability — the neighborhood
+//!    of a minimum-degree node is the candidate cut.
+//! 2. **Bounded max-flow.** When `δ > t`, Even's pair scan runs with
+//!    [`local_vertex_connectivity_bounded`] capped at `t + 1`: deciding
+//!    `κ(s, t) ≤ t` never needs more than `t + 1` vertex-disjoint paths, so
+//!    each flow computation exits `κ(s, t) − t` augmentations early. Any
+//!    pair at `≤ t` answers YES immediately; if every pair reaches the cap,
+//!    `κ ≥ t + 1` and the answer is NO.
+//! 3. **Fingerprint cache.** Verdicts are memoized under a cheap
+//!    order-independent edge fingerprint, so repeated queries on unchanged
+//!    graphs — the common case when every node of a NECTAR run converges to
+//!    the same discovered view (Lemma 2), or across monitoring epochs whose
+//!    topology did not move — cost O(n + m) hashing instead of max-flows.
+//!    Merging a new edge changes the fingerprint, which invalidates the
+//!    stale verdict by construction.
+
+use std::collections::HashMap;
+
+use crate::connectivity::PairScanner;
+use crate::graph::Graph;
+use crate::traversal::is_connected;
+
+/// An order-independent 64-bit digest of a graph's node count and edge set.
+///
+/// Per-edge hashes are combined with XOR, so the fingerprint can be updated
+/// incrementally in O(1) as a node merges a newly discovered edge (XOR is
+/// self-inverse: toggling the same edge twice restores the fingerprint).
+/// Distinct edge sets collide with probability ~2⁻⁶⁴ per pair — negligible
+/// against the cache sizes involved, and the exact reference implementation
+/// stays available for callers that cannot tolerate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    n: usize,
+    acc: u64,
+}
+
+/// SplitMix64 finalizer: a cheap full-avalanche mix for edge words.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Fingerprint {
+    /// Digests `g` in O(n + m).
+    pub fn of(g: &Graph) -> Self {
+        let mut fp = Fingerprint { n: g.node_count(), acc: 0 };
+        for (u, v) in g.edges() {
+            fp.toggle_edge(u, v);
+        }
+        fp
+    }
+
+    /// Folds the undirected edge `(u, v)` into the digest. XOR-based, hence
+    /// self-inverse: call once to account for a merged edge, again to
+    /// account for its removal.
+    pub fn toggle_edge(&mut self, u: usize, v: usize) {
+        let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+        self.acc ^= mix64((a << 32) | b);
+    }
+}
+
+/// What the oracle learned about `κ(G)` while deciding `κ ≤ t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KappaBound {
+    /// `κ` is known exactly (degenerate, disconnected or complete graphs).
+    Exact(usize),
+    /// `κ` is at most this value, which is `≤ t` (a partitionability
+    /// witness: a min-degree neighborhood or a bounded pair cut).
+    AtMost(usize),
+    /// `κ` is at least this value, which is `t + 1` (every candidate pair
+    /// reached the flow cap).
+    AtLeast(usize),
+}
+
+impl KappaBound {
+    /// The bound value, for reporting fields that want a single number
+    /// (e.g. `Decision::connectivity`). Exactness is encoded in the variant.
+    pub fn report(self) -> usize {
+        match self {
+            KappaBound::Exact(k) | KappaBound::AtMost(k) | KappaBound::AtLeast(k) => k,
+        }
+    }
+}
+
+/// One oracle verdict: the decision bit plus the `κ` knowledge behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleAnswer {
+    /// Whether `G` is t-Byzantine partitionable, i.e. `κ(G) ≤ t`.
+    pub partitionable: bool,
+    /// The `κ` bound that justified the verdict.
+    pub kappa: KappaBound,
+}
+
+/// Counters describing how the oracle answered its queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Total queries answered.
+    pub queries: u64,
+    /// Queries answered from the fingerprint cache.
+    pub cache_hits: u64,
+    /// Queries short-circuited by a disconnectedness / degeneracy /
+    /// completeness check (`κ` known exactly, no flow run).
+    pub structure_shortcuts: u64,
+    /// Queries short-circuited by the `κ ≤ δ ≤ t` min-degree bound.
+    pub min_degree_shortcuts: u64,
+    /// Bounded pair max-flows run.
+    pub bounded_flows: u64,
+    /// Bounded pair max-flows that exited early at the `t + 1` cap.
+    pub early_exits: u64,
+}
+
+impl OracleStats {
+    /// Component-wise difference against an earlier snapshot — the per-run
+    /// share of a shared oracle's cumulative counters.
+    pub fn since(&self, earlier: &OracleStats) -> OracleStats {
+        OracleStats {
+            queries: self.queries.saturating_sub(earlier.queries),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            structure_shortcuts: self
+                .structure_shortcuts
+                .saturating_sub(earlier.structure_shortcuts),
+            min_degree_shortcuts: self
+                .min_degree_shortcuts
+                .saturating_sub(earlier.min_degree_shortcuts),
+            bounded_flows: self.bounded_flows.saturating_sub(earlier.bounded_flows),
+            early_exits: self.early_exits.saturating_sub(earlier.early_exits),
+        }
+    }
+}
+
+/// Answers `κ(G) ≤ t` decision queries with bounds, early exit and caching.
+///
+/// # Example
+///
+/// ```
+/// use nectar_graph::oracle::ConnectivityOracle;
+///
+/// let ring = nectar_graph::gen::cycle(8);
+/// let mut oracle = ConnectivityOracle::new();
+/// assert!(!oracle.is_t_partitionable(&ring, 1)); // κ = 2 > 1
+/// assert!(oracle.is_t_partitionable(&ring, 2)); // κ = 2 ≤ 2
+/// // The second query on an unchanged graph is a cache hit.
+/// assert!(!oracle.is_t_partitionable(&ring, 1));
+/// assert_eq!(oracle.stats().cache_hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectivityOracle {
+    cache: HashMap<(Fingerprint, usize), OracleAnswer>,
+    max_entries: usize,
+    stats: OracleStats,
+}
+
+impl Default for ConnectivityOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConnectivityOracle {
+    /// An oracle with the default cache bound (4096 verdicts).
+    pub fn new() -> Self {
+        Self::with_capacity(4096)
+    }
+
+    /// An oracle holding at most `max_entries` cached verdicts. When the
+    /// bound is hit the cache is flushed wholesale — the epoch workload is
+    /// "same few graphs, queried often", where eviction finesse buys
+    /// nothing. `max_entries == 0` disables caching.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        ConnectivityOracle { cache: HashMap::new(), max_entries, stats: OracleStats::default() }
+    }
+
+    /// Whether `g` is *t-Byzantine partitionable* (Definition 2 via
+    /// Corollary 1): `κ(g) ≤ t`.
+    pub fn is_t_partitionable(&mut self, g: &Graph, t: usize) -> bool {
+        self.answer(g, t).partitionable
+    }
+
+    /// Whether `κ(g) ≥ k` — the other direction of the same decision
+    /// problem (used e.g. for the 2t-Sensitivity ground truth `κ ≥ 2t`).
+    pub fn kappa_at_least(&mut self, g: &Graph, k: usize) -> bool {
+        k == 0 || !self.is_t_partitionable(g, k - 1)
+    }
+
+    /// Full answer for `κ(g) ≤ t`, including the `κ` bound established.
+    pub fn answer(&mut self, g: &Graph, t: usize) -> OracleAnswer {
+        self.answer_fingerprinted(Fingerprint::of(g), g, t)
+    }
+
+    /// [`answer`](Self::answer) for callers that maintain `g`'s fingerprint
+    /// incrementally (via [`Fingerprint::toggle_edge`]) and can therefore
+    /// skip the O(n + m) digest. `fp` must digest exactly `g`; a stale
+    /// fingerprint yields stale verdicts.
+    pub fn answer_fingerprinted(&mut self, fp: Fingerprint, g: &Graph, t: usize) -> OracleAnswer {
+        self.stats.queries += 1;
+        let key = (fp, t);
+        if let Some(&hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return hit;
+        }
+        let answer = self.decide(g, t);
+        if self.max_entries > 0 {
+            if self.cache.len() >= self.max_entries {
+                self.cache.clear();
+            }
+            self.cache.insert(key, answer);
+        }
+        answer
+    }
+
+    /// Cumulative counters since construction (or the last [`reset_stats`]).
+    ///
+    /// [`reset_stats`]: Self::reset_stats
+    pub fn stats(&self) -> &OracleStats {
+        &self.stats
+    }
+
+    /// Zeroes the counters, keeping cached verdicts.
+    pub fn reset_stats(&mut self) {
+        self.stats = OracleStats::default();
+    }
+
+    /// Number of cached verdicts.
+    pub fn cached_verdicts(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops every cached verdict (counters are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The uncached decision procedure.
+    fn decide(&mut self, g: &Graph, t: usize) -> OracleAnswer {
+        let n = g.node_count();
+        // Layer 1: structural short-circuits, each O(n + m) or better.
+        if n <= 1 {
+            self.stats.structure_shortcuts += 1;
+            return OracleAnswer { partitionable: true, kappa: KappaBound::Exact(0) };
+        }
+        if g.is_complete() {
+            self.stats.structure_shortcuts += 1;
+            return OracleAnswer { partitionable: n - 1 <= t, kappa: KappaBound::Exact(n - 1) };
+        }
+        if !is_connected(g) {
+            self.stats.structure_shortcuts += 1;
+            return OracleAnswer { partitionable: true, kappa: KappaBound::Exact(0) };
+        }
+        let v = g.min_degree_node().expect("non-empty graph has a min-degree node");
+        let delta = g.degree(v);
+        if delta <= t {
+            // κ ≤ δ ≤ t: Γ(v) of the min-degree node is the candidate cut
+            // (for a complete graph δ = n − 1 = κ, handled above).
+            self.stats.min_degree_shortcuts += 1;
+            return OracleAnswer { partitionable: true, kappa: KappaBound::AtMost(delta) };
+        }
+        // Layer 2: Even's pair scan with the max-flow capped at t + 1 on a
+        // single reusable split network. The scanned pairs cover a minimum
+        // vertex cut (every cut either separates v from a non-neighbor or
+        // splits Γ(v)), so:
+        //   * any pair with κ(s, t) ≤ t proves κ(G) ≤ t (for non-adjacent
+        //     s, t, κ(G) ≤ κ(s, t));
+        //   * all pairs at ≥ t + 1, together with δ > t, prove κ(G) > t.
+        let cap = t + 1;
+        let mut scanner = PairScanner::new(g);
+        let mut scan = |s: usize, w: usize, stats: &mut OracleStats| -> Option<OracleAnswer> {
+            stats.bounded_flows += 1;
+            let c = scanner.bounded_pair_connectivity(s, w, cap);
+            if c >= cap {
+                stats.early_exits += 1;
+                None
+            } else {
+                Some(OracleAnswer { partitionable: true, kappa: KappaBound::AtMost(c) })
+            }
+        };
+        for w in g.non_neighbors(v) {
+            if let Some(answer) = scan(v, w, &mut self.stats) {
+                return answer;
+            }
+        }
+        let nbrs = g.neighborhood(v);
+        for (i, &x) in nbrs.iter().enumerate() {
+            for &y in &nbrs[i + 1..] {
+                if !g.has_edge(x, y) {
+                    if let Some(answer) = scan(x, y, &mut self.stats) {
+                        return answer;
+                    }
+                }
+            }
+        }
+        OracleAnswer { partitionable: false, kappa: KappaBound::AtLeast(cap) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::vertex_connectivity;
+    use crate::gen;
+
+    fn exact(g: &Graph, t: usize) -> bool {
+        vertex_connectivity(g) <= t
+    }
+
+    #[test]
+    fn agrees_with_exact_on_classics() {
+        let mut oracle = ConnectivityOracle::new();
+        for g in [
+            gen::path(6),
+            gen::cycle(7),
+            gen::star(6),
+            gen::complete(5),
+            gen::harary(4, 11).unwrap(),
+            Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap(),
+            Graph::empty(0),
+            Graph::empty(1),
+        ] {
+            let kappa = vertex_connectivity(&g);
+            for t in 0..kappa + 3 {
+                assert_eq!(oracle.is_t_partitionable(&g, t), exact(&g, t), "graph {g:?}, t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_the_true_connectivity() {
+        let mut oracle = ConnectivityOracle::new();
+        for g in [gen::cycle(8), gen::star(7), gen::harary(4, 10).unwrap(), gen::complete(4)] {
+            let kappa = vertex_connectivity(&g);
+            for t in 0..kappa + 2 {
+                match oracle.answer(&g, t).kappa {
+                    KappaBound::Exact(k) => assert_eq!(k, kappa),
+                    KappaBound::AtMost(k) => {
+                        assert!(kappa <= k && k <= t, "κ = {kappa}, bound {k}, t = {t}")
+                    }
+                    KappaBound::AtLeast(k) => {
+                        assert_eq!(k, t + 1);
+                        assert!(kappa >= k, "κ = {kappa}, bound {k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_graphs_hit_the_cache() {
+        let g = gen::harary(4, 12).unwrap();
+        let mut oracle = ConnectivityOracle::new();
+        assert!(!oracle.is_t_partitionable(&g, 2));
+        let flows_after_first = oracle.stats().bounded_flows;
+        assert!(flows_after_first > 0, "first query must run flows");
+        for _ in 0..5 {
+            assert!(!oracle.is_t_partitionable(&g, 2));
+        }
+        assert_eq!(oracle.stats().cache_hits, 5);
+        assert_eq!(oracle.stats().bounded_flows, flows_after_first, "cache hits run no flows");
+        // A different t is a different decision problem: miss, then hit.
+        assert!(oracle.is_t_partitionable(&g, 4));
+        assert!(oracle.is_t_partitionable(&g, 4));
+        assert_eq!(oracle.stats().cache_hits, 6);
+    }
+
+    #[test]
+    fn merging_an_edge_flushes_the_stale_verdict() {
+        // A near-ring with one chord missing: κ = 1 until the chord closes
+        // the cycle, then κ = 2. The cached t = 1 verdict must flip.
+        let mut g = gen::path(6);
+        let mut oracle = ConnectivityOracle::new();
+        assert!(oracle.is_t_partitionable(&g, 1), "path: κ = 1 ≤ 1");
+        g.add_edge(5, 0).unwrap();
+        assert!(!oracle.is_t_partitionable(&g, 1), "ring: κ = 2 > 1, stale verdict would say yes");
+        // And removal flips it back — a third distinct fingerprint.
+        g.remove_edge(2, 3);
+        assert!(oracle.is_t_partitionable(&g, 1));
+        assert_eq!(oracle.stats().cache_hits, 0, "every mutation must miss the cache");
+    }
+
+    #[test]
+    fn incremental_fingerprint_tracks_rebuilds() {
+        let mut g = gen::cycle(5);
+        let mut fp = Fingerprint::of(&g);
+        g.add_edge(0, 2).unwrap();
+        fp.toggle_edge(0, 2);
+        assert_eq!(fp, Fingerprint::of(&g));
+        g.remove_edge(0, 2);
+        fp.toggle_edge(2, 0); // orientation must not matter
+        assert_eq!(fp, Fingerprint::of(&g));
+        // Same edges, different node count: distinct fingerprints.
+        let padded = Graph::from_edges(6, g.edges().collect::<Vec<_>>()).unwrap();
+        assert_ne!(Fingerprint::of(&padded), fp);
+    }
+
+    #[test]
+    fn answer_fingerprinted_reuses_an_incremental_digest() {
+        let mut g = gen::cycle(6);
+        let mut fp = Fingerprint::of(&g);
+        let mut oracle = ConnectivityOracle::new();
+        assert!(!oracle.answer_fingerprinted(fp, &g, 1).partitionable);
+        g.add_edge(0, 3).unwrap();
+        fp.toggle_edge(0, 3);
+        assert!(!oracle.answer_fingerprinted(fp, &g, 1).partitionable);
+        assert_eq!(oracle.stats().cache_hits, 0);
+        assert!(!oracle.answer_fingerprinted(fp, &g, 1).partitionable);
+        assert_eq!(oracle.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn early_exits_are_counted_when_kappa_exceeds_t() {
+        let g = gen::harary(6, 14).unwrap(); // κ = 6
+        let mut oracle = ConnectivityOracle::new();
+        assert!(!oracle.is_t_partitionable(&g, 2));
+        let s = oracle.stats();
+        assert!(s.early_exits > 0, "κ > t must trip the flow cap");
+        assert_eq!(s.early_exits, s.bounded_flows, "no pair sits below the cap");
+    }
+
+    #[test]
+    fn shortcut_layers_are_attributed() {
+        let mut oracle = ConnectivityOracle::new();
+        let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        oracle.is_t_partitionable(&disconnected, 0);
+        assert_eq!(oracle.stats().structure_shortcuts, 1);
+        oracle.is_t_partitionable(&gen::complete(4), 1);
+        assert_eq!(oracle.stats().structure_shortcuts, 2);
+        oracle.is_t_partitionable(&gen::star(6), 1); // δ = 1 ≤ t
+        assert_eq!(oracle.stats().min_degree_shortcuts, 1);
+        assert_eq!(oracle.stats().bounded_flows, 0, "no query needed a flow");
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching_and_bound_flushes() {
+        let g = gen::cycle(5);
+        let mut uncached = ConnectivityOracle::with_capacity(0);
+        uncached.is_t_partitionable(&g, 1);
+        uncached.is_t_partitionable(&g, 1);
+        assert_eq!(uncached.stats().cache_hits, 0);
+        assert_eq!(uncached.cached_verdicts(), 0);
+
+        let mut tiny = ConnectivityOracle::with_capacity(2);
+        for t in 0..5 {
+            tiny.is_t_partitionable(&g, t);
+        }
+        assert!(tiny.cached_verdicts() <= 2);
+    }
+
+    #[test]
+    fn stats_since_reports_the_delta() {
+        let g = gen::cycle(6);
+        let mut oracle = ConnectivityOracle::new();
+        oracle.is_t_partitionable(&g, 1);
+        let snapshot = *oracle.stats();
+        oracle.is_t_partitionable(&g, 1);
+        oracle.is_t_partitionable(&g, 2);
+        let delta = oracle.stats().since(&snapshot);
+        assert_eq!(delta.queries, 2);
+        assert_eq!(delta.cache_hits, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::connectivity::vertex_connectivity;
+    use crate::gen;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// One shared oracle across all cases also exercises cache keying: any
+    /// fingerprint mix-up between the zoo's graphs would surface as a
+    /// mismatch against the exact reference.
+    fn check_against_exact(oracle: &mut ConnectivityOracle, g: &Graph) {
+        let kappa = vertex_connectivity(g);
+        for t in 0..kappa + 2 {
+            let answer = oracle.answer(g, t);
+            assert_eq!(
+                answer.partitionable,
+                kappa <= t,
+                "oracle disagrees with exact κ = {kappa} at t = {t} on {g:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn matches_exact_on_harary(k in 2usize..6, extra in 0usize..12) {
+            let n = k + 2 + extra;
+            let mut oracle = ConnectivityOracle::new();
+            check_against_exact(&mut oracle, &gen::harary(k, n).unwrap());
+        }
+
+        #[test]
+        fn matches_exact_on_wheels(k in 3usize..6, extra in 0usize..10) {
+            let n = (2 * k + 2 + extra).max(k + 3);
+            let mut oracle = ConnectivityOracle::new();
+            check_against_exact(&mut oracle, &gen::generalized_wheel(k, n).unwrap());
+            let km = k.max(4); // multipartite wheels need k >= 4
+            check_against_exact(&mut oracle, &gen::multipartite_wheel(km, n.max(km + 2), 2).unwrap());
+        }
+
+        #[test]
+        fn matches_exact_on_lhg(k in 2usize..5, extra in 0usize..10) {
+            let n = 2 * k + 4 + extra;
+            let mut oracle = ConnectivityOracle::new();
+            check_against_exact(&mut oracle, &gen::k_pasted_tree(k, n).unwrap());
+            check_against_exact(&mut oracle, &gen::k_diamond(k, n).unwrap());
+        }
+
+        #[test]
+        fn matches_exact_on_geometric(seed in 0u64..1000, d in 0usize..7) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let placement = gen::drone_scenario(12, d as f64, 2.0, &mut rng).unwrap();
+            let mut oracle = ConnectivityOracle::new();
+            check_against_exact(&mut oracle, &placement.graph);
+        }
+
+        #[test]
+        fn matches_exact_on_random_regular(seed in 0u64..1000, k in 3usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = if k % 2 == 1 { 12 } else { 13 };
+            let g = gen::random_regular(k, n, &mut rng).unwrap();
+            let mut oracle = ConnectivityOracle::new();
+            check_against_exact(&mut oracle, &g);
+        }
+
+        #[test]
+        fn matches_exact_on_dense_random(g in arb_graph(9)) {
+            let mut oracle = ConnectivityOracle::new();
+            check_against_exact(&mut oracle, &g);
+        }
+
+        #[test]
+        fn shared_cache_never_corrupts_verdicts(graphs in proptest::collection::vec(arb_graph(7), 3)) {
+            let mut oracle = ConnectivityOracle::new();
+            // Interleave queries on several graphs twice over: second pass
+            // must agree with exact despite cache hits from the first.
+            for _ in 0..2 {
+                for g in &graphs {
+                    check_against_exact(&mut oracle, g);
+                }
+            }
+        }
+    }
+
+    fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+        (2..=max_n).prop_flat_map(|n| {
+            let pairs: Vec<(usize, usize)> =
+                (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+            proptest::collection::vec(proptest::bool::ANY, pairs.len()).prop_map(move |mask| {
+                let edges = pairs.iter().zip(&mask).filter_map(|(&e, &keep)| keep.then_some(e));
+                Graph::from_edges(n, edges).expect("generated edges are in range")
+            })
+        })
+    }
+}

@@ -6,8 +6,8 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-use nectar_graph::{connectivity, gen, traversal, Graph};
-use nectar_protocol::{ByzantineBehavior, Scenario, Verdict};
+use nectar_graph::{connectivity, gen, traversal, ConnectivityOracle, Graph};
+use nectar_protocol::{ByzantineBehavior, Outcome, Scenario, Verdict};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +43,11 @@ pub struct DetectArgs {
     pub threaded: bool,
     /// Seed for keys and randomized topologies.
     pub seed: u64,
+    /// Emit the result as a JSON document instead of human-readable text.
+    pub json: bool,
+    /// Number of monitoring epochs to run (same topology, fresh keys per
+    /// epoch, one shared connectivity oracle across all of them).
+    pub epochs: usize,
 }
 
 /// Usage text.
@@ -52,8 +57,15 @@ nectar-cli — Byzantine-resilient partition detection
 USAGE:
   nectar-cli detect --topology <family> --n <N> [--k <K>] [--t <T>]
              [--byz <node>:<behavior> ...] [--threaded] [--seed <S>]
+             [--epochs <E>] [--json]
   nectar-cli families --k <K> --n <N>
   nectar-cli help
+
+OUTPUT:
+  --json emits one machine-readable document with the per-epoch verdicts
+  and connectivity-oracle statistics (cache hits, bounded flows, early
+  exits); --epochs E re-runs detection E times on the same topology with
+  fresh keys, sharing one oracle so unchanged graphs decide from cache.
 
 FAMILIES:
   harary | random-regular | pasted-tree | diamond | wheel |
@@ -97,6 +109,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 byzantine: Vec::new(),
                 threaded: false,
                 seed: 42,
+                json: false,
+                epochs: 1,
             };
             let rest: Vec<String> = it.cloned().collect();
             let mut i = 0;
@@ -107,7 +121,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         out.threaded = true;
                         i += 1;
                     }
-                    "--topology" | "--n" | "--k" | "--t" | "--seed" | "--byz" => {
+                    "--json" => {
+                        out.json = true;
+                        i += 1;
+                    }
+                    "--topology" | "--n" | "--k" | "--t" | "--seed" | "--byz" | "--epochs" => {
                         let value =
                             rest.get(i + 1).ok_or_else(|| format!("flag {flag} needs a value"))?;
                         match flag {
@@ -115,6 +133,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             "--n" => set_usize(&mut out.n, value, "--n")?,
                             "--k" => set_usize(&mut out.k, value, "--k")?,
                             "--t" => set_usize(&mut out.t, value, "--t")?,
+                            "--epochs" => set_usize(&mut out.epochs, value, "--epochs")?,
                             "--seed" => {
                                 out.seed = value
                                     .parse()
@@ -127,6 +146,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     other => return Err(format!("unknown flag {other}")),
                 }
+            }
+            if out.epochs == 0 {
+                return Err("--epochs must be at least 1".into());
             }
             Ok(Command::Detect(out))
         }
@@ -264,58 +286,127 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Detect(args) => {
             let graph = build_topology(&args.topology, args.k, args.n, args.seed)?;
             let kappa = connectivity::vertex_connectivity(&graph);
-            let mut scenario = Scenario::new(graph, args.t).with_key_seed(args.seed);
-            for (node, behavior) in &args.byzantine {
+            for (node, _) in &args.byzantine {
                 if *node >= args.n {
                     return Err(format!("byzantine node {node} out of range (n = {})", args.n));
                 }
-                scenario = scenario.with_byzantine(*node, behavior.clone());
             }
-            let outcome = if args.threaded { scenario.run_threaded() } else { scenario.run() };
-            let mut out = String::new();
-            writeln!(
-                out,
-                "topology: {} (n = {}, κ = {kappa}), t = {}",
-                args.topology, args.n, args.t
-            )
-            .expect("writing to String cannot fail");
-            if !args.byzantine.is_empty() {
-                writeln!(
-                    out,
-                    "byzantine: {:?}",
-                    args.byzantine.iter().map(|(n, _)| *n).collect::<Vec<_>>()
-                )
-                .expect("writing to String cannot fail");
-            }
-            match outcome.unanimous_verdict() {
-                Some(v) => {
-                    let confirmed = outcome.decisions.values().any(|d| d.confirmed);
-                    writeln!(out, "verdict:  {v} (confirmed partition: {confirmed})")
-                        .expect("writing to String cannot fail");
-                    if v == Verdict::Partitionable && kappa > args.t {
-                        writeln!(
-                            out,
-                            "note:     perceived connectivity dropped to ≤ t; real κ = {kappa}"
-                        )
-                        .expect("writing to String cannot fail");
+            // One oracle across all epochs: the topology does not move
+            // between them, so epochs after the first decide from cache.
+            let mut oracle = ConnectivityOracle::new();
+            let outcomes: Vec<Outcome> = (0..args.epochs)
+                .map(|epoch| {
+                    let mut scenario = Scenario::new(graph.clone(), args.t)
+                        .with_key_seed(args.seed + epoch as u64);
+                    for (node, behavior) in &args.byzantine {
+                        scenario = scenario.with_byzantine(*node, behavior.clone());
                     }
-                }
-                None => writeln!(
-                    out,
-                    "verdict:  DISAGREEMENT — this would falsify Lemma 2, please report"
-                )
-                .expect("writing to String cannot fail"),
+                    if args.threaded {
+                        scenario.run_threaded_with_oracle(&mut oracle)
+                    } else {
+                        scenario.run_with_oracle(&mut oracle)
+                    }
+                })
+                .collect();
+            if args.json {
+                Ok(render_detect_json(&args, kappa, &outcomes))
+            } else {
+                Ok(render_detect_text(&args, kappa, &outcomes))
             }
-            writeln!(
-                out,
-                "traffic:  {:.1} KB/node mean, {:.1} KB/node max",
-                outcome.metrics.mean_bytes_sent_per_node() / 1024.0,
-                outcome.metrics.max_bytes_sent_per_node() as f64 / 1024.0
-            )
-            .expect("writing to String cannot fail");
-            Ok(out)
         }
     }
+}
+
+/// Human-readable `detect` report (epoch summaries after the first when
+/// `--epochs` exceeds 1).
+fn render_detect_text(args: &DetectArgs, kappa: usize, outcomes: &[Outcome]) -> String {
+    let outcome = outcomes.last().expect("at least one epoch runs");
+    let mut out = String::new();
+    writeln!(out, "topology: {} (n = {}, κ = {kappa}), t = {}", args.topology, args.n, args.t)
+        .expect("writing to String cannot fail");
+    if !args.byzantine.is_empty() {
+        writeln!(
+            out,
+            "byzantine: {:?}",
+            args.byzantine.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        )
+        .expect("writing to String cannot fail");
+    }
+    match outcome.unanimous_verdict() {
+        Some(v) => {
+            let confirmed = outcome.decisions.values().any(|d| d.confirmed);
+            writeln!(out, "verdict:  {v} (confirmed partition: {confirmed})")
+                .expect("writing to String cannot fail");
+            if v == Verdict::Partitionable && kappa > args.t {
+                writeln!(out, "note:     perceived connectivity dropped to ≤ t; real κ = {kappa}")
+                    .expect("writing to String cannot fail");
+            }
+        }
+        None => {
+            writeln!(out, "verdict:  DISAGREEMENT — this would falsify Lemma 2, please report")
+                .expect("writing to String cannot fail");
+        }
+    }
+    writeln!(
+        out,
+        "traffic:  {:.1} KB/node mean, {:.1} KB/node max",
+        outcome.metrics.mean_bytes_sent_per_node() / 1024.0,
+        outcome.metrics.max_bytes_sent_per_node() as f64 / 1024.0
+    )
+    .expect("writing to String cannot fail");
+    if args.epochs > 1 {
+        writeln!(out, "epochs:   {} (identical topology, fresh keys per epoch)", args.epochs)
+            .expect("writing to String cannot fail");
+        let hits: u64 = outcomes.iter().map(|o| o.oracle.cache_hits).sum();
+        let queries: u64 = outcomes.iter().map(|o| o.oracle.queries).sum();
+        writeln!(out, "oracle:   {hits}/{queries} decisions served from cache")
+            .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Machine-readable `detect` report: run parameters, per-epoch verdicts and
+/// the per-epoch connectivity-oracle counters.
+fn render_detect_json(args: &DetectArgs, kappa: usize, outcomes: &[Outcome]) -> String {
+    let mut out = String::new();
+    let byz: Vec<String> = args.byzantine.iter().map(|(n, _)| n.to_string()).collect();
+    writeln!(out, "{{").expect("writing to String cannot fail");
+    writeln!(
+        out,
+        "  \"topology\": \"{}\", \"n\": {}, \"k\": {}, \"t\": {}, \"seed\": {}, \"kappa\": {kappa},",
+        args.topology, args.n, args.k, args.t, args.seed
+    )
+    .expect("writing to String cannot fail");
+    writeln!(out, "  \"byzantine\": [{}],", byz.join(", ")).expect("writing to String cannot fail");
+    writeln!(out, "  \"epochs\": [").expect("writing to String cannot fail");
+    for (epoch, outcome) in outcomes.iter().enumerate() {
+        let verdict = match outcome.unanimous_verdict() {
+            Some(v) => format!("\"{v}\""),
+            None => "null".into(),
+        };
+        let confirmed = outcome.decisions.values().any(|d| d.confirmed);
+        let s = &outcome.oracle;
+        let sep = if epoch + 1 == outcomes.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"epoch\": {epoch}, \"verdict\": {verdict}, \"confirmed\": {confirmed}, \
+             \"agreement\": {}, \"mean_kb_per_node\": {:.3}, \"oracle\": {{\"queries\": {}, \
+             \"cache_hits\": {}, \"structure_shortcuts\": {}, \"min_degree_shortcuts\": {}, \
+             \"bounded_flows\": {}, \"early_exits\": {}}}}}{sep}",
+            outcome.agreement(),
+            outcome.metrics.mean_bytes_sent_per_node() / 1024.0,
+            s.queries,
+            s.cache_hits,
+            s.structure_shortcuts,
+            s.min_degree_shortcuts,
+            s.bounded_flows,
+            s.early_exits,
+        )
+        .expect("writing to String cannot fail");
+    }
+    writeln!(out, "  ]").expect("writing to String cannot fail");
+    writeln!(out, "}}").expect("writing to String cannot fail");
+    out
 }
 
 #[cfg(test)]
@@ -381,6 +472,65 @@ mod tests {
         assert!(parse(&strs(&["detect", "--wat", "1"])).is_err());
         assert!(parse(&strs(&["frobnicate"])).is_err());
         assert!(parse(&strs(&["detect", "--n"])).is_err());
+        assert!(parse(&strs(&["detect", "--epochs", "0"])).is_err());
+    }
+
+    #[test]
+    fn json_and_epochs_flags_are_parsed() {
+        let cmd =
+            parse(&strs(&["detect", "--topology", "cycle", "--n", "6", "--json", "--epochs", "3"]))
+                .unwrap();
+        match cmd {
+            Command::Detect(args) => {
+                assert!(args.json);
+                assert_eq!(args.epochs, 3);
+            }
+            other => panic!("expected detect, got {other:?}"),
+        }
+        // Defaults: plain text, one epoch.
+        match parse(&strs(&["detect"])).unwrap() {
+            Command::Detect(args) => {
+                assert!(!args.json);
+                assert_eq!(args.epochs, 1);
+            }
+            other => panic!("expected detect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detect_json_reports_verdict_and_oracle_stats() {
+        let cmd = parse(&strs(&[
+            "detect",
+            "--topology",
+            "cycle",
+            "--n",
+            "8",
+            "--t",
+            "1",
+            "--epochs",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("\"verdict\": \"NOT_PARTITIONABLE\""), "{out}");
+        assert!(out.contains("\"kappa\": 2"), "{out}");
+        assert!(out.contains("\"cache_hits\""), "{out}");
+        assert!(out.contains("\"early_exits\""), "{out}");
+        assert!(out.contains("\"epoch\": 1"), "{out}");
+        // Epoch 1 re-runs the same topology: every query is a cache hit,
+        // visible as queries == cache_hits == n in the second epoch object.
+        let epoch1 = out.lines().find(|l| l.contains("\"epoch\": 1")).unwrap();
+        assert!(epoch1.contains("\"queries\": 8, \"cache_hits\": 8"), "{epoch1}");
+    }
+
+    #[test]
+    fn detect_text_summarizes_multi_epoch_cache_use() {
+        let cmd =
+            parse(&strs(&["detect", "--topology", "cycle", "--n", "6", "--epochs", "3"])).unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("epochs:   3"), "{out}");
+        assert!(out.contains("17/18 decisions served from cache"), "{out}");
     }
 
     #[test]

@@ -15,9 +15,17 @@ fn report(name: &str, outcome: &Outcome) {
         .map(|v| v.to_string())
         .unwrap_or_else(|| "NO AGREEMENT (bug!)".into());
     let sample = outcome.decisions.values().next().expect("at least one correct node");
+    // `connectivity` is the oracle's witness bound, not the exact κ: for a
+    // NOT_PARTITIONABLE verdict it reads "κ is at least this" (t + 1), for
+    // PARTITIONABLE "a cut no larger than this exists".
+    let k_bound = if sample.verdict == Verdict::NotPartitionable {
+        format!("k ≥ {}", sample.connectivity)
+    } else {
+        format!("k ≤ {}", sample.connectivity)
+    };
     println!(
-        "{name:<28} -> {verdict:<20} (confirmed: {}, r = {}, k = {})",
-        sample.confirmed, sample.reachable, sample.connectivity
+        "{name:<28} -> {verdict:<20} (confirmed: {}, r = {}, {k_bound})",
+        sample.confirmed, sample.reachable
     );
 }
 

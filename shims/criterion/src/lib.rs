@@ -82,26 +82,98 @@ impl Bencher {
 /// The benchmark registry/driver handed to `criterion_group!` functions.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    /// Every `(id, median)` measured so far, in execution order.
+    results: Vec<(String, Duration)>,
 }
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+        BenchmarkGroup { parent: self, name: name.into(), throughput: None }
     }
 
     /// Runs a single stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, None, f);
+        let median = run_one(name, None, f);
+        self.results.push((name.to_string(), median));
         self
     }
+
+    /// The `(id, median)` pairs measured so far.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+
+    /// Renders the collected medians as a JSON document, for baseline
+    /// tracking across PRs (real criterion persists whole sample sets under
+    /// `target/criterion`; the shim keeps one median per benchmark).
+    pub fn results_json(&self) -> String {
+        render_results_json(
+            &self.results.iter().map(|(id, d)| (id.clone(), d.as_nanos())).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Writes the collected medians to the path named by the
+    /// `NECTAR_BENCH_JSON` environment variable, if set. Called by
+    /// [`criterion_main!`] after all groups have run.
+    ///
+    /// Entries already present in the file are *merged by id*, not
+    /// clobbered: every bench binary of a workspace-wide `cargo bench`
+    /// expands its own `criterion_main!`, and each writes to the same path,
+    /// so a plain overwrite would keep only whichever binary ran last.
+    pub fn persist_results(&self) {
+        if let Ok(path) = std::env::var("NECTAR_BENCH_JSON") {
+            if !path.is_empty() {
+                let existing = std::fs::read_to_string(&path).unwrap_or_default();
+                let mut merged = parse_results_json(&existing);
+                for (id, median) in &self.results {
+                    let nanos = median.as_nanos();
+                    match merged.iter_mut().find(|(known, _)| known == id) {
+                        Some(entry) => entry.1 = nanos,
+                        None => merged.push((id.clone(), nanos)),
+                    }
+                }
+                std::fs::write(&path, render_results_json(&merged))
+                    .unwrap_or_else(|e| panic!("cannot write bench JSON to {path}: {e}"));
+                println!("bench medians written to {path}");
+            }
+        }
+    }
+}
+
+/// Renders `(id, median_ns)` pairs in the shim's baseline JSON format.
+fn render_results_json(results: &[(String, u128)]) -> String {
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, (id, nanos)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {nanos}}}{sep}\n",
+            id.replace('\\', "\\\\").replace('"', "\\\""),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the shim's own baseline format back into `(id, median_ns)` pairs
+/// (anything unrecognized is skipped — benchmark ids never contain quotes).
+fn parse_results_json(content: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    for line in content.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("{\"id\": \"") else { continue };
+        let Some((id, rest)) = rest.split_once("\", \"median_ns\": ") else { continue };
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(nanos) = digits.parse::<u128>() {
+            out.push((id.to_string(), nanos));
+        }
+    }
+    out
 }
 
 /// A group of related benchmarks sharing a name prefix.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
 }
@@ -120,7 +192,9 @@ impl BenchmarkGroup<'_> {
 
     /// Runs a benchmark identified by a name within this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        let label = format!("{}/{}", self.name, id);
+        let median = run_one(&label, self.throughput, f);
+        self.parent.results.push((label, median));
         self
     }
 
@@ -134,7 +208,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| f(b, input));
+        let label = format!("{}/{}", self.name, id.id);
+        let median = run_one(&label, self.throughput, |b| f(b, input));
+        self.parent.results.push((label, median));
         self
     }
 
@@ -142,7 +218,11 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) -> Duration {
     let mut bencher = Bencher::default();
     f(&mut bencher);
     let median = bencher.last_median.unwrap_or_default();
@@ -159,6 +239,7 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, 
         }
         None => println!("bench {label:<40} {median:>12?} /iter"),
     }
+    median
 }
 
 /// Bundles benchmark functions into a single group runner, mirroring
@@ -181,6 +262,7 @@ macro_rules! criterion_main {
             // `--bench`; a plain main ignores them.
             let mut criterion = $crate::Criterion::default();
             $( $group(&mut criterion); )+
+            criterion.persist_results();
         }
     };
 }
@@ -209,5 +291,44 @@ mod tests {
         c.bench_function("standalone", |b| b.iter(|| std::hint::black_box(0u8)));
         assert_eq!(BenchmarkId::new("a", "b").id, "a/b");
         assert_eq!(BenchmarkId::from_parameter(5).id, "5");
+    }
+
+    #[test]
+    fn baseline_json_round_trips_and_merges_by_id() {
+        let old = vec![("a/one".to_string(), 10u128), ("b/two".to_string(), 20)];
+        let rendered = render_results_json(&old);
+        assert_eq!(parse_results_json(&rendered), old);
+        // Merge semantics: ids from a later binary update in place or
+        // append, never drop entries another binary wrote.
+        let mut merged = parse_results_json(&rendered);
+        for (id, nanos) in [("b/two".to_string(), 25u128), ("c/three".to_string(), 30)] {
+            match merged.iter_mut().find(|(known, _)| *known == id) {
+                Some(entry) => entry.1 = nanos,
+                None => merged.push((id, nanos)),
+            }
+        }
+        assert_eq!(
+            merged,
+            vec![("a/one".to_string(), 10), ("b/two".to_string(), 25), ("c/three".to_string(), 30)]
+        );
+        assert_eq!(parse_results_json("not json at all"), Vec::new());
+    }
+
+    #[test]
+    fn results_accumulate_in_execution_order_and_render_as_json() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("first", |b| b.iter(|| std::hint::black_box(1u8)));
+        g.bench_with_input(BenchmarkId::new("second", 7), &7u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x))
+        });
+        g.finish();
+        c.bench_function("third", |b| b.iter(|| std::hint::black_box(2u8)));
+        let ids: Vec<&str> = c.results().iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, ["grp/first", "grp/second/7", "third"]);
+        let json = c.results_json();
+        assert!(json.contains("\"id\": \"grp/second/7\""), "{json}");
+        assert!(json.contains("median_ns"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

@@ -193,4 +193,32 @@ proptest! {
         prop_assert_eq!(a.decisions, b.decisions);
         prop_assert_eq!(a.metrics, b.metrics);
     }
+
+    /// The oracle-backed decision phase (what `Scenario::run` executes)
+    /// agrees with the exact reference path `NectarNode::decide` on every
+    /// correct node, across the full behaviour zoo — verdict, confirmed
+    /// flag and reachable count must be identical; only the κ report may
+    /// differ (witness bound vs exact value), and both must fall on the
+    /// same side of the threshold t.
+    #[test]
+    fn oracle_and_reference_decision_phases_agree((g, t, cast) in arb_graph_and_cast(9)) {
+        let mut scenario = Scenario::new(g.clone(), t).with_key_seed(7);
+        for (node, behavior) in &cast {
+            scenario = scenario.with_byzantine(*node, behavior.clone());
+        }
+        let byzantine: BTreeSet<usize> = cast.iter().map(|(node, _)| *node).collect();
+        let mut oracle = nectar::graph::ConnectivityOracle::new();
+        for p in scenario.run_participants() {
+            let node = p.nectar();
+            if byzantine.contains(&node.node_id()) {
+                continue;
+            }
+            let exact = node.decide();
+            let fast = node.decide_with(&mut oracle);
+            prop_assert_eq!(fast.verdict, exact.verdict, "node {}", node.node_id());
+            prop_assert_eq!(fast.confirmed, exact.confirmed);
+            prop_assert_eq!(fast.reachable, exact.reachable);
+            prop_assert_eq!(fast.connectivity > t, exact.connectivity > t);
+        }
+    }
 }
