@@ -1,5 +1,12 @@
 //! Evaluation baselines for the NECTAR reproduction.
 //!
+//! **Place in the runtime stack:** a sibling protocol layer used only by
+//! the evaluation. The baselines run their own epoch-gossip loops over
+//! `nectar-graph` topologies (they pre-date the `Process` abstraction's
+//! round model, matching the original gossip papers), and
+//! `nectar-experiments` compares their cost and resilience against NECTAR
+//! on identical graphs.
+//!
 //! The paper compares NECTAR against two non-Byzantine-resilient partition
 //! detectors (§V-A):
 //!

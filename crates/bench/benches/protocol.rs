@@ -1,6 +1,11 @@
 //! Criterion benchmarks for end-to-end protocol executions: NECTAR vs the
-//! baselines on identical topologies, and both runtimes on identical
-//! scenarios.
+//! baselines on identical topologies, and the three runtimes (sync,
+//! thread-per-node, event-driven) on identical scenarios.
+//!
+//! The committed baseline `BENCH_protocol.json` holds this bench's medians
+//! (refresh with `NECTAR_BENCH_JSON=BENCH_protocol.json cargo bench -p
+//! nectar-bench --bench protocol`); CI diffs a fresh run against it via
+//! the `bench_diff` binary.
 
 use std::collections::BTreeMap;
 
@@ -9,7 +14,7 @@ use std::hint::black_box;
 
 use nectar_baselines::{run_mtg, run_mtg_v2, MtgConfig};
 use nectar_graph::gen;
-use nectar_protocol::Scenario;
+use nectar_protocol::{Runtime, Scenario};
 
 fn bench_nectar_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("nectar_run");
@@ -38,6 +43,39 @@ fn bench_runtimes(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sync", |b| b.iter(|| black_box(&scenario).run_metrics_only()));
     group.bench_function("threaded", |b| b.iter(|| black_box(&scenario).run_threaded()));
+    group.bench_function("event", |b| {
+        b.iter(|| black_box(&scenario).run_metrics_only_on(Runtime::Event))
+    });
+    group.finish();
+}
+
+/// The three runtimes on identical clustered-fleet scenarios at
+/// n ∈ {100, 1 000, 10 000}, full `n − 1` round horizon. Dissemination is
+/// cluster-local and quiesces after ~4 rounds, so the comparison isolates
+/// pure scheduling cost: the event loop pays O(active events), the sync
+/// engine polls all n nodes for all n − 1 rounds, and thread-per-node
+/// additionally pays n OS threads with 2(n − 1) barrier waits each — which
+/// is why it is only benched at n = 100 (at 1 000+ threads one iteration
+/// takes tens of seconds; at 10 000 the fleet does not fit a process's
+/// thread budget at all, the gap this bench exists to document).
+fn bench_runtime_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_scaling");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let g = gen::disjoint_cliques(n / 4, 4);
+        let scenario = Scenario::new(g, 2);
+        group.bench_with_input(BenchmarkId::new("event", n), &scenario, |b, s| {
+            b.iter(|| black_box(s).run_metrics_only_on(Runtime::Event))
+        });
+        group.bench_with_input(BenchmarkId::new("sync", n), &scenario, |b, s| {
+            b.iter(|| black_box(s).run_metrics_only_on(Runtime::Sync))
+        });
+        if n <= 100 {
+            group.bench_with_input(BenchmarkId::new("threaded", n), &scenario, |b, s| {
+                b.iter(|| black_box(s).run_metrics_only_on(Runtime::Threaded))
+            });
+        }
+    }
     group.finish();
 }
 
@@ -59,6 +97,7 @@ criterion_group!(
     bench_nectar_end_to_end,
     bench_nectar_with_decisions,
     bench_runtimes,
+    bench_runtime_scaling,
     bench_baselines
 );
 criterion_main!(benches);

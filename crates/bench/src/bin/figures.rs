@@ -14,11 +14,12 @@ use nectar_experiments::ablation::{
 };
 use nectar_experiments::cost::{
     fig3_kregular_cost, fig4_drone_nectar, fig5_drone_mtgv2, fig6_drone_scaling_nectar,
-    fig7_drone_scaling_mtgv2, topology_cost, DroneCostConfig, DroneScalingConfig, Fig3Config,
-    TopologyCostConfig,
+    fig7_drone_scaling_mtgv2, large_scale_cost, topology_cost, DroneCostConfig, DroneScalingConfig,
+    Fig3Config, LargeScaleConfig, TopologyCostConfig,
 };
 use nectar_experiments::resilience::{
-    fig8_byzantine_resilience, topology_resilience, Fig8Config, TopologyResilienceConfig,
+    clustered_resilience, fig8_byzantine_resilience, topology_resilience,
+    ClusteredResilienceConfig, Fig8Config, TopologyResilienceConfig,
 };
 use nectar_experiments::Table;
 
@@ -90,6 +91,18 @@ fn main() {
     if want("ablation_rounds") {
         let cfg = if quick { RoundsConfig::quick() } else { RoundsConfig::paper() };
         emit(&rounds_ablation(&cfg));
+    }
+    if want("large_scale_cost") {
+        let cfg = if quick { LargeScaleConfig::quick() } else { LargeScaleConfig::paper() };
+        emit(&large_scale_cost(&cfg));
+    }
+    if want("large_scale_resilience") {
+        let cfg = if quick {
+            ClusteredResilienceConfig::quick()
+        } else {
+            ClusteredResilienceConfig::paper()
+        };
+        emit(&clustered_resilience(&cfg));
     }
     if want("unsigned_cost") {
         let cfg = if quick {

@@ -132,6 +132,16 @@ impl Process for Participant {
             Participant::Equivocator(e) => e.receive(round, from, msg),
         }
     }
+
+    fn quiescent(&self) -> bool {
+        match self {
+            Participant::Correct(n) => n.quiescent(),
+            // `Faulty` keeps the conservative default (see `nectar-net`).
+            Participant::TrafficFault(f) => f.quiescent(),
+            Participant::LateReveal(l) => l.quiescent(),
+            Participant::Equivocator(e) => e.quiescent(),
+        }
+    }
 }
 
 /// Wraps a correct node with a traffic fault model chosen by `behavior`.
@@ -233,6 +243,12 @@ impl Process for LateRevealNode {
     fn receive(&mut self, round: usize, from: NodeId, msg: NectarMsg) {
         self.inner.receive(round, from, msg);
     }
+
+    fn quiescent(&self) -> bool {
+        // The reveal is a *spontaneous* send: until it has fired, this node
+        // must keep receiving round ticks even with an empty relay queue.
+        self.revealed && self.inner.quiescent()
+    }
 }
 
 /// The equivocating Byzantine node: victims only ever see the one edge they
@@ -276,6 +292,12 @@ impl Process for EquivocatorNode {
 
     fn receive(&mut self, round: usize, from: NodeId, msg: NectarMsg) {
         self.inner.receive(round, from, msg);
+    }
+
+    fn quiescent(&self) -> bool {
+        // Equivocation only *rewrites* round-1 announcements (which the
+        // inner node always has pending at round 1); it never adds sends.
+        self.inner.quiescent()
     }
 }
 

@@ -18,13 +18,14 @@
 use nectar_graph::{ConnectivityOracle, Graph};
 
 use crate::config::Verdict;
-use crate::runner::{Outcome, Scenario};
+use crate::runner::{Outcome, Runtime, Scenario};
 
 /// Runs one NECTAR execution per topology snapshot.
 #[derive(Debug, Clone)]
 pub struct EpochMonitor {
     t: usize,
     key_seed: u64,
+    runtime: Runtime,
 }
 
 /// The outcome of one epoch.
@@ -39,12 +40,20 @@ pub struct EpochReport {
 impl EpochMonitor {
     /// A monitor tolerating up to `t` Byzantine nodes per epoch.
     pub fn new(t: usize) -> Self {
-        EpochMonitor { t, key_seed: 1 }
+        EpochMonitor { t, key_seed: 1, runtime: Runtime::Sync }
     }
 
     /// Seeds the per-epoch key universes (epoch `e` uses `seed + e`).
     pub fn with_key_seed(mut self, seed: u64) -> Self {
         self.key_seed = seed;
+        self
+    }
+
+    /// Selects the runtime executing each epoch (default
+    /// [`Runtime::Sync`]); outcomes are identical on all three, so pick
+    /// [`Runtime::Event`] when the monitored fleet is large.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -61,7 +70,7 @@ impl EpochMonitor {
             .map(|(epoch, graph)| {
                 let outcome = Scenario::new(graph, self.t)
                     .with_key_seed(self.key_seed + epoch as u64)
-                    .run_with_oracle(&mut oracle);
+                    .run_on_with_oracle(self.runtime, &mut oracle);
                 EpochReport { epoch, outcome }
             })
             .collect()
@@ -119,6 +128,18 @@ mod tests {
         for r in &reports[1..] {
             assert_eq!(r.outcome.oracle.cache_hits, r.outcome.oracle.queries);
             assert_eq!(r.outcome.oracle.bounded_flows, 0);
+        }
+    }
+
+    #[test]
+    fn event_runtime_monitors_identically() {
+        let snapshots = || [gen::harary(4, 10).unwrap(), gen::cycle(10)];
+        let sync_reports = EpochMonitor::new(2).run_epochs(snapshots());
+        let event_reports =
+            EpochMonitor::new(2).with_runtime(Runtime::Event).run_epochs(snapshots());
+        for (a, b) in sync_reports.iter().zip(&event_reports) {
+            assert_eq!(a.outcome.decisions, b.outcome.decisions);
+            assert_eq!(a.outcome.metrics, b.outcome.metrics);
         }
     }
 

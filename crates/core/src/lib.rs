@@ -4,6 +4,14 @@
 //! partition detection algorithm of Bromberg, Decouchant, Sourisseau and
 //! Taïani, *Partition Detection in Byzantine Networks* (ICDCS 2024).
 //!
+//! **Place in the runtime stack:** the protocol layer. [`NectarNode`]
+//! implements `nectar_net::Process`, so the same node code executes on any
+//! of the three runtimes — deterministic sync, thread-per-node, or the
+//! event-driven loop that hosts 10k+-node fleets — selected via
+//! [`runner::Runtime`]; [`Scenario`] is the harness every experiment,
+//! example and test drives, and its decision phase answers `κ ≤ t`
+//! through `nectar_graph`'s `ConnectivityOracle`.
+//!
 //! NECTAR solves **t-Byzantine-resilient, 2t-sensitive network partition
 //! detection** (Definition 3) on arbitrary graphs: after `n − 1` synchronous
 //! rounds of signed edge dissemination, every correct node decides either
@@ -54,4 +62,4 @@ pub use epochs::{EpochMonitor, EpochReport};
 pub use message::{NectarMsg, RelayedEdge, WireFormat};
 pub use nectar_graph::{ConnectivityOracle, OracleStats};
 pub use node::{NectarNode, RejectReason};
-pub use runner::{Outcome, Scenario};
+pub use runner::{Outcome, Runtime, Scenario};

@@ -307,6 +307,12 @@ impl Process for NectarNode {
             }
         }
     }
+
+    fn quiescent(&self) -> bool {
+        // Alg. 1 is purely reactive: `to_be_sent` only refills on receive,
+        // so an empty relay queue means silence until the next delivery.
+        self.pending.is_empty()
+    }
 }
 
 #[cfg(test)]

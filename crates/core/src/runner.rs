@@ -1,16 +1,20 @@
 //! Scenario builder and runner: NECTAR over any topology with any Byzantine
-//! cast, on either runtime — the execution harness behind the paper's
-//! evaluation campaigns (§V).
+//! cast, on any of the three runtimes — the execution harness behind the
+//! paper's evaluation campaigns (§V).
 //!
 //! This is the entry point the experiments, examples and integration tests
 //! share. A [`Scenario`] owns the topology, the protocol parameters and the
 //! Byzantine assignment; [`Scenario::run`] executes the propagation rounds
-//! and collects every correct node's decision plus traffic metrics.
+//! and collects every correct node's decision plus traffic metrics. The
+//! [`Runtime`] enum selects the execution engine — deterministic sync,
+//! thread-per-node, or the event-driven loop that hosts 10k+-node
+//! topologies — and all three produce bit-identical [`Outcome`]s (enforced
+//! by the cross-runtime equivalence property suite).
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use nectar_crypto::{KeyStore, NeighborhoodProof};
-use nectar_graph::{connectivity, traversal, ConnectivityOracle, Graph, OracleStats};
+use nectar_graph::{connectivity, traversal, ConnectivityOracle, Fingerprint, Graph, OracleStats};
 use nectar_net::{Metrics, NodeId, SyncNetwork};
 
 use crate::byzantine::{
@@ -18,6 +22,52 @@ use crate::byzantine::{
 };
 use crate::config::{Decision, NectarConfig, Verdict};
 use crate::node::NectarNode;
+
+/// Which engine executes a scenario's propagation rounds. All three run the
+/// same [`Participant`] code and produce bit-identical [`Outcome`]s; they
+/// differ only in scheduling:
+///
+/// * [`Sync`](Runtime::Sync) polls every node every round — the simple
+///   deterministic baseline for tests and small sweeps;
+/// * [`Threaded`](Runtime::Threaded) gives every node an OS thread (the
+///   paper's one-container-per-process flavour; practical to a few hundred
+///   nodes);
+/// * [`Event`](Runtime::Event) multiplexes all nodes on a binary-heap
+///   event loop with `O(active events)` scheduling — the only engine that
+///   hosts 10 000+-node topologies in one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Runtime {
+    /// Deterministic single-threaded round engine.
+    #[default]
+    Sync,
+    /// One OS thread per node, barrier-aligned rounds.
+    Threaded,
+    /// Single-threaded event loop over a binary-heap event queue.
+    Event,
+}
+
+impl std::fmt::Display for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Runtime::Sync => "sync",
+            Runtime::Threaded => "threaded",
+            Runtime::Event => "event",
+        })
+    }
+}
+
+impl std::str::FromStr for Runtime {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sync" => Ok(Runtime::Sync),
+            "threaded" => Ok(Runtime::Threaded),
+            "event" => Ok(Runtime::Event),
+            other => Err(format!("unknown runtime {other}; expected sync, threaded or event")),
+        }
+    }
+}
 
 /// A fully described NECTAR execution: topology, parameters, Byzantine cast.
 #[derive(Debug, Clone)]
@@ -164,6 +214,23 @@ impl Scenario {
             .collect()
     }
 
+    /// Executes the propagation rounds on the chosen runtime, returning the
+    /// final participants and traffic metrics — the one place all runtime
+    /// dispatch happens.
+    fn propagate(&self, runtime: Runtime) -> (Vec<Participant>, Metrics) {
+        let participants = self.build_participants();
+        let rounds = self.config.effective_rounds();
+        match runtime {
+            Runtime::Sync => {
+                let mut net = SyncNetwork::new(participants, self.topology.clone());
+                net.run_rounds(rounds);
+                net.into_parts()
+            }
+            Runtime::Threaded => nectar_net::run_threaded(participants, &self.topology, rounds),
+            Runtime::Event => nectar_net::run_event_driven(participants, &self.topology, rounds),
+        }
+    }
+
     /// Runs the scenario on the deterministic synchronous engine.
     pub fn run(&self) -> Outcome {
         self.run_with_oracle(&mut ConnectivityOracle::new())
@@ -174,11 +241,17 @@ impl Scenario {
     /// same topology — share cached verdicts across runs. The returned
     /// [`Outcome::oracle`] counters cover this run only.
     pub fn run_with_oracle(&self, oracle: &mut ConnectivityOracle) -> Outcome {
-        let participants = self.build_participants();
-        let rounds = self.config.effective_rounds();
-        let mut net = SyncNetwork::new(participants, self.topology.clone());
-        net.run_rounds(rounds);
-        let (participants, metrics) = net.into_parts();
+        self.run_on_with_oracle(Runtime::Sync, oracle)
+    }
+
+    /// Runs the scenario on the named [`Runtime`].
+    pub fn run_on(&self, runtime: Runtime) -> Outcome {
+        self.run_on_with_oracle(runtime, &mut ConnectivityOracle::new())
+    }
+
+    /// [`run_on`](Self::run_on) with a caller-supplied oracle.
+    pub fn run_on_with_oracle(&self, runtime: Runtime, oracle: &mut ConnectivityOracle) -> Outcome {
+        let (participants, metrics) = self.propagate(runtime);
         self.collect(participants, metrics, oracle)
     }
 
@@ -187,37 +260,45 @@ impl Scenario {
     /// traffic only, and skipping `n` vertex-connectivity computations keeps
     /// large sweeps fast.
     pub fn run_metrics_only(&self) -> Metrics {
-        let participants = self.build_participants();
-        let rounds = self.config.effective_rounds();
-        let mut net = SyncNetwork::new(participants, self.topology.clone());
-        net.run_rounds(rounds);
-        net.into_parts().1
+        self.run_metrics_only_on(Runtime::Sync)
+    }
+
+    /// [`run_metrics_only`](Self::run_metrics_only) on the named runtime —
+    /// the large-n cost sweeps use [`Runtime::Event`], whose quiescence
+    /// scheduling makes thousand-node dissemination measurements feasible.
+    pub fn run_metrics_only_on(&self, runtime: Runtime) -> Metrics {
+        self.propagate(runtime).1
     }
 
     /// Runs the scenario and returns the raw participants (with their full
     /// protocol state) instead of summarized decisions — for tests and
     /// experiments that inspect per-node views.
     pub fn run_participants(&self) -> Vec<Participant> {
-        let participants = self.build_participants();
-        let rounds = self.config.effective_rounds();
-        let mut net = SyncNetwork::new(participants, self.topology.clone());
-        net.run_rounds(rounds);
-        net.into_parts().0
+        self.propagate(Runtime::Sync).0
     }
 
     /// Runs the scenario on the thread-per-node runtime (same results, real
     /// concurrency).
     pub fn run_threaded(&self) -> Outcome {
-        self.run_threaded_with_oracle(&mut ConnectivityOracle::new())
+        self.run_on(Runtime::Threaded)
     }
 
     /// [`run_threaded`](Self::run_threaded) with a caller-supplied oracle.
     pub fn run_threaded_with_oracle(&self, oracle: &mut ConnectivityOracle) -> Outcome {
-        let participants = self.build_participants();
-        let rounds = self.config.effective_rounds();
-        let (participants, metrics) =
-            nectar_net::run_threaded(participants, &self.topology, rounds);
-        self.collect(participants, metrics, oracle)
+        self.run_on_with_oracle(Runtime::Threaded, oracle)
+    }
+
+    /// Runs the scenario on the event-driven runtime — the engine for
+    /// topologies far beyond thread-per-node scale (10k+ nodes in one
+    /// process), with outcomes bit-identical to [`run`](Self::run).
+    pub fn run_event_driven(&self) -> Outcome {
+        self.run_on(Runtime::Event)
+    }
+
+    /// [`run_event_driven`](Self::run_event_driven) with a caller-supplied
+    /// oracle.
+    pub fn run_event_driven_with_oracle(&self, oracle: &mut ConnectivityOracle) -> Outcome {
+        self.run_on_with_oracle(Runtime::Event, oracle)
     }
 
     fn collect(
@@ -228,15 +309,56 @@ impl Scenario {
     ) -> Outcome {
         let byzantine = self.byzantine_nodes();
         let before = *oracle.stats();
+        let n = self.config.n;
+        let t = self.config.t;
         // Correct nodes that ended up with identical G_i (the common case,
-        // per Lemma 2) share one cached oracle verdict: the fingerprint
-        // cache plays the role the old per-run κ memo table used to.
+        // per Lemma 2) form one *view class*: the view's fingerprint and
+        // component sizes are derived once per class from the edge key
+        // alone, in O(m_view), and every member's decision follows —
+        // `reachable` is the size of the member's component, the `κ ≤ t`
+        // answer comes from the shared oracle. Each member still issues its
+        // own oracle query (the first of a class pays, the rest hit the
+        // verdict cache), so the per-node oracle counters are identical to
+        // calling [`NectarNode::decide_with`] node by node — but a 10 000
+        // node fleet no longer pays 10 000 full-graph constructions and
+        // BFS passes: a view graph is only materialized when the oracle
+        // cannot answer its fingerprint from cache.
+        struct ViewClass {
+            fingerprint: Fingerprint,
+            /// Materialized lazily, only for oracle cache misses.
+            graph: Option<Graph>,
+            /// Component size per vertex named by the view's edges;
+            /// unnamed vertices are implicit singletons.
+            component_size: BTreeMap<NodeId, usize>,
+        }
+        let mut classes: BTreeMap<Vec<(u16, u16)>, ViewClass> = BTreeMap::new();
         let decisions = participants
             .iter()
             .filter(|p| !byzantine.contains(&p.nectar().node_id()))
             .map(|p| {
                 let node = p.nectar();
-                (node.node_id(), node.decide_with(oracle))
+                let class = classes.entry(node.discovered_edge_key()).or_insert_with_key(|key| {
+                    let mut fingerprint = Fingerprint::empty(n);
+                    // Same filter as `NectarNode::discovered_graph`, so the
+                    // digest matches `Fingerprint::of` of that graph.
+                    for (u, v) in view_edges(key, n) {
+                        fingerprint.toggle_edge(u, v);
+                    }
+                    ViewClass {
+                        fingerprint,
+                        graph: None,
+                        component_size: view_component_sizes(key, n),
+                    }
+                });
+                let answer = match oracle.cached_answer(class.fingerprint, t) {
+                    Some(answer) => answer,
+                    None => {
+                        let graph = class.graph.get_or_insert_with(|| node.discovered_graph());
+                        oracle.answer_fingerprinted(class.fingerprint, graph, t)
+                    }
+                };
+                let reachable = class.component_size.get(&node.node_id()).copied().unwrap_or(1);
+                (node.node_id(), Decision::from_view(n, t, reachable, answer.kappa.report()))
             })
             .collect();
         Outcome {
@@ -247,6 +369,46 @@ impl Scenario {
             oracle: oracle.stats().since(&before),
         }
     }
+}
+
+/// The in-range, non-loop edges of a discovered-view edge key — exactly the
+/// edges `NectarNode::discovered_graph` would keep.
+fn view_edges(key: &[(u16, u16)], n: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+    key.iter()
+        .map(|&(u, v)| (u as usize, v as usize))
+        .filter(move |&(u, v)| u < n && v < n && u != v)
+}
+
+/// Component sizes of the subgraph induced by a view's edges, keyed by
+/// vertex, via union-find over only the vertices the edges name — O(m α)
+/// regardless of `n`. Vertices absent from the map are isolated (size 1).
+fn view_component_sizes(key: &[(u16, u16)], n: usize) -> BTreeMap<NodeId, usize> {
+    let mut index: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    let slot = |v: usize, parent: &mut Vec<usize>, index: &mut BTreeMap<NodeId, usize>| {
+        *index.entry(v).or_insert_with(|| {
+            parent.push(parent.len());
+            parent.len() - 1
+        })
+    };
+    for (u, v) in view_edges(key, n) {
+        let a = slot(u, &mut parent, &mut index);
+        let b = slot(v, &mut parent, &mut index);
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        parent[ra] = rb;
+    }
+    let mut root_size = vec![0usize; parent.len()];
+    for &i in index.values() {
+        root_size[find(&mut parent, i)] += 1;
+    }
+    index.iter().map(|(&v, &i)| (v, root_size[find(&mut parent, i)])).collect()
 }
 
 /// Everything observable after a scenario execution.
@@ -352,6 +514,41 @@ mod tests {
     }
 
     #[test]
+    fn event_driven_run_matches_sync_run() {
+        let scenario = Scenario::new(gen::harary(4, 10).unwrap(), 2).with_key_seed(5);
+        let a = scenario.run();
+        let b = scenario.run_event_driven();
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.oracle, b.oracle);
+    }
+
+    #[test]
+    fn event_driven_run_matches_sync_under_spontaneous_byzantine_sends() {
+        // LateReveal sends *without* receiving first: the quiescence hints
+        // must keep it scheduled or the reveal is lost on the event loop.
+        let build = || {
+            Scenario::new(gen::cycle(7), 2)
+                .with_byzantine(0, ByzantineBehavior::LateReveal { partner: 1, others: vec![] })
+                .with_byzantine(1, ByzantineBehavior::Silent)
+                .with_key_seed(9)
+        };
+        let a = build().run();
+        let b = build().run_event_driven();
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn runtime_names_round_trip() {
+        for rt in [Runtime::Sync, Runtime::Threaded, Runtime::Event] {
+            assert_eq!(rt.to_string().parse::<Runtime>().unwrap(), rt);
+        }
+        assert!("warp".parse::<Runtime>().is_err());
+        assert_eq!(Runtime::default(), Runtime::Sync);
+    }
+
+    #[test]
     fn silent_byzantine_cannot_fake_a_partition_in_a_2t_connected_graph() {
         // κ(H_{4,10}) = 4 = 2t with t = 2: Lemma 1 says everyone decides
         // NOT_PARTITIONABLE no matter what the Byzantine nodes do.
@@ -374,6 +571,26 @@ mod tests {
         // everyone confirms a real partition.
         assert!(out.decisions.values().all(|d| d.confirmed));
         assert!(out.byzantine_cast_is_vertex_cut());
+    }
+
+    #[test]
+    fn batched_view_class_decisions_match_per_node_decide_with() {
+        // collect() groups identical views (Lemma 2) and derives each
+        // decision from the class's shared graph/components; the result
+        // must equal node-by-node decide_with, oracle counters included.
+        let scenario = Scenario::new(gen::harary(4, 12).unwrap(), 2)
+            .with_byzantine(2, ByzantineBehavior::TwoFaced { silent_toward: [7, 8].into() })
+            .with_byzantine(9, ByzantineBehavior::Silent)
+            .with_key_seed(3);
+        let out = scenario.run();
+        let participants = scenario.run_participants();
+        let mut oracle = ConnectivityOracle::new();
+        for p in participants.iter().filter(|p| p.is_correct()) {
+            let expected = p.nectar().decide_with(&mut oracle);
+            assert_eq!(out.decisions[&p.nectar().node_id()], expected);
+        }
+        assert_eq!(out.oracle.queries, oracle.stats().queries);
+        assert_eq!(out.oracle.cache_hits, oracle.stats().cache_hits);
     }
 
     #[test]

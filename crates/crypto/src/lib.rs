@@ -1,5 +1,10 @@
 //! Cryptographic substrate for the NECTAR reproduction.
 //!
+//! **Place in the runtime stack:** a leaf dependency of the protocol layer.
+//! `nectar-protocol` signs and verifies through this crate inside every
+//! `send`/`receive` the runtimes (`nectar-net`) drive; nothing here knows
+//! about graphs, rounds or runtimes.
+//!
 //! The paper assumes an asymmetric digital signature scheme with chained
 //! signatures and unforgeable proofs of neighborhood (§II). This crate
 //! provides all of it from scratch, on top of a NIST-vector-tested SHA-256:

@@ -192,6 +192,13 @@ impl Process for UnsignedNode {
             self.outbox.push((extended, [from].into_iter().collect()));
         }
     }
+
+    fn quiescent(&self) -> bool {
+        // Path-vector dissemination is purely reactive too: the relay
+        // outbox only refills on receive, so the event-driven runtime can
+        // skip this node until the next delivery.
+        self.outbox.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +236,29 @@ mod tests {
         for mut node in run(&g, 2) {
             assert_eq!(node.accepted_graph(), g);
             assert_eq!(node.decide().verdict, Verdict::NotPartitionable);
+        }
+    }
+
+    #[test]
+    fn event_driven_runtime_matches_sync_for_the_unsigned_detector() {
+        // The quiescence hint must not starve path-vector relaying: views,
+        // decisions and traffic are bit-identical across runtimes.
+        let g = nectar_graph::gen::harary(4, 9).unwrap();
+        let n = g.node_count();
+        let cfg = UnsignedConfig::new(n, 1);
+        let build = || -> Vec<UnsignedNode> {
+            (0..n).map(|i| UnsignedNode::new(i, cfg, g.neighborhood(i))).collect()
+        };
+        let mut sync_net = SyncNetwork::new(build(), g.clone());
+        sync_net.run_rounds(cfg.rounds());
+        let (mut sync_nodes, sync_metrics) = sync_net.into_parts();
+        let (mut event_nodes, event_metrics) =
+            nectar_net::run_event_driven(build(), &g, cfg.rounds());
+        assert_eq!(sync_metrics, event_metrics);
+        for (a, b) in sync_nodes.iter_mut().zip(&mut event_nodes) {
+            assert_eq!(a.accepted_graph(), b.accepted_graph());
+            assert_eq!(a.decide(), b.decide());
+            assert_eq!(a.stored_paths(), b.stored_paths());
         }
     }
 

@@ -15,6 +15,14 @@
 //! | §V-D topology resilience | [`resilience::topology_resilience`] |
 //! | Reproduction ablations | [`ablation`] |
 //! | §VII unsigned-cost conjecture | [`unsigned::unsigned_cost`] |
+//! | Beyond §V: 10k-node clustered-fleet cost | [`cost::large_scale_cost`] |
+//! | Beyond §V: clustered-fleet resilience | [`resilience::clustered_resilience`] |
+//!
+//! The large-n sweeps run on the event-driven runtime
+//! (`nectar_protocol::Runtime::Event`), whose `O(active events)`
+//! scheduling makes system sizes far beyond the paper's 100-node
+//! evaluation feasible; all runners accept any runtime since outcomes are
+//! bit-identical across the three.
 //!
 //! Each runner takes a config with `paper()` (full scale) and `quick()`
 //! (CI-sized) presets and returns a [`table::Table`] that renders to CSV

@@ -116,6 +116,40 @@ pub fn bridged_partition(n: usize, t: usize, links_per_part: usize, seed: u64) -
     BridgeScenario { graph, byzantine, part_a, part_b }
 }
 
+/// A large clustered fleet: many disjoint cliques with Byzantine insiders.
+#[derive(Debug, Clone)]
+pub struct ClusteredFleet {
+    /// The (maximally partitioned) communication graph.
+    pub graph: Graph,
+    /// Byzantine insiders, at most one per cluster.
+    pub byzantine: Vec<NodeId>,
+}
+
+/// Builds a fleet of `clusters` disjoint `size`-cliques with `t` Byzantine
+/// insiders placed in `t` distinct random clusters — the large-n setting
+/// (thousands to tens of thousands of nodes) that only the event-driven
+/// runtime can sweep: every cluster quiesces after ~`size` rounds, so the
+/// active-event volume is linear in `n` even though the paper's round
+/// horizon is `n − 1`. Ground truth everywhere is a `confirmed` partition.
+///
+/// # Panics
+///
+/// Panics if `t` exceeds the cluster count.
+pub fn clustered_fleet(clusters: usize, size: usize, t: usize, seed: u64) -> ClusteredFleet {
+    assert!(t <= clusters, "at most one Byzantine insider per cluster");
+    let graph = gen::disjoint_cliques(clusters, size);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cluster_ids: Vec<usize> = (0..clusters).collect();
+    cluster_ids.shuffle(&mut rng);
+    let mut byzantine: Vec<NodeId> = cluster_ids
+        .into_iter()
+        .take(t)
+        .map(|c| c * size + (seed as usize + c) % size.max(1))
+        .collect();
+    byzantine.sort_unstable();
+    ClusteredFleet { graph, byzantine }
+}
+
 /// Draws `t` distinct random nodes of `g` (for "aleatory placement"
 /// experiments).
 ///
@@ -233,6 +267,19 @@ mod tests {
         let b = bridged_partition(15, 1, 2, 9);
         assert_eq!(a.graph, b.graph);
         assert_eq!(a.byzantine, b.byzantine);
+    }
+
+    #[test]
+    fn clustered_fleet_places_insiders_in_distinct_clusters() {
+        let s = clustered_fleet(10, 4, 5, 11);
+        assert_eq!(s.graph.node_count(), 40);
+        assert!(traversal::is_partitioned(&s.graph));
+        assert_eq!(s.byzantine.len(), 5);
+        let mut clusters: Vec<usize> = s.byzantine.iter().map(|b| b / 4).collect();
+        clusters.dedup();
+        assert_eq!(clusters.len(), 5, "one insider per cluster");
+        // Seeded determinism.
+        assert_eq!(clustered_fleet(10, 4, 5, 11).byzantine, s.byzantine);
     }
 
     #[test]

@@ -51,6 +51,28 @@ pub fn star(n: usize) -> Graph {
     g
 }
 
+/// Disjoint union of `count` cliques of `size` nodes each (`count · size`
+/// nodes total): a maximally partitioned fleet of tight clusters.
+///
+/// Every cluster floods internally and quiesces after ~`size` rounds while
+/// the system-wide round horizon stays `n − 1`, which makes this the
+/// canonical workload for the event-driven runtime's `O(active events)`
+/// scheduling — and, protocol-wise, a ground-truth `confirmed` partition
+/// for every correct node. Used by the 10 000-node scale tests and the
+/// `runtime_scaling` bench.
+pub fn disjoint_cliques(count: usize, size: usize) -> Graph {
+    let mut g = Graph::empty(count * size);
+    for c in 0..count {
+        let base = c * size;
+        for u in 0..size {
+            for v in u + 1..size {
+                g.add_edge(base + u, base + v).expect("indices in range");
+            }
+        }
+    }
+    g
+}
+
 /// Erdős–Rényi random graph `G(n, p)`: every pair becomes an edge
 /// independently with probability `p`.
 ///
@@ -101,6 +123,21 @@ mod tests {
         let g = star(7);
         assert_eq!(g.degree(0), 6);
         assert!((1..7).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn disjoint_cliques_shape() {
+        let g = disjoint_cliques(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 6);
+        assert!((0..12).all(|v| g.degree(v) == 3));
+        assert!(!is_connected(&g));
+        // No edge crosses a cluster boundary.
+        assert!(!g.has_edge(3, 4));
+        assert!(g.has_edge(4, 7));
+        // Degenerate sizes are fine.
+        assert_eq!(disjoint_cliques(0, 5).node_count(), 0);
+        assert_eq!(disjoint_cliques(2, 1).edge_count(), 0);
     }
 
     #[test]

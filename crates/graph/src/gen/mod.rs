@@ -19,7 +19,7 @@ mod lhg;
 mod random_regular;
 mod wheel;
 
-pub use classic::{complete, cycle, erdos_renyi, path, star};
+pub use classic::{complete, cycle, disjoint_cliques, erdos_renyi, path, star};
 pub use extra::{barabasi_albert, grid, torus, watts_strogatz};
 pub use geometric::{drone_scenario, two_cluster_geometric, DronePlacement};
 pub use harary::harary;

@@ -1,5 +1,11 @@
 //! Graph substrate for the NECTAR reproduction.
 //!
+//! **Place in the runtime stack:** the foundation layer. Everything above —
+//! the runtimes (`nectar-net`, whose topologies are [`Graph`]s), the
+//! protocol (`nectar-protocol`, whose decision phase is a connectivity
+//! question), the experiments and the CLI — depends on this crate, which
+//! depends on nothing but the offline shims.
+//!
 //! This crate implements every graph-theoretic ingredient used by the paper
 //! *Partition Detection in Byzantine Networks* (ICDCS 2024):
 //!
@@ -65,4 +71,4 @@ pub mod traversal;
 
 pub use error::GraphError;
 pub use graph::Graph;
-pub use oracle::{ConnectivityOracle, OracleStats};
+pub use oracle::{ConnectivityOracle, Fingerprint, OracleStats};

@@ -64,6 +64,14 @@ impl Fingerprint {
         fp
     }
 
+    /// The digest of an `n`-node edgeless graph — the starting point for
+    /// callers that fold in edges via [`toggle_edge`](Self::toggle_edge)
+    /// from an edge list, in O(m) with no graph in hand. Equals
+    /// [`Fingerprint::of`] of the same edge set over the same `n`.
+    pub fn empty(n: usize) -> Self {
+        Fingerprint { n, acc: 0 }
+    }
+
     /// Folds the undirected edge `(u, v)` into the digest. XOR-based, hence
     /// self-inverse: call once to account for a merged edge, again to
     /// account for its removal.
@@ -199,6 +207,22 @@ impl ConnectivityOracle {
     /// Full answer for `κ(g) ≤ t`, including the `κ` bound established.
     pub fn answer(&mut self, g: &Graph, t: usize) -> OracleAnswer {
         self.answer_fingerprinted(Fingerprint::of(g), g, t)
+    }
+
+    /// Probes the verdict cache for `fp` at threshold `t` *without the
+    /// graph*. A hit is a served query (same counters as
+    /// [`answer_fingerprinted`](Self::answer_fingerprinted)); a miss
+    /// records nothing — materialize the graph and call
+    /// [`answer_fingerprinted`](Self::answer_fingerprinted) to resolve it.
+    /// Lets batch consumers (the scenario runner's view classes) skip even
+    /// *constructing* a view graph whose verdict is already cached.
+    pub fn cached_answer(&mut self, fp: Fingerprint, t: usize) -> Option<OracleAnswer> {
+        let hit = self.cache.get(&(fp, t)).copied();
+        if hit.is_some() {
+            self.stats.queries += 1;
+            self.stats.cache_hits += 1;
+        }
+        hit
     }
 
     /// [`answer`](Self::answer) for callers that maintain `g`'s fingerprint

@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use nectar_graph::{connectivity, gen, traversal, ConnectivityOracle, Graph};
-use nectar_protocol::{ByzantineBehavior, Outcome, Scenario, Verdict};
+use nectar_protocol::{ByzantineBehavior, Outcome, Runtime, Scenario, Verdict};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +21,8 @@ pub enum Command {
         k: usize,
         /// System size.
         n: usize,
+        /// Emit the table as CSV instead of aligned text.
+        csv: bool,
     },
     /// Show usage.
     Help,
@@ -39,12 +41,16 @@ pub struct DetectArgs {
     pub t: usize,
     /// Byzantine cast: `(node, behaviour)` pairs.
     pub byzantine: Vec<(usize, ByzantineBehavior)>,
-    /// Use the thread-per-node runtime instead of the deterministic one.
-    pub threaded: bool,
+    /// Which runtime executes the scenario (`--runtime`; `--threaded` is a
+    /// legacy alias for `--runtime threaded`). Outcomes are bit-identical
+    /// across all three.
+    pub runtime: Runtime,
     /// Seed for keys and randomized topologies.
     pub seed: u64,
     /// Emit the result as a JSON document instead of human-readable text.
     pub json: bool,
+    /// Emit the per-epoch results as CSV rows instead of text.
+    pub csv: bool,
     /// Number of monitoring epochs to run (same topology, fresh keys per
     /// epoch, one shared connectivity oracle across all of them).
     pub epochs: usize,
@@ -56,21 +62,36 @@ nectar-cli — Byzantine-resilient partition detection
 
 USAGE:
   nectar-cli detect --topology <family> --n <N> [--k <K>] [--t <T>]
-             [--byz <node>:<behavior> ...] [--threaded] [--seed <S>]
-             [--epochs <E>] [--json]
-  nectar-cli families --k <K> --n <N>
+             [--byz <node>:<behavior> ...] [--runtime <R>] [--seed <S>]
+             [--epochs <E>] [--json | --csv]
+  nectar-cli families --k <K> --n <N> [--csv]
   nectar-cli help
+
+RUNTIME (--runtime, default sync):
+  sync      deterministic single-threaded round engine
+  threaded  one OS thread per node (--threaded is a legacy alias;
+            practical up to a few hundred nodes)
+  event     event-driven loop, O(active events) scheduling — use this for
+            large n (10k+ nodes in one process)
+  All three produce bit-identical outcomes.
 
 OUTPUT:
   --json emits one machine-readable document with the per-epoch verdicts
   and connectivity-oracle statistics (cache hits, bounded flows, early
-  exits); --epochs E re-runs detection E times on the same topology with
-  fresh keys, sharing one oracle so unchanged graphs decide from cache.
+  exits); --csv emits the same per-epoch results as CSV rows with the
+  header `epoch,verdict,confirmed,agreement,mean_kb_per_node,\
+oracle_queries,oracle_cache_hits`. For `families`, --csv emits
+  `family,nodes,edges,kappa,diameter`. --epochs E re-runs detection E
+  times on the same topology with fresh keys, sharing one oracle so
+  unchanged graphs decide from cache. (The experiment runners emit CSV
+  too: `cargo run -p nectar-bench --bin figures` writes results/<id>.csv
+  for every figure.)
 
 FAMILIES:
   harary | random-regular | pasted-tree | diamond | wheel |
   multipartite-wheel | cycle | path | star | complete | drone |
-  torus | small-world | scale-free
+  torus | small-world | scale-free |
+  cliques (disjoint 4-cliques; --n must be a positive multiple of 4)
 
 BEHAVIORS (for --byz):
   silent | crash@<round> | two-faced@<a>-<b> (silent toward nodes a..=b) |
@@ -79,7 +100,8 @@ BEHAVIORS (for --byz):
 EXAMPLES:
   nectar-cli detect --topology harary --k 4 --n 20 --t 2 --byz 3:silent
   nectar-cli detect --topology star --n 8 --t 1 --byz 0:two-faced@4-7
-  nectar-cli families --k 4 --n 24
+  nectar-cli detect --topology cliques --n 10000 --t 2 --runtime event
+  nectar-cli families --k 4 --n 24 --csv
 ";
 
 /// Parses a CLI argument vector (without the program name).
@@ -92,13 +114,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match it.next().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some("families") => {
-            let (mut k, mut n) = (4usize, 20usize);
-            parse_flags(it.as_slice(), |flag, value| match flag {
-                "--k" => set_usize(&mut k, value, "--k"),
-                "--n" => set_usize(&mut n, value, "--n"),
-                other => Err(format!("unknown flag {other}")),
+            let (mut k, mut n, mut csv) = (4usize, 20usize, false);
+            let rest: Vec<String> = it.cloned().collect();
+            parse_flags(&rest, &["--csv"], |flag, value| match (flag, value) {
+                ("--csv", _) => {
+                    csv = true;
+                    Ok(())
+                }
+                ("--k", Some(v)) => set_usize(&mut k, v, "--k"),
+                ("--n", Some(v)) => set_usize(&mut n, v, "--n"),
+                (other, _) => Err(format!("unknown flag {other}")),
             })?;
-            Ok(Command::Families { k, n })
+            Ok(Command::Families { k, n, csv })
         }
         Some("detect") => {
             let mut out = DetectArgs {
@@ -107,48 +134,37 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 n: 20,
                 t: 1,
                 byzantine: Vec::new(),
-                threaded: false,
+                runtime: Runtime::Sync,
                 seed: 42,
                 json: false,
+                csv: false,
                 epochs: 1,
             };
             let rest: Vec<String> = it.cloned().collect();
-            let mut i = 0;
-            while i < rest.len() {
-                let flag = rest[i].as_str();
-                match flag {
-                    "--threaded" => {
-                        out.threaded = true;
-                        i += 1;
+            parse_flags(&rest, &["--threaded", "--json", "--csv"], |flag, value| {
+                match (flag, value) {
+                    ("--threaded", _) => out.runtime = Runtime::Threaded,
+                    ("--json", _) => out.json = true,
+                    ("--csv", _) => out.csv = true,
+                    ("--topology", Some(v)) => out.topology = v.into(),
+                    ("--n", Some(v)) => set_usize(&mut out.n, v, "--n")?,
+                    ("--k", Some(v)) => set_usize(&mut out.k, v, "--k")?,
+                    ("--t", Some(v)) => set_usize(&mut out.t, v, "--t")?,
+                    ("--epochs", Some(v)) => set_usize(&mut out.epochs, v, "--epochs")?,
+                    ("--runtime", Some(v)) => out.runtime = v.parse()?,
+                    ("--seed", Some(v)) => {
+                        out.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
                     }
-                    "--json" => {
-                        out.json = true;
-                        i += 1;
-                    }
-                    "--topology" | "--n" | "--k" | "--t" | "--seed" | "--byz" | "--epochs" => {
-                        let value =
-                            rest.get(i + 1).ok_or_else(|| format!("flag {flag} needs a value"))?;
-                        match flag {
-                            "--topology" => out.topology = value.clone(),
-                            "--n" => set_usize(&mut out.n, value, "--n")?,
-                            "--k" => set_usize(&mut out.k, value, "--k")?,
-                            "--t" => set_usize(&mut out.t, value, "--t")?,
-                            "--epochs" => set_usize(&mut out.epochs, value, "--epochs")?,
-                            "--seed" => {
-                                out.seed = value
-                                    .parse()
-                                    .map_err(|_| format!("bad --seed value {value}"))?
-                            }
-                            "--byz" => out.byzantine.push(parse_byz(value)?),
-                            _ => unreachable!("matched above"),
-                        }
-                        i += 2;
-                    }
-                    other => return Err(format!("unknown flag {other}")),
+                    ("--byz", Some(v)) => out.byzantine.push(parse_byz(v)?),
+                    (other, _) => return Err(format!("unknown flag {other}")),
                 }
-            }
+                Ok(())
+            })?;
             if out.epochs == 0 {
                 return Err("--epochs must be at least 1".into());
+            }
+            if out.json && out.csv {
+                return Err("--json and --csv are mutually exclusive".into());
             }
             Ok(Command::Detect(out))
         }
@@ -156,16 +172,26 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// Walks a flag stream: flags named in `boolean` consume no value (the
+/// callback sees `None`), every other `--flag` consumes the next argument
+/// (the callback sees `Some(value)`). Shared by both subcommands so a new
+/// flag is wired up in exactly one parsing path.
 fn parse_flags(
     rest: &[String],
-    mut set: impl FnMut(&str, &str) -> Result<(), String>,
+    boolean: &[&str],
+    mut set: impl FnMut(&str, Option<&str>) -> Result<(), String>,
 ) -> Result<(), String> {
     let mut i = 0;
     while i < rest.len() {
         let flag = rest[i].as_str();
-        let value = rest.get(i + 1).ok_or_else(|| format!("flag {flag} needs a value"))?;
-        set(flag, value)?;
-        i += 2;
+        if boolean.contains(&flag) {
+            set(flag, None)?;
+            i += 1;
+        } else {
+            let value = rest.get(i + 1).ok_or_else(|| format!("flag {flag} needs a value"))?;
+            set(flag, Some(value))?;
+            i += 2;
+        }
     }
     Ok(())
 }
@@ -235,6 +261,14 @@ pub fn build_topology(name: &str, k: usize, n: usize, seed: u64) -> Result<Graph
         }
         "small-world" => gen::watts_strogatz(n, k.max(2) & !1, 0.2, &mut rng).map_err(err),
         "scale-free" => gen::barabasi_albert(n, k.max(1).min(n - 1), &mut rng).map_err(err),
+        // A maximally partitioned fleet of 4-cliques — the large-n workload
+        // of the event runtime (dissemination is cluster-local).
+        "cliques" => {
+            if n == 0 || n % 4 != 0 {
+                return Err(format!("cliques needs --n to be a positive multiple of 4, got {n}"));
+            }
+            Ok(gen::disjoint_cliques(n / 4, 4))
+        }
         other => Err(format!("unknown topology family {other}; try `nectar-cli help`")),
     }
 }
@@ -247,14 +281,19 @@ pub fn build_topology(name: &str, k: usize, n: usize, seed: u64) -> Result<Graph
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Families { k, n } => {
+        Command::Families { k, n, csv } => {
             let mut out = String::new();
-            writeln!(
-                out,
-                "{:<22} {:>6} {:>6} {:>9} {:>9}",
-                "family", "nodes", "edges", "kappa", "diameter"
-            )
-            .expect("writing to String cannot fail");
+            if csv {
+                writeln!(out, "family,nodes,edges,kappa,diameter")
+                    .expect("writing to String cannot fail");
+            } else {
+                writeln!(
+                    out,
+                    "{:<22} {:>6} {:>6} {:>9} {:>9}",
+                    "family", "nodes", "edges", "kappa", "diameter"
+                )
+                .expect("writing to String cannot fail");
+            }
             for family in
                 ["harary", "pasted-tree", "diamond", "wheel", "multipartite-wheel", "cycle", "star"]
             {
@@ -263,17 +302,32 @@ pub fn run(cmd: Command) -> Result<String, String> {
                         let kappa = connectivity::vertex_connectivity(&g);
                         let diameter = traversal::diameter(&g)
                             .map(|d| d.to_string())
-                            .unwrap_or_else(|| "∞".into());
-                        writeln!(
-                            out,
-                            "{:<22} {:>6} {:>6} {:>9} {:>9}",
-                            family,
-                            g.node_count(),
-                            g.edge_count(),
-                            kappa,
-                            diameter
-                        )
-                        .expect("writing to String cannot fail");
+                            .unwrap_or_else(|| if csv { "inf".into() } else { "∞".into() });
+                        if csv {
+                            writeln!(
+                                out,
+                                "{family},{},{},{kappa},{diameter}",
+                                g.node_count(),
+                                g.edge_count()
+                            )
+                            .expect("writing to String cannot fail");
+                        } else {
+                            writeln!(
+                                out,
+                                "{:<22} {:>6} {:>6} {:>9} {:>9}",
+                                family,
+                                g.node_count(),
+                                g.edge_count(),
+                                kappa,
+                                diameter
+                            )
+                            .expect("writing to String cannot fail");
+                        }
+                    }
+                    Err(e) if csv => {
+                        // CSV stays machine-readable: unconstructible
+                        // families are simply omitted (stderr is for humans).
+                        eprintln!("[families] {family} not constructible: {e}");
                     }
                     Err(e) => {
                         writeln!(out, "{family:<22} (not constructible: {e})")
@@ -301,15 +355,13 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     for (node, behavior) in &args.byzantine {
                         scenario = scenario.with_byzantine(*node, behavior.clone());
                     }
-                    if args.threaded {
-                        scenario.run_threaded_with_oracle(&mut oracle)
-                    } else {
-                        scenario.run_with_oracle(&mut oracle)
-                    }
+                    scenario.run_on_with_oracle(args.runtime, &mut oracle)
                 })
                 .collect();
             if args.json {
                 Ok(render_detect_json(&args, kappa, &outcomes))
+            } else if args.csv {
+                Ok(render_detect_csv(&outcomes))
             } else {
                 Ok(render_detect_text(&args, kappa, &outcomes))
             }
@@ -361,6 +413,30 @@ fn render_detect_text(args: &DetectArgs, kappa: usize, outcomes: &[Outcome]) -> 
         let queries: u64 = outcomes.iter().map(|o| o.oracle.queries).sum();
         writeln!(out, "oracle:   {hits}/{queries} decisions served from cache")
             .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// CSV `detect` report: one row per epoch, columns documented in [`USAGE`].
+fn render_detect_csv(outcomes: &[Outcome]) -> String {
+    let mut out = String::from(
+        "epoch,verdict,confirmed,agreement,mean_kb_per_node,oracle_queries,oracle_cache_hits\n",
+    );
+    for (epoch, outcome) in outcomes.iter().enumerate() {
+        let verdict = match outcome.unanimous_verdict() {
+            Some(v) => v.to_string(),
+            None => "DISAGREEMENT".into(),
+        };
+        let confirmed = outcome.decisions.values().any(|d| d.confirmed);
+        writeln!(
+            out,
+            "{epoch},{verdict},{confirmed},{},{:.3},{},{}",
+            outcome.agreement(),
+            outcome.metrics.mean_bytes_sent_per_node() / 1024.0,
+            outcome.oracle.queries,
+            outcome.oracle.cache_hits,
+        )
+        .expect("writing to String cannot fail");
     }
     out
 }
@@ -443,11 +519,61 @@ mod tests {
                 assert_eq!(args.topology, "cycle");
                 assert_eq!(args.n, 8);
                 assert_eq!(args.t, 2);
-                assert!(args.threaded);
+                assert_eq!(args.runtime, Runtime::Threaded);
                 assert_eq!(args.byzantine, vec![(3, ByzantineBehavior::Silent)]);
             }
             other => panic!("expected detect, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn runtime_flag_selects_the_engine() {
+        for (value, expected) in
+            [("sync", Runtime::Sync), ("threaded", Runtime::Threaded), ("event", Runtime::Event)]
+        {
+            match parse(&strs(&["detect", "--runtime", value])).unwrap() {
+                Command::Detect(args) => assert_eq!(args.runtime, expected),
+                other => panic!("expected detect, got {other:?}"),
+            }
+        }
+        // Default is the deterministic engine; bad names error out.
+        match parse(&strs(&["detect"])).unwrap() {
+            Command::Detect(args) => assert_eq!(args.runtime, Runtime::Sync),
+            other => panic!("expected detect, got {other:?}"),
+        }
+        assert!(parse(&strs(&["detect", "--runtime", "warp"])).is_err());
+    }
+
+    #[test]
+    fn detect_on_the_event_runtime_matches_sync_output() {
+        let run_with = |rt: &str| {
+            run(parse(&strs(&["detect", "--topology", "cycle", "--n", "8", "--runtime", rt]))
+                .unwrap())
+            .unwrap()
+        };
+        assert_eq!(run_with("sync"), run_with("event"));
+    }
+
+    #[test]
+    fn detect_csv_emits_one_row_per_epoch() {
+        let cmd =
+            parse(&strs(&["detect", "--topology", "cycle", "--n", "6", "--epochs", "2", "--csv"]))
+                .unwrap();
+        let out = run(cmd).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "epoch,verdict,confirmed,agreement,mean_kb_per_node,oracle_queries,oracle_cache_hits"
+        );
+        assert!(lines[1].starts_with("0,NOT_PARTITIONABLE,false,true,"), "{}", lines[1]);
+        // The second epoch decides entirely from the shared oracle's cache.
+        assert!(lines[2].ends_with(",6,6"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn json_and_csv_are_mutually_exclusive() {
+        assert!(parse(&strs(&["detect", "--json", "--csv"])).is_err());
     }
 
     #[test]
@@ -550,10 +676,15 @@ mod tests {
             "torus",
             "small-world",
             "scale-free",
+            "cliques",
         ] {
             assert!(build_topology(family, 4, 20, 1).is_ok(), "{family}");
         }
         assert!(build_topology("klein-bottle", 4, 20, 1).is_err());
+        // cliques must not silently truncate or degenerate to 0 nodes.
+        assert!(build_topology("cliques", 4, 10, 1).is_err());
+        assert!(build_topology("cliques", 4, 3, 1).is_err());
+        assert!(build_topology("cliques", 4, 0, 1).is_err());
     }
 
     #[test]
@@ -584,11 +715,22 @@ mod tests {
 
     #[test]
     fn families_table_lists_structural_facts() {
-        let out = run(Command::Families { k: 4, n: 24 }).unwrap();
+        let out = run(Command::Families { k: 4, n: 24, csv: false }).unwrap();
         assert!(out.contains("harary"));
         assert!(out.contains("wheel"));
         // κ column contains the Harary guarantee.
         assert!(out.lines().any(|l| l.starts_with("harary") && l.contains(" 4")));
+    }
+
+    #[test]
+    fn families_csv_is_machine_readable() {
+        let cmd = parse(&strs(&["families", "--k", "4", "--n", "24", "--csv"])).unwrap();
+        assert_eq!(cmd, Command::Families { k: 4, n: 24, csv: true });
+        let out = run(cmd).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "family,nodes,edges,kappa,diameter");
+        assert!(lines[1..].iter().all(|l| l.split(',').count() == 5), "{out}");
+        assert!(lines.iter().any(|l| l.starts_with("harary,24,48,4,")), "{out}");
     }
 
     #[test]

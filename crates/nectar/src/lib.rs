@@ -6,6 +6,12 @@
 //! [`net`]), the evaluation baselines ([`baselines`]) and the experiment
 //! harness ([`experiments`]).
 //!
+//! **Place in the runtime stack:** the top. This crate hosts the
+//! `nectar-cli` binary (whose `--runtime {sync,threaded,event}` flag picks
+//! the execution engine), the cross-crate integration/property suites
+//! under `tests/` — including the cross-runtime equivalence suite — and
+//! the runnable `examples/`. See `docs/ARCHITECTURE.md` for the full map.
+//!
 //! # Quick start
 //!
 //! ```
@@ -52,7 +58,7 @@ pub mod prelude {
     pub use nectar_baselines::{BaselineVerdict, MtgBehavior, MtgConfig, MtgV2Behavior};
     pub use nectar_graph::{connectivity, gen, traversal, Graph};
     pub use nectar_protocol::{
-        ByzantineBehavior, Decision, EpochMonitor, NectarConfig, NectarNode, Outcome, Scenario,
-        Verdict,
+        ByzantineBehavior, Decision, EpochMonitor, NectarConfig, NectarNode, Outcome, Runtime,
+        Scenario, Verdict,
     };
 }

@@ -48,6 +48,12 @@ impl<P: Process> Faulty<P> {
     }
 }
 
+/// `Faulty` deliberately keeps the default (conservative)
+/// [`Process::quiescent`] hint: fault models only *filter* traffic today,
+/// but a scripted [`ClosureFault`] may fabricate messages out of thin air,
+/// so the wrapper cannot promise silence even when the inner process can.
+/// Faulty nodes are few (at most `t`), so polling them every round costs
+/// the event runtime only `O(t · rounds)` extra events.
 impl<P: Process> Process for Faulty<P> {
     type Msg = P::Msg;
 

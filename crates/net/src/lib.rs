@@ -2,12 +2,19 @@
 //!
 //! Implements the paper's system model (§II): processes on a static
 //! undirected topology of reliable channels, communicating in synchronous
-//! rounds. Two interchangeable runtimes execute the same [`Process`] code:
+//! rounds. Three interchangeable runtimes execute the same [`Process`]
+//! code and produce bit-identical results:
 //!
-//! * [`sync::SyncNetwork`]: deterministic, single-threaded (tests, sweeps),
+//! * [`sync::SyncNetwork`]: deterministic, single-threaded, polls every
+//!   node every round (tests, small sweeps),
 //! * [`threaded::run_threaded`]: one OS thread per node over crossbeam
 //!   channels with barrier-aligned rounds ("real code running
-//!   concurrently", matching the paper's one-container-per-process setup).
+//!   concurrently", matching the paper's one-container-per-process setup;
+//!   practical up to a few hundred nodes),
+//! * [`event::EventNetwork`]: a binary-heap event loop multiplexing all
+//!   nodes as state machines — `O(active events)` scheduling via the
+//!   [`Process::quiescent`] hint, hosting 10k+-node topologies in one
+//!   process.
 //!
 //! Traffic is charged to per-node counters ([`metrics::Metrics`]) using each
 //! message's wire size, which is how the evaluation's data-sent-per-node
@@ -55,12 +62,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod event;
 pub mod fault;
 pub mod metrics;
 pub mod process;
 pub mod sync;
 pub mod threaded;
 
+pub use event::{run_event_driven, EventNetwork};
 pub use fault::{ClosureFault, Crash, DropRandom, FaultModel, Faulty, TwoFaced};
 pub use metrics::Metrics;
 pub use process::{NodeId, Outgoing, Process, WireSized};

@@ -57,6 +57,10 @@ where
     fn receive(&mut self, round: usize, from: NodeId, msg: M) {
         (**self).receive(round, from, msg)
     }
+
+    fn quiescent(&self) -> bool {
+        (**self).quiescent()
+    }
 }
 
 /// A protocol participant driven by a synchronous runtime.
@@ -81,6 +85,24 @@ pub trait Process {
 
     /// Handles a message delivered during round `round`, sent by `from`.
     fn receive(&mut self, round: usize, from: NodeId, msg: Self::Msg);
+
+    /// Whether this process is *certain* to stay silent — every future
+    /// [`send`](Process::send) returning an empty vector with no state
+    /// change — until it next receives a message.
+    ///
+    /// This is a scheduling hint for the event-driven runtime
+    /// ([`crate::event::EventNetwork`]), which skips quiescent nodes
+    /// entirely instead of polling every node every round. The contract is
+    /// one-sided: answering `false` for a silent node only costs an empty
+    /// poll, but answering `true` while a spontaneous send is still pending
+    /// (a timed reveal, an epoch gossip) would silently lose those messages
+    /// and break the bit-identical equivalence with
+    /// [`crate::sync::SyncNetwork`]. The default is therefore the
+    /// conservative `false`; purely reactive protocols (NECTAR relays, the
+    /// dolev detector) override it with an "outbox empty" check.
+    fn quiescent(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -195,6 +195,43 @@ where
     }
 }
 
+/// See [`prop_oneof!`]: picks uniformly among boxed alternatives.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union; real proptest also supports weights, the shim
+    /// covers the unweighted subset the tree uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty alternative list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_inclusive(0, self.options.len() - 1);
+        self.options[i].generate(rng)
+    }
+}
+
+/// Chooses uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
 /// A strategy that always yields a clone of one value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -418,8 +455,8 @@ pub mod prelude {
     //! The glob import every property-test module uses.
 
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
