@@ -50,8 +50,10 @@ impl EpochMonitor {
     }
 
     /// Selects the runtime executing each epoch (default
-    /// [`Runtime::Sync`]); outcomes are identical on all three, so pick
-    /// [`Runtime::Event`] when the monitored fleet is large.
+    /// [`Runtime::Sync`]); outcomes are identical on all four, so pick
+    /// [`Runtime::Event`] when the monitored fleet is large, or
+    /// [`Runtime::Parallel`] when it is large *and* the machine has cores
+    /// to spare.
     pub fn with_runtime(mut self, runtime: Runtime) -> Self {
         self.runtime = runtime;
         self
@@ -141,6 +143,24 @@ mod tests {
             assert_eq!(a.outcome.decisions, b.outcome.decisions);
             assert_eq!(a.outcome.metrics, b.outcome.metrics);
         }
+    }
+
+    #[test]
+    fn parallel_runtime_monitors_identically_and_shares_the_cache() {
+        let snapshots = || [gen::harary(4, 10).unwrap(), gen::cycle(10), gen::cycle(10)];
+        let sync_reports = EpochMonitor::new(2).run_epochs(snapshots());
+        let par_reports = EpochMonitor::new(2)
+            .with_runtime(Runtime::Parallel { workers: 3 })
+            .run_epochs(snapshots());
+        for (a, b) in sync_reports.iter().zip(&par_reports) {
+            assert_eq!(a.outcome.decisions, b.outcome.decisions);
+            assert_eq!(a.outcome.metrics, b.outcome.metrics);
+            assert_eq!(a.outcome.oracle, b.outcome.oracle);
+        }
+        // The repeated snapshot decides entirely from the shared cache,
+        // exactly as under the sequential decision phase.
+        let last = &par_reports[2].outcome.oracle;
+        assert_eq!(last.cache_hits, last.queries);
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //!
 //! **Place in the runtime stack:** the protocol layer. [`NectarNode`]
 //! implements `nectar_net::Process`, so the same node code executes on any
-//! of the three runtimes — deterministic sync, thread-per-node, or the
-//! event-driven loop that hosts 10k+-node fleets — selected via
+//! of the four runtimes — deterministic sync, thread-per-node, the
+//! event-driven loop that hosts 10k+-node fleets, or the work-stealing
+//! parallel engine that spreads them over every core — selected via
 //! [`runner::Runtime`]; [`Scenario`] is the harness every experiment,
 //! example and test drives, and its decision phase answers `κ ≤ t`
 //! through `nectar_graph`'s `ConnectivityOracle`.

@@ -1,5 +1,5 @@
 //! Scenario builder and runner: NECTAR over any topology with any Byzantine
-//! cast, on any of the three runtimes — the execution harness behind the
+//! cast, on any of the four runtimes — the execution harness behind the
 //! paper's evaluation campaigns (§V).
 //!
 //! This is the entry point the experiments, examples and integration tests
@@ -7,15 +7,17 @@
 //! Byzantine assignment; [`Scenario::run`] executes the propagation rounds
 //! and collects every correct node's decision plus traffic metrics. The
 //! [`Runtime`] enum selects the execution engine — deterministic sync,
-//! thread-per-node, or the event-driven loop that hosts 10k+-node
-//! topologies — and all three produce bit-identical [`Outcome`]s (enforced
-//! by the cross-runtime equivalence property suite).
+//! thread-per-node, the event-driven loop that hosts 10k+-node topologies,
+//! or the work-stealing parallel engine that spreads those topologies over
+//! every core — and all four produce bit-identical [`Outcome`]s (enforced
+//! by the cross-runtime equivalence property suite; the contract lives in
+//! `docs/DETERMINISM.md`).
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use nectar_crypto::{KeyStore, NeighborhoodProof};
 use nectar_graph::{connectivity, traversal, ConnectivityOracle, Fingerprint, Graph, OracleStats};
-use nectar_net::{Metrics, NodeId, SyncNetwork};
+use nectar_net::{parallel_map, Metrics, NodeId, SyncNetwork};
 
 use crate::byzantine::{
     wrap_traffic_fault, ByzantineBehavior, EquivocatorNode, LateRevealNode, Participant,
@@ -23,7 +25,7 @@ use crate::byzantine::{
 use crate::config::{Decision, NectarConfig, Verdict};
 use crate::node::NectarNode;
 
-/// Which engine executes a scenario's propagation rounds. All three run the
+/// Which engine executes a scenario's propagation rounds. All four run the
 /// same [`Participant`] code and produce bit-identical [`Outcome`]s; they
 /// differ only in scheduling:
 ///
@@ -33,8 +35,15 @@ use crate::node::NectarNode;
 ///   paper's one-container-per-process flavour; practical to a few hundred
 ///   nodes);
 /// * [`Event`](Runtime::Event) multiplexes all nodes on a binary-heap
-///   event loop with `O(active events)` scheduling — the only engine that
-///   hosts 10 000+-node topologies in one process.
+///   event loop with `O(active events)` scheduling — hosting 10 000+-node
+///   topologies in one process;
+/// * [`Parallel`](Runtime::Parallel) keeps the event runtime's active-set
+///   scheduling and fans each round's polls and committed deliveries out
+///   across work-stealing workers (see `docs/DETERMINISM.md` for why the
+///   per-round commit keeps this bit-identical). The worker count never
+///   affects results, only wall-clock; the decision phase also fans its
+///   per-view-class stages across the same number of workers (each
+///   fan-out spawns a fresh scoped crew — there is no persistent pool).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Runtime {
     /// Deterministic single-threaded round engine.
@@ -44,6 +53,29 @@ pub enum Runtime {
     Threaded,
     /// Single-threaded event loop over a binary-heap event queue.
     Event,
+    /// Work-stealing worker pool over round-committed execution.
+    Parallel {
+        /// Worker threads; `0` means "match the machine"
+        /// (see [`nectar_net::resolve_workers`]).
+        workers: usize,
+    },
+}
+
+impl Runtime {
+    /// [`Parallel`](Runtime::Parallel) with the worker count matched to the
+    /// machine.
+    pub fn parallel() -> Runtime {
+        Runtime::Parallel { workers: 0 }
+    }
+
+    /// Worker threads available to the decision phase under this runtime
+    /// (1 = run it inline, as the single-threaded runtimes do).
+    fn decision_workers(self) -> usize {
+        match self {
+            Runtime::Parallel { workers } => nectar_net::resolve_workers(workers),
+            _ => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for Runtime {
@@ -52,6 +84,7 @@ impl std::fmt::Display for Runtime {
             Runtime::Sync => "sync",
             Runtime::Threaded => "threaded",
             Runtime::Event => "event",
+            Runtime::Parallel { .. } => "parallel",
         })
     }
 }
@@ -64,7 +97,10 @@ impl std::str::FromStr for Runtime {
             "sync" => Ok(Runtime::Sync),
             "threaded" => Ok(Runtime::Threaded),
             "event" => Ok(Runtime::Event),
-            other => Err(format!("unknown runtime {other}; expected sync, threaded or event")),
+            "parallel" => Ok(Runtime::parallel()),
+            other => {
+                Err(format!("unknown runtime {other}; expected sync, threaded, event or parallel"))
+            }
         }
     }
 }
@@ -132,8 +168,18 @@ impl Scenario {
         &self.config
     }
 
-    /// Builds the participant for every node.
-    fn build_participants(&self) -> Vec<Participant> {
+    /// Builds the participant for every node — the exact processes a
+    /// runtime executes, Byzantine wrappers included. Public so harnesses
+    /// (custom runtimes, the quiescence-soundness audit suite) can drive
+    /// them directly; any runtime that delivers messages in the canonical
+    /// order of `docs/DETERMINISM.md` reproduces [`run`](Self::run)'s
+    /// outcome bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `FictitiousEdges` / `LateReveal` behaviour names
+    /// non-Byzantine accomplices.
+    pub fn build_participants(&self) -> Vec<Participant> {
         let n = self.topology.node_count();
         let keys = KeyStore::generate(n, self.key_seed);
         let verifier = keys.verifier();
@@ -228,6 +274,9 @@ impl Scenario {
             }
             Runtime::Threaded => nectar_net::run_threaded(participants, &self.topology, rounds),
             Runtime::Event => nectar_net::run_event_driven(participants, &self.topology, rounds),
+            Runtime::Parallel { workers } => {
+                nectar_net::run_parallel(participants, &self.topology, rounds, workers)
+            }
         }
     }
 
@@ -252,7 +301,7 @@ impl Scenario {
     /// [`run_on`](Self::run_on) with a caller-supplied oracle.
     pub fn run_on_with_oracle(&self, runtime: Runtime, oracle: &mut ConnectivityOracle) -> Outcome {
         let (participants, metrics) = self.propagate(runtime);
-        self.collect(participants, metrics, oracle)
+        self.collect(participants, metrics, oracle, runtime.decision_workers())
     }
 
     /// Runs the scenario and returns only the traffic metrics, skipping the
@@ -306,6 +355,7 @@ impl Scenario {
         participants: Vec<Participant>,
         metrics: Metrics,
         oracle: &mut ConnectivityOracle,
+        workers: usize,
     ) -> Outcome {
         let byzantine = self.byzantine_nodes();
         let before = *oracle.stats();
@@ -316,44 +366,103 @@ impl Scenario {
         // component sizes are derived once per class from the edge key
         // alone, in O(m_view), and every member's decision follows —
         // `reachable` is the size of the member's component, the `κ ≤ t`
-        // answer comes from the shared oracle. Each member still issues its
-        // own oracle query (the first of a class pays, the rest hit the
-        // verdict cache), so the per-node oracle counters are identical to
-        // calling [`NectarNode::decide_with`] node by node — but a 10 000
-        // node fleet no longer pays 10 000 full-graph constructions and
-        // BFS passes: a view graph is only materialized when the oracle
-        // cannot answer its fingerprint from cache.
+        // answer comes from the shared oracle. Lemma 2 also makes classes
+        // *independent* of each other, so everything per-class — the edge
+        // keys, the fingerprint + component derivation, and the view-graph
+        // materializations — fans out over [`parallel_map`]'s work-stealing
+        // pool when the executing runtime brought workers along
+        // (`workers > 1`, i.e. [`Runtime::Parallel`]); the single-threaded
+        // runtimes run the identical code inline.
+        //
+        // Only the oracle interaction itself stays sequential: each member
+        // still issues its own query in node order (the first of a class
+        // pays, the rest hit the verdict cache), so the per-node oracle
+        // counters are identical to calling [`NectarNode::decide_with`]
+        // node by node — but a 10 000 node fleet no longer pays 10 000
+        // full-graph constructions and BFS passes: a view graph is only
+        // materialized when the oracle cannot answer its fingerprint from
+        // cache (probed up front via the non-counting
+        // [`ConnectivityOracle::peek`]).
+        let correct: Vec<&crate::node::NectarNode> = participants
+            .iter()
+            .filter(|p| !byzantine.contains(&p.nectar().node_id()))
+            .map(|p| p.nectar())
+            .collect();
+        // Stages 1+2 (parallel per chunk, dedup streaming): every correct
+        // node's canonical edge key, grouped into classes in first-seen
+        // order. Keys are computed a bounded chunk at a time and duplicates
+        // dropped immediately — on a converged fleet (Lemma 2: every
+        // correct node holds the full m-edge view) materializing all n keys
+        // at once would transiently cost O(n · m) memory, which at
+        // n = 50 000 is gigabytes; chunking caps the peak at
+        // O(chunk · m + classes · m) while still fanning the O(m) key
+        // walks across the pool.
+        const KEY_CHUNK: usize = 256;
+        let mut class_index: BTreeMap<Vec<(u16, u16)>, usize> = BTreeMap::new();
+        let mut class_keys: Vec<Vec<(u16, u16)>> = Vec::new();
+        let mut node_class: Vec<usize> = Vec::with_capacity(correct.len());
+        for chunk in correct.chunks(KEY_CHUNK) {
+            let keys = parallel_map(chunk.to_vec(), workers, |node| node.discovered_edge_key());
+            for key in keys {
+                let idx = match class_index.get(&key) {
+                    Some(&idx) => idx,
+                    None => {
+                        let idx = class_keys.len();
+                        class_keys.push(key.clone());
+                        class_index.insert(key, idx);
+                        idx
+                    }
+                };
+                node_class.push(idx);
+            }
+        }
+        // Stage 3 (parallel): per-class fingerprint + component sizes.
         struct ViewClass {
             fingerprint: Fingerprint,
-            /// Materialized lazily, only for oracle cache misses.
+            /// Materialized only for oracle cache misses (stage 4).
             graph: Option<Graph>,
             /// Component size per vertex named by the view's edges;
             /// unnamed vertices are implicit singletons.
             component_size: BTreeMap<NodeId, usize>,
         }
-        let mut classes: BTreeMap<Vec<(u16, u16)>, ViewClass> = BTreeMap::new();
-        let decisions = participants
+        let mut classes: Vec<ViewClass> =
+            parallel_map(class_keys.iter().collect(), workers, |key: &Vec<(u16, u16)>| {
+                let mut fingerprint = Fingerprint::empty(n);
+                // Same filter as `NectarNode::discovered_graph`, so the
+                // digest matches `Fingerprint::of` of that graph.
+                for (u, v) in view_edges(key, n) {
+                    fingerprint.toggle_edge(u, v);
+                }
+                ViewClass { fingerprint, graph: None, component_size: view_component_sizes(key, n) }
+            });
+        // Stage 4 (parallel): pre-materialize the view graphs the oracle
+        // cannot answer from cache. `peek` records nothing — the counted
+        // queries replay per node in stage 5.
+        let misses: Vec<usize> = (0..classes.len())
+            .filter(|&c| oracle.peek(classes[c].fingerprint, t).is_none())
+            .collect();
+        let graphs = parallel_map(
+            misses.iter().map(|&c| &class_keys[c]).collect(),
+            workers,
+            |key: &Vec<(u16, u16)>| view_graph(key, n),
+        );
+        for (&c, graph) in misses.iter().zip(graphs) {
+            classes[c].graph = Some(graph);
+        }
+        // Stage 5 (sequential): per-node decisions in node order, each
+        // issuing its own oracle query. The lazy fallback covers the rare
+        // case where the bounded verdict cache flushed between the stage-4
+        // peek and this query.
+        let decisions = correct
             .iter()
-            .filter(|p| !byzantine.contains(&p.nectar().node_id()))
-            .map(|p| {
-                let node = p.nectar();
-                let class = classes.entry(node.discovered_edge_key()).or_insert_with_key(|key| {
-                    let mut fingerprint = Fingerprint::empty(n);
-                    // Same filter as `NectarNode::discovered_graph`, so the
-                    // digest matches `Fingerprint::of` of that graph.
-                    for (u, v) in view_edges(key, n) {
-                        fingerprint.toggle_edge(u, v);
-                    }
-                    ViewClass {
-                        fingerprint,
-                        graph: None,
-                        component_size: view_component_sizes(key, n),
-                    }
-                });
+            .zip(&node_class)
+            .map(|(node, &c)| {
+                let class = &mut classes[c];
                 let answer = match oracle.cached_answer(class.fingerprint, t) {
                     Some(answer) => answer,
                     None => {
-                        let graph = class.graph.get_or_insert_with(|| node.discovered_graph());
+                        let graph =
+                            class.graph.get_or_insert_with(|| view_graph(&class_keys[c], n));
                         oracle.answer_fingerprinted(class.fingerprint, graph, t)
                     }
                 };
@@ -369,6 +478,17 @@ impl Scenario {
             oracle: oracle.stats().since(&before),
         }
     }
+}
+
+/// Materializes a view's [`Graph`] from its canonical edge key — exactly
+/// the graph `NectarNode::discovered_graph` builds (same edge set, same
+/// insertion order), without needing the node in hand.
+fn view_graph(key: &[(u16, u16)], n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for (u, v) in view_edges(key, n) {
+        g.add_edge(u, v).expect("bounded endpoints, no self-loops");
+    }
+    g
 }
 
 /// The in-range, non-loop edges of a discovered-view edge key — exactly the
@@ -541,11 +661,45 @@ mod tests {
 
     #[test]
     fn runtime_names_round_trip() {
-        for rt in [Runtime::Sync, Runtime::Threaded, Runtime::Event] {
+        for rt in [Runtime::Sync, Runtime::Threaded, Runtime::Event, Runtime::parallel()] {
             assert_eq!(rt.to_string().parse::<Runtime>().unwrap(), rt);
         }
+        // The worker count is not part of the name (it is a tuning knob,
+        // not an engine identity).
+        assert_eq!(Runtime::Parallel { workers: 7 }.to_string(), "parallel");
         assert!("warp".parse::<Runtime>().is_err());
         assert_eq!(Runtime::default(), Runtime::Sync);
+    }
+
+    #[test]
+    fn parallel_run_matches_sync_run_at_any_worker_count() {
+        let scenario = Scenario::new(gen::harary(4, 12).unwrap(), 2)
+            .with_byzantine(2, ByzantineBehavior::TwoFaced { silent_toward: [7, 8].into() })
+            .with_key_seed(5);
+        let a = scenario.run();
+        for workers in [0, 1, 2, 5] {
+            let b = scenario.run_on(Runtime::Parallel { workers });
+            assert_eq!(a.decisions, b.decisions, "{workers} workers");
+            assert_eq!(a.metrics, b.metrics, "{workers} workers");
+            assert_eq!(a.oracle, b.oracle, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_sync_under_spontaneous_byzantine_sends() {
+        // LateReveal sends *without* receiving first: the quiescence hints
+        // must keep it scheduled or the reveal is lost on the parallel
+        // engine's active-set schedule.
+        let build = || {
+            Scenario::new(gen::cycle(7), 2)
+                .with_byzantine(0, ByzantineBehavior::LateReveal { partner: 1, others: vec![] })
+                .with_byzantine(1, ByzantineBehavior::Silent)
+                .with_key_seed(9)
+        };
+        let a = build().run();
+        let b = build().run_on(Runtime::Parallel { workers: 3 });
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

@@ -42,8 +42,9 @@ pub struct DetectArgs {
     /// Byzantine cast: `(node, behaviour)` pairs.
     pub byzantine: Vec<(usize, ByzantineBehavior)>,
     /// Which runtime executes the scenario (`--runtime`; `--threaded` is a
-    /// legacy alias for `--runtime threaded`). Outcomes are bit-identical
-    /// across all three.
+    /// legacy alias for `--runtime threaded`, and `--workers N` sizes the
+    /// `parallel` runtime's pool). Outcomes are bit-identical across all
+    /// four.
     pub runtime: Runtime,
     /// Seed for keys and randomized topologies.
     pub seed: u64,
@@ -62,18 +63,24 @@ nectar-cli — Byzantine-resilient partition detection
 
 USAGE:
   nectar-cli detect --topology <family> --n <N> [--k <K>] [--t <T>]
-             [--byz <node>:<behavior> ...] [--runtime <R>] [--seed <S>]
-             [--epochs <E>] [--json | --csv]
+             [--byz <node>:<behavior> ...] [--runtime <R>] [--workers <W>]
+             [--seed <S>] [--epochs <E>] [--json | --csv]
   nectar-cli families --k <K> --n <N> [--csv]
   nectar-cli help
 
 RUNTIME (--runtime, default sync):
-  sync      deterministic single-threaded round engine
+  sync      deterministic single-threaded round engine — the baseline for
+            tests and small sweeps
   threaded  one OS thread per node (--threaded is a legacy alias;
-            practical up to a few hundred nodes)
-  event     event-driven loop, O(active events) scheduling — use this for
-            large n (10k+ nodes in one process)
-  All three produce bit-identical outcomes.
+            practical up to a few hundred nodes — the paper's
+            one-container-per-process flavour)
+  event     event-driven loop, O(active events) scheduling — large n
+            (10k+ nodes in one process) on a single core
+  parallel  the event runtime's active-set scheduling plus a work-stealing
+            worker pool committing deliveries once per round — large n on
+            many cores; size the pool with --workers <W> (default:
+            match the machine; only wall-clock depends on it)
+  All four produce bit-identical outcomes (docs/DETERMINISM.md).
 
 OUTPUT:
   --json emits one machine-readable document with the per-epoch verdicts
@@ -101,6 +108,7 @@ EXAMPLES:
   nectar-cli detect --topology harary --k 4 --n 20 --t 2 --byz 3:silent
   nectar-cli detect --topology star --n 8 --t 1 --byz 0:two-faced@4-7
   nectar-cli detect --topology cliques --n 10000 --t 2 --runtime event
+  nectar-cli detect --topology cliques --n 10000 --t 2 --runtime parallel --workers 4
   nectar-cli families --k 4 --n 24 --csv
 ";
 
@@ -140,6 +148,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 csv: false,
                 epochs: 1,
             };
+            let mut workers: Option<usize> = None;
             let rest: Vec<String> = it.cloned().collect();
             parse_flags(&rest, &["--threaded", "--json", "--csv"], |flag, value| {
                 match (flag, value) {
@@ -152,6 +161,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     ("--t", Some(v)) => set_usize(&mut out.t, v, "--t")?,
                     ("--epochs", Some(v)) => set_usize(&mut out.epochs, v, "--epochs")?,
                     ("--runtime", Some(v)) => out.runtime = v.parse()?,
+                    ("--workers", Some(v)) => {
+                        let mut w = 0;
+                        set_usize(&mut w, v, "--workers")?;
+                        workers = Some(w);
+                    }
                     ("--seed", Some(v)) => {
                         out.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
                     }
@@ -160,6 +174,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }
                 Ok(())
             })?;
+            if let Some(w) = workers {
+                match out.runtime {
+                    Runtime::Parallel { .. } => out.runtime = Runtime::Parallel { workers: w },
+                    other => {
+                        return Err(format!(
+                            "--workers only applies to --runtime parallel (got {other})"
+                        ));
+                    }
+                }
+            }
             if out.epochs == 0 {
                 return Err("--epochs must be at least 1".into());
             }
@@ -528,9 +552,12 @@ mod tests {
 
     #[test]
     fn runtime_flag_selects_the_engine() {
-        for (value, expected) in
-            [("sync", Runtime::Sync), ("threaded", Runtime::Threaded), ("event", Runtime::Event)]
-        {
+        for (value, expected) in [
+            ("sync", Runtime::Sync),
+            ("threaded", Runtime::Threaded),
+            ("event", Runtime::Event),
+            ("parallel", Runtime::parallel()),
+        ] {
             match parse(&strs(&["detect", "--runtime", value])).unwrap() {
                 Command::Detect(args) => assert_eq!(args.runtime, expected),
                 other => panic!("expected detect, got {other:?}"),
@@ -545,6 +572,29 @@ mod tests {
     }
 
     #[test]
+    fn workers_flag_sizes_the_parallel_pool() {
+        // --workers binds to the parallel runtime in either flag order.
+        for args in [
+            ["detect", "--runtime", "parallel", "--workers", "4"],
+            ["detect", "--workers", "4", "--runtime", "parallel"],
+        ] {
+            match parse(&strs(&args)).unwrap() {
+                Command::Detect(a) => assert_eq!(a.runtime, Runtime::Parallel { workers: 4 }),
+                other => panic!("expected detect, got {other:?}"),
+            }
+        }
+        // Without --workers the pool matches the machine (workers: 0).
+        match parse(&strs(&["detect", "--runtime", "parallel"])).unwrap() {
+            Command::Detect(a) => assert_eq!(a.runtime, Runtime::Parallel { workers: 0 }),
+            other => panic!("expected detect, got {other:?}"),
+        }
+        // --workers without the parallel runtime is a user error.
+        assert!(parse(&strs(&["detect", "--workers", "4"])).is_err());
+        assert!(parse(&strs(&["detect", "--runtime", "event", "--workers", "4"])).is_err());
+        assert!(parse(&strs(&["detect", "--runtime", "parallel", "--workers", "x"])).is_err());
+    }
+
+    #[test]
     fn detect_on_the_event_runtime_matches_sync_output() {
         let run_with = |rt: &str| {
             run(parse(&strs(&["detect", "--topology", "cycle", "--n", "8", "--runtime", rt]))
@@ -552,6 +602,7 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run_with("sync"), run_with("event"));
+        assert_eq!(run_with("sync"), run_with("parallel"));
     }
 
     #[test]

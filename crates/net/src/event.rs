@@ -24,8 +24,8 @@
 //! sends of round `R` precede all deliveries of round `R`, deliveries are
 //! sorted by destination, then sender, then emission order — the precise
 //! order [`crate::sync::SyncNetwork`] uses — so outcomes are bit-identical
-//! to both other runtimes (the cross-runtime equivalence suite asserts
-//! this, metrics included).
+//! to every other runtime (the cross-runtime equivalence suite asserts
+//! this, metrics included; the contract is `docs/DETERMINISM.md`).
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;

@@ -2,7 +2,7 @@
 //!
 //! Implements the paper's system model (§II): processes on a static
 //! undirected topology of reliable channels, communicating in synchronous
-//! rounds. Three interchangeable runtimes execute the same [`Process`]
+//! rounds. Four interchangeable runtimes execute the same [`Process`]
 //! code and produce bit-identical results:
 //!
 //! * [`sync::SyncNetwork`]: deterministic, single-threaded, polls every
@@ -14,7 +14,12 @@
 //! * [`event::EventNetwork`]: a binary-heap event loop multiplexing all
 //!   nodes as state machines — `O(active events)` scheduling via the
 //!   [`Process::quiescent`] hint, hosting 10k+-node topologies in one
-//!   process.
+//!   process,
+//! * [`parallel::ParallelNetwork`]: a work-stealing worker pool over
+//!   round-committed execution — the event runtime's active-set scheduling
+//!   plus real parallelism, kept deterministic by merging each round's
+//!   messages into the canonical sync order before committing deliveries
+//!   (see `docs/DETERMINISM.md` for the contract).
 //!
 //! Traffic is charged to per-node counters ([`metrics::Metrics`]) using each
 //! message's wire size, which is how the evaluation's data-sent-per-node
@@ -65,6 +70,7 @@
 pub mod event;
 pub mod fault;
 pub mod metrics;
+pub mod parallel;
 pub mod process;
 pub mod sync;
 pub mod threaded;
@@ -72,6 +78,7 @@ pub mod threaded;
 pub use event::{run_event_driven, EventNetwork};
 pub use fault::{ClosureFault, Crash, DropRandom, FaultModel, Faulty, TwoFaced};
 pub use metrics::Metrics;
+pub use parallel::{parallel_map, resolve_workers, run_parallel, ParallelNetwork};
 pub use process::{NodeId, Outgoing, Process, WireSized};
 pub use sync::SyncNetwork;
 pub use threaded::run_threaded;

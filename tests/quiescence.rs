@@ -1,0 +1,213 @@
+//! Soundness of the [`Process::quiescent`] scheduling hint across the
+//! Byzantine zoo.
+//!
+//! The event-driven and parallel runtimes stop polling a node the moment it
+//! reports quiescent, trusting the hint's one-sided contract: a node that
+//! answers `true` must stay silent — every future `send` empty, the hint
+//! itself stable — until its next `receive`. A behaviour that answered
+//! `true` with a spontaneous send still pending (a timed reveal, a delayed
+//! crash transition) would silently lose messages on those schedulers while
+//! the sync engine, which polls everyone, would deliver them: the
+//! equivalence suite would eventually catch the drift, but only on a
+//! scenario that happens to hit it. This suite guards the assumption
+//! directly: every participant of the Byzantine behaviour zoo is wrapped in
+//! an auditor and driven on the sync engine (which polls even "quiescent"
+//! nodes every round), so any hint violation fails loudly at the exact
+//! round it occurs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+use nectar::net::{NodeId, Outgoing, Process, SyncNetwork};
+use nectar::prelude::*;
+
+/// Wraps a process and asserts the quiescence contract at every poll:
+/// once the inner process reports quiescent, it must neither produce
+/// messages nor flip back to non-quiescent until a message is received.
+#[derive(Debug)]
+struct QuiescenceAuditor<P: Process> {
+    inner: P,
+    /// Latched when the inner process last reported quiescent; cleared by
+    /// the next receive.
+    claimed_quiescent: bool,
+}
+
+impl<P: Process> QuiescenceAuditor<P> {
+    fn new(inner: P) -> Self {
+        QuiescenceAuditor { inner, claimed_quiescent: false }
+    }
+}
+
+impl<P: Process> Process for QuiescenceAuditor<P> {
+    type Msg = P::Msg;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<Self::Msg>> {
+        if self.inner.quiescent() {
+            self.claimed_quiescent = true;
+        }
+        let out = self.inner.send(round);
+        if self.claimed_quiescent {
+            assert!(
+                out.is_empty(),
+                "node {} claimed quiescent but produced {} message(s) when polled at round \
+                 {round} — the event/parallel schedulers would have lost them",
+                self.inner.id(),
+                out.len()
+            );
+            assert!(
+                self.inner.quiescent(),
+                "node {} un-quiesced at round {round} without receiving a message",
+                self.inner.id()
+            );
+        }
+        out
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: Self::Msg) {
+        self.claimed_quiescent = false;
+        self.inner.receive(round, from, msg);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.inner.quiescent()
+    }
+}
+
+/// Runs the scenario's participants under audit on the sync engine, which
+/// polls every node every round — so the auditor checks every behaviour at
+/// every round, including the rounds the other schedulers would skip.
+fn audit(scenario: &Scenario) {
+    let rounds = scenario.config().effective_rounds();
+    let audited: Vec<QuiescenceAuditor<_>> =
+        scenario.build_participants().into_iter().map(QuiescenceAuditor::new).collect();
+    let mut net = SyncNetwork::new(audited, scenario.topology().clone());
+    net.run_rounds(rounds);
+}
+
+/// One graph from each family of the §V-B generator zoo (sizes kept small:
+/// the audit runs the full `n − 1` round horizon on the polling engine).
+fn arb_zoo_graph() -> impl Strategy<Value = Graph> {
+    let mask_graph = (4usize..10).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+        proptest::collection::vec(0.0f64..1.0, pairs.len()).prop_map(move |weights| {
+            let edges = pairs.iter().zip(&weights).filter_map(|(&e, &w)| (w < 0.45).then_some(e));
+            Graph::from_edges(n, edges).expect("edges in range")
+        })
+    });
+    prop_oneof![
+        (2usize..5, 0usize..8)
+            .prop_map(|(k, extra)| gen::harary(k, k + 2 + extra).expect("valid harary")),
+        (2usize..4, 0usize..6)
+            .prop_map(|(k, extra)| gen::k_pasted_tree(k, 2 * k + 4 + extra).expect("valid lhg")),
+        (0u64..1000, 0usize..7).prop_map(|(seed, d)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            gen::drone_scenario(10, d as f64, 2.0, &mut rng).expect("valid drone").graph
+        }),
+        mask_graph,
+    ]
+}
+
+/// A Byzantine cast from the behaviour zoo (topology-independent variants).
+fn arb_cast(n: usize, t: usize) -> impl Strategy<Value = Vec<(usize, ByzantineBehavior)>> {
+    let behavior = (0..5usize, proptest::collection::btree_set(0..n, 0..3), 1..4usize).prop_map(
+        move |(kind, others, round)| {
+            let others: BTreeSet<usize> = others;
+            match kind {
+                0 => ByzantineBehavior::Silent,
+                1 => ByzantineBehavior::CrashAfter { round },
+                2 => ByzantineBehavior::TwoFaced { silent_toward: others },
+                3 => ByzantineBehavior::HideEdges { toward: others },
+                _ => ByzantineBehavior::Equivocate { victims: others },
+            }
+        },
+    );
+    proptest::collection::btree_set(0..n, 0..=t).prop_flat_map(move |nodes| {
+        let nodes: Vec<usize> = nodes.into_iter().collect();
+        proptest::collection::vec(behavior.clone(), nodes.len())
+            .prop_map(move |behaviors| nodes.iter().copied().zip(behaviors).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No participant in the behaviour zoo ever produces a message from a
+    /// round in which it reported quiescent, and none un-quiesces without
+    /// a receive — the exact assumption the event/parallel schedulers make.
+    #[test]
+    fn quiescent_hints_are_sound_across_the_zoo(
+        (g, t, cast) in arb_zoo_graph().prop_flat_map(|g| {
+            let n = g.node_count();
+            let t = 2.min(n / 3);
+            arb_cast(n, t).prop_map(move |cast| (g.clone(), t, cast))
+        }),
+        seed in 0u64..1000,
+    ) {
+        let mut scenario = Scenario::new(g, t).with_key_seed(seed);
+        for (node, behavior) in cast {
+            scenario = scenario.with_byzantine(node, behavior);
+        }
+        audit(&scenario);
+    }
+}
+
+/// The colluding behaviours the random cast cannot produce. LateReveal is
+/// the sharpest case: it *must* answer non-quiescent while its timed reveal
+/// is pending, and the audit confirms it never claims otherwise.
+#[test]
+fn colluding_casts_keep_their_hints_sound() {
+    let g = gen::cycle(8);
+    let scenario = Scenario::new(g, 2)
+        .with_key_seed(13)
+        .with_byzantine(0, ByzantineBehavior::LateReveal { partner: 1, others: vec![] })
+        .with_byzantine(1, ByzantineBehavior::FictitiousEdges { partners: vec![0] });
+    audit(&scenario);
+}
+
+/// The auditor itself must catch a lying hint — otherwise the suite above
+/// proves nothing.
+#[test]
+#[should_panic(expected = "claimed quiescent but produced")]
+fn auditor_catches_a_lying_hint() {
+    #[derive(Debug, Clone)]
+    struct Unit;
+    impl nectar::net::WireSized for Unit {
+        fn wire_bytes(&self) -> usize {
+            1
+        }
+    }
+    /// Claims quiescence from the start, then sends at round 2 anyway.
+    #[derive(Debug)]
+    struct Liar {
+        id: usize,
+    }
+    impl Process for Liar {
+        type Msg = Unit;
+        fn id(&self) -> usize {
+            self.id
+        }
+        fn send(&mut self, round: usize) -> Vec<Outgoing<Unit>> {
+            if round == 2 && self.id == 0 {
+                vec![Outgoing::new(1, Unit)]
+            } else {
+                Vec::new()
+            }
+        }
+        fn receive(&mut self, _round: usize, _from: usize, _msg: Unit) {}
+        fn quiescent(&self) -> bool {
+            true
+        }
+    }
+    let g = gen::path(2);
+    let audited: Vec<_> =
+        vec![Liar { id: 0 }, Liar { id: 1 }].into_iter().map(QuiescenceAuditor::new).collect();
+    let mut net = SyncNetwork::new(audited, g);
+    net.run_rounds(3);
+}

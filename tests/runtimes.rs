@@ -1,12 +1,15 @@
 //! Cross-runtime equivalence and scale properties.
 //!
-//! The three engines — deterministic sync, thread-per-node, event-driven —
-//! promise *bit-identical* [`Outcome`]s for any scenario (same decisions,
-//! same traffic metrics, same oracle counters). This suite enforces that
-//! promise over the full topology generator zoo (Harary, wheels, LHG
-//! pasted-tree/diamond, geometric drone, random-regular, dense random) and
-//! the Byzantine behaviour zoo, and pins down the scale claim: the
-//! event-driven runtime hosts a 10 000-node scenario in one process, which
+//! The four engines — deterministic sync, thread-per-node, event-driven,
+//! work-stealing parallel — promise *bit-identical* [`Outcome`]s for any
+//! scenario (same decisions, same traffic metrics, same oracle counters);
+//! the contract each upholds is written down in `docs/DETERMINISM.md`.
+//! This suite enforces that promise over the full topology generator zoo
+//! (Harary, wheels, LHG pasted-tree/diamond, geometric drone,
+//! random-regular, dense random) and the Byzantine behaviour zoo — the
+//! parallel engine at several worker counts, since worker count must never
+//! leak into results — and pins down the scale claim: the event-driven and
+//! parallel runtimes host a 10 000-node scenario in one process, which
 //! one-OS-thread-per-node cannot.
 
 use proptest::prelude::*;
@@ -100,22 +103,30 @@ fn assert_outcomes_identical(a: &Outcome, b: &Outcome, label: &str) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// sync == threaded == event, bit for bit, across the generator zoo
-    /// and the Byzantine behaviour zoo.
+    /// sync == threaded == event == parallel, bit for bit, across the
+    /// generator zoo and the Byzantine behaviour zoo. The parallel engine
+    /// runs at a case-varied worker count: results must not depend on how
+    /// the pool is sized (or on which worker stole which node).
     #[test]
-    fn all_three_runtimes_produce_identical_outcomes((g, t, cast) in arb_scenario()) {
+    fn all_runtimes_produce_identical_outcomes(
+        (g, t, cast) in arb_scenario(),
+        workers in 1usize..5,
+    ) {
         let scenario = build_scenario(&g, t, &cast);
         let sync = scenario.run_on(Runtime::Sync);
         let threaded = scenario.run_on(Runtime::Threaded);
         let event = scenario.run_on(Runtime::Event);
+        let parallel = scenario.run_on(Runtime::Parallel { workers });
         assert_outcomes_identical(&sync, &threaded, "sync vs threaded");
         assert_outcomes_identical(&sync, &event, "sync vs event");
+        assert_outcomes_identical(&sync, &parallel, "sync vs parallel");
     }
 }
 
 /// The colluding behaviours the random cast cannot produce (they constrain
 /// which nodes must be Byzantine) still agree across runtimes — LateReveal
-/// in particular sends *spontaneously*, the hard case for event scheduling.
+/// in particular sends *spontaneously*, the hard case for event and
+/// parallel scheduling alike.
 #[test]
 fn colluding_casts_agree_across_runtimes() {
     let g = gen::cycle(8);
@@ -128,8 +139,10 @@ fn colluding_casts_agree_across_runtimes() {
     let sync = build().run_on(Runtime::Sync);
     let threaded = build().run_on(Runtime::Threaded);
     let event = build().run_on(Runtime::Event);
+    let parallel = build().run_on(Runtime::Parallel { workers: 3 });
     assert_outcomes_identical(&sync, &threaded, "sync vs threaded");
     assert_outcomes_identical(&sync, &event, "sync vs event");
+    assert_outcomes_identical(&sync, &parallel, "sync vs parallel");
 }
 
 /// The scale claim of the event-driven runtime: an n = 10 000 node scenario
@@ -150,6 +163,28 @@ fn ten_thousand_node_scenario_completes_on_the_event_runtime() {
     assert!(out.agreement());
     // Ground truth: the fleet is maximally partitioned; every correct node
     // sees only its own cluster and confirms the partition.
+    assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
+    assert!(out.decisions.values().all(|d| d.confirmed));
+    assert!(out.decisions.values().all(|d| d.reachable <= 4));
+    assert!(out.metrics.total_bytes_sent() > 0);
+}
+
+/// The same 10 000-node scenario on the parallel runtime: the work-stealing
+/// pool must host it just as the event loop does (active-set scheduling
+/// skips the quiesced tail of the 9 999-round horizon), with the identical
+/// outcome — decision phase included, whose per-class work fans out over
+/// the same pool.
+#[test]
+fn ten_thousand_node_scenario_completes_on_the_parallel_runtime() {
+    let n = 10_000;
+    let g = gen::disjoint_cliques(n / 4, 4);
+    let out = Scenario::new(g, 2)
+        .with_key_seed(42)
+        .with_byzantine(0, ByzantineBehavior::Silent)
+        .with_byzantine(4, ByzantineBehavior::TwoFaced { silent_toward: [5].into() })
+        .run_on(Runtime::Parallel { workers: 2 });
+    assert_eq!(out.decisions.len(), n - 2);
+    assert!(out.agreement());
     assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
     assert!(out.decisions.values().all(|d| d.confirmed));
     assert!(out.decisions.values().all(|d| d.reachable <= 4));
