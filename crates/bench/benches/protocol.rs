@@ -23,7 +23,7 @@ fn bench_nectar_end_to_end(c: &mut Criterion) {
     for (k, n) in [(4usize, 20usize), (4, 50), (10, 50)] {
         let g = gen::harary(k, n).expect("valid parameters");
         group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}_n{n}")), &g, |b, g| {
-            b.iter(|| Scenario::new(black_box(g.clone()), k / 2).run_metrics_only());
+            b.iter(|| Scenario::new(black_box(g.clone()), k / 2).sim().metrics_only().run());
         });
     }
     group.finish();
@@ -33,7 +33,9 @@ fn bench_nectar_with_decisions(c: &mut Criterion) {
     let g = gen::harary(4, 30).expect("valid parameters");
     let mut group = c.benchmark_group("nectar_run_with_decisions");
     group.sample_size(10);
-    group.bench_function("k4_n30", |b| b.iter(|| Scenario::new(black_box(g.clone()), 2).run()));
+    group.bench_function("k4_n30", |b| {
+        b.iter(|| Scenario::new(black_box(g.clone()), 2).sim().run())
+    });
     group.finish();
 }
 
@@ -42,13 +44,15 @@ fn bench_runtimes(c: &mut Criterion) {
     let scenario = Scenario::new(g, 2);
     let mut group = c.benchmark_group("runtime");
     group.sample_size(10);
-    group.bench_function("sync", |b| b.iter(|| black_box(&scenario).run_metrics_only()));
-    group.bench_function("threaded", |b| b.iter(|| black_box(&scenario).run_threaded()));
+    group.bench_function("sync", |b| b.iter(|| black_box(&scenario).sim().metrics_only().run()));
+    group.bench_function("threaded", |b| {
+        b.iter(|| black_box(&scenario).sim().runtime(Runtime::Threaded).run())
+    });
     group.bench_function("event", |b| {
-        b.iter(|| black_box(&scenario).run_metrics_only_on(Runtime::Event))
+        b.iter(|| black_box(&scenario).sim().runtime(Runtime::Event).metrics_only().run())
     });
     group.bench_function("parallel", |b| {
-        b.iter(|| black_box(&scenario).run_metrics_only_on(Runtime::Parallel { workers: 2 }))
+        b.iter(|| black_box(&scenario).sim().workers(2).metrics_only().run())
     });
     group.finish();
 }
@@ -76,21 +80,21 @@ fn bench_runtime_scaling(c: &mut Criterion) {
         let g = gen::disjoint_cliques(n / 4, 4);
         let scenario = Scenario::new(g, 2);
         group.bench_with_input(BenchmarkId::new("event", n), &scenario, |b, s| {
-            b.iter(|| black_box(s).run_metrics_only_on(Runtime::Event))
+            b.iter(|| black_box(s).sim().runtime(Runtime::Event).metrics_only().run())
         });
         if n >= 1_000 {
             group.bench_with_input(BenchmarkId::new("parallel", n), &scenario, |b, s| {
-                b.iter(|| black_box(s).run_metrics_only_on(Runtime::Parallel { workers: 2 }))
+                b.iter(|| black_box(s).sim().workers(2).metrics_only().run())
             });
         }
         if n <= 10_000 {
             group.bench_with_input(BenchmarkId::new("sync", n), &scenario, |b, s| {
-                b.iter(|| black_box(s).run_metrics_only_on(Runtime::Sync))
+                b.iter(|| black_box(s).sim().metrics_only().run())
             });
         }
         if n <= 100 {
             group.bench_with_input(BenchmarkId::new("threaded", n), &scenario, |b, s| {
-                b.iter(|| black_box(s).run_metrics_only_on(Runtime::Threaded))
+                b.iter(|| black_box(s).sim().runtime(Runtime::Threaded).metrics_only().run())
             });
         }
     }

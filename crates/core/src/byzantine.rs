@@ -379,6 +379,7 @@ mod tests {
         let out = Scenario::new(g, 2)
             .with_byzantine(0, ByzantineBehavior::LateReveal { partner: 1, others: vec![] })
             .with_byzantine(1, ByzantineBehavior::Silent)
+            .sim()
             .run();
         assert!(out.agreement());
         // Every correct node ends up seeing the late edge (0,1): their
@@ -386,7 +387,8 @@ mod tests {
         let participants = Scenario::new(gen::cycle(7), 2)
             .with_byzantine(0, ByzantineBehavior::LateReveal { partner: 1, others: vec![] })
             .with_byzantine(1, ByzantineBehavior::Silent)
-            .run_participants();
+            .sim()
+            .participants();
         for p in participants.iter().filter(|p| p.is_correct()) {
             assert_eq!(p.nectar().known_edge_count(), 7, "node {}", p.nectar().node_id());
         }
@@ -413,6 +415,7 @@ mod tests {
         let g = gen::complete(5);
         let out = Scenario::new(g, 1)
             .with_byzantine(0, ByzantineBehavior::Equivocate { victims: [1, 2].into() })
+            .sim()
             .run();
         assert!(out.agreement());
         assert_eq!(out.unanimous_verdict(), Some(Verdict::NotPartitionable));

@@ -23,6 +23,18 @@ impl std::fmt::Display for Verdict {
     }
 }
 
+impl std::str::FromStr for Verdict {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "NOT_PARTITIONABLE" => Ok(Verdict::NotPartitionable),
+            "PARTITIONABLE" => Ok(Verdict::Partitionable),
+            other => Err(format!("unknown verdict {other}")),
+        }
+    }
+}
+
 /// The output of `decide()`: the verdict plus the indicative `confirmed`
 /// flag (§IV-A). `confirmed = true` means an actual partition was detected
 /// — some nodes were unreachable — which per the Validity property implies
@@ -151,5 +163,13 @@ mod tests {
     fn verdict_displays_like_the_paper() {
         assert_eq!(Verdict::NotPartitionable.to_string(), "NOT_PARTITIONABLE");
         assert_eq!(Verdict::Partitionable.to_string(), "PARTITIONABLE");
+    }
+
+    #[test]
+    fn verdict_names_round_trip() {
+        for v in [Verdict::NotPartitionable, Verdict::Partitionable] {
+            assert_eq!(v.to_string().parse::<Verdict>().unwrap(), v);
+        }
+        assert!("MAYBE".parse::<Verdict>().is_err());
     }
 }

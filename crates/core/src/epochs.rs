@@ -61,6 +61,11 @@ impl EpochMonitor {
 
     /// Runs NECTAR over each snapshot in turn, sharing one connectivity
     /// oracle across the epochs so unchanged topologies decide from cache.
+    ///
+    /// Each snapshot is one single-epoch [`Simulation`](crate::Simulation)
+    /// session (the builder's own `.epochs(k)` re-runs one *fixed*
+    /// topology; the monitor's job is the evolving-topology variant, one
+    /// scenario per snapshot).
     pub fn run_epochs<I>(&self, snapshots: I) -> Vec<EpochReport>
     where
         I: IntoIterator<Item = Graph>,
@@ -72,7 +77,11 @@ impl EpochMonitor {
             .map(|(epoch, graph)| {
                 let outcome = Scenario::new(graph, self.t)
                     .with_key_seed(self.key_seed + epoch as u64)
-                    .run_on_with_oracle(self.runtime, &mut oracle);
+                    .sim()
+                    .runtime(self.runtime)
+                    .oracle(&mut oracle)
+                    .run()
+                    .into_outcome();
                 EpochReport { epoch, outcome }
             })
             .collect()

@@ -9,9 +9,12 @@
 //! of the four runtimes — deterministic sync, thread-per-node, the
 //! event-driven loop that hosts 10k+-node fleets, or the work-stealing
 //! parallel engine that spreads them over every core — selected via
-//! [`runner::Runtime`]; [`Scenario`] is the harness every experiment,
-//! example and test drives, and its decision phase answers `κ ≤ t`
-//! through `nectar_graph`'s `ConnectivityOracle`.
+//! [`runner::Runtime`]; [`Scenario`] describes a scenario, and
+//! [`Scenario::sim`] starts the [`Simulation`] builder every experiment,
+//! example and test drives (runtime, workers, shared oracle, epochs,
+//! streaming [`RunObserver`]s), finishing in a persisted [`RunReport`].
+//! The decision phase answers `κ ≤ t` through `nectar_graph`'s
+//! `ConnectivityOracle`.
 //!
 //! NECTAR solves **t-Byzantine-resilient, 2t-sensitive network partition
 //! detection** (Definition 3) on arbitrary graphs: after `n − 1` synchronous
@@ -38,12 +41,13 @@
 //! // connectivity 4 = 2t, so NECTAR must report NOT_PARTITIONABLE even
 //! // with two silent Byzantine participants (Lemma 1).
 //! let graph = nectar_graph::gen::harary(4, 10)?;
-//! let outcome = Scenario::new(graph, 2)
+//! let report = Scenario::new(graph, 2)
 //!     .with_byzantine(3, ByzantineBehavior::Silent)
 //!     .with_byzantine(7, ByzantineBehavior::Silent)
+//!     .sim()
 //!     .run();
-//! assert!(outcome.agreement());
-//! assert_eq!(outcome.unanimous_verdict(), Some(Verdict::NotPartitionable));
+//! assert!(report.agreement());
+//! assert_eq!(report.unanimous_verdict(), Some(Verdict::NotPartitionable));
 //! # Ok::<(), nectar_graph::GraphError>(())
 //! ```
 
@@ -55,7 +59,9 @@ pub mod config;
 pub mod epochs;
 pub mod message;
 pub mod node;
+pub mod report;
 pub mod runner;
+pub mod sim;
 
 pub use byzantine::{ByzantineBehavior, Participant};
 pub use config::{Decision, NectarConfig, Verdict};
@@ -63,4 +69,6 @@ pub use epochs::{EpochMonitor, EpochReport};
 pub use message::{NectarMsg, RelayedEdge, WireFormat};
 pub use nectar_graph::{ConnectivityOracle, OracleStats};
 pub use node::{NectarNode, RejectReason};
+pub use report::{decision_csv_row, EpochOutcome, RunReport, DECISIONS_CSV_HEADER};
 pub use runner::{Outcome, Runtime, Scenario};
+pub use sim::{RunObserver, Simulation};

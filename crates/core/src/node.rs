@@ -600,17 +600,19 @@ mod config_knob_tests {
         let g = gen::harary(4, 12).unwrap();
         let per_edge = Scenario::new(g.clone(), 2)
             .with_config(NectarConfig::new(12, 2).with_wire_format(WireFormat::PerEdgeChains))
+            .sim()
             .run();
         let batched = Scenario::new(g, 2)
             .with_config(NectarConfig::new(12, 2).with_wire_format(WireFormat::BatchedChain))
+            .sim()
             .run();
-        assert_eq!(per_edge.decisions, batched.decisions);
+        assert_eq!(per_edge.decisions(), batched.decisions());
         assert!(
-            batched.metrics.total_bytes_sent() < per_edge.metrics.total_bytes_sent(),
+            batched.metrics().total_bytes_sent() < per_edge.metrics().total_bytes_sent(),
             "batched chains must be cheaper"
         );
         // Message counts are identical: only the accounting differs.
-        assert_eq!(per_edge.metrics.msgs_sent(), batched.metrics.msgs_sent());
+        assert_eq!(per_edge.metrics().msgs_sent(), batched.metrics().msgs_sent());
     }
 
     #[test]
@@ -642,9 +644,10 @@ mod config_knob_tests {
         // symmetric topologies still agree. This is why the paper insists
         // on R = n − 1 for unknown topologies.
         let g = gen::cycle(8);
-        let out = Scenario::new(g, 1).with_config(NectarConfig::new(8, 1).with_rounds(2)).run();
+        let out =
+            Scenario::new(g, 1).with_config(NectarConfig::new(8, 1).with_rounds(2)).sim().run();
         assert!(out.agreement());
         assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
-        assert!(out.decisions.values().all(|d| d.reachable < 8));
+        assert!(out.decisions().values().all(|d| d.reachable < 8));
     }
 }

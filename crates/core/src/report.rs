@@ -1,0 +1,1054 @@
+//! Persisted run reports: the session result of
+//! [`Simulation::run`](crate::sim::Simulation::run).
+//!
+//! A [`RunReport`] supersedes the old `Outcome`-plus-`Metrics` pair as the
+//! thing a run hands back: scenario parameters, the ground-truth topology,
+//! the Byzantine cast, and one [`EpochOutcome`] per monitoring epoch
+//! (decisions, traffic counters, oracle counters). Unlike those ancestors
+//! it *persists*: a hand-rolled serializer — extending the binary codec of
+//! `nectar_crypto::codec` with [`Encode`]/[`Decode`] impls, plus JSON and
+//! CSV text forms — writes results out without touching the decorative
+//! serde shim:
+//!
+//! * **binary** ([`Encode::to_wire_bytes`] / [`Decode::decode`]) — compact,
+//!   loss-free, versioned ([`REPORT_CODEC_VERSION`]);
+//! * **JSON** ([`RunReport::to_json`] / [`RunReport::from_json`]) —
+//!   loss-free and human-greppable, the format behind `nectar-cli detect
+//!   --report <path>`;
+//! * **CSV** ([`RunReport::to_csv`] / [`RunReport::decisions_from_csv`]) —
+//!   the per-node decision stream (`epoch,node,verdict,confirmed,
+//!   reachable,connectivity`), the machine-readable per-node granularity
+//!   the evaluation analyses consume. CSV carries decisions only, by
+//!   design; use JSON or the binary codec for full-fidelity persistence.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use nectar_crypto::codec::{CodecError, Decode, Encode};
+use nectar_graph::{connectivity, traversal, Graph, OracleStats};
+use nectar_net::{Metrics, NodeId};
+
+use crate::config::{Decision, Verdict};
+use crate::runner::{Outcome, Runtime};
+
+/// Version tag of the persisted report formats (bumped on incompatible
+/// changes; both the binary and JSON forms carry it).
+pub const REPORT_CODEC_VERSION: u16 = 1;
+
+/// Sanity cap on decoded collection lengths (nodes, edges, rounds): far
+/// above any supported system size, low enough that corrupt length
+/// prefixes cannot trigger huge allocations.
+const MAX_REPORT_ITEMS: usize = 1 << 26;
+
+/// Header of the per-node decision CSV stream — the single definition
+/// shared by [`RunReport::to_csv`], [`RunReport::decisions_from_csv`] and
+/// `nectar-cli detect --per-node --csv`.
+pub const DECISIONS_CSV_HEADER: &str = "epoch,node,verdict,confirmed,reachable,connectivity";
+
+/// One row of the per-node decision CSV stream (no trailing newline),
+/// matching [`DECISIONS_CSV_HEADER`]'s columns.
+pub fn decision_csv_row(epoch: usize, node: NodeId, d: &Decision) -> String {
+    format!("{epoch},{node},{},{},{},{}", d.verdict, d.confirmed, d.reachable, d.connectivity)
+}
+
+/// Everything observable from one epoch of a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochOutcome {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// The key-universe seed this epoch ran with (`base + epoch`).
+    pub key_seed: u64,
+    /// Each correct node's decision (empty on metrics-only runs).
+    pub decisions: BTreeMap<NodeId, Decision>,
+    /// Traffic counters (all nodes, Byzantine included).
+    pub metrics: Metrics,
+    /// Connectivity-oracle counters for this epoch's decision phase.
+    pub oracle: OracleStats,
+}
+
+impl EpochOutcome {
+    /// Whether all correct nodes decided the same verdict (the Agreement
+    /// property of Definition 3). Vacuously true on metrics-only epochs.
+    pub fn agreement(&self) -> bool {
+        let mut verdicts = self.decisions.values().map(|d| d.verdict);
+        match verdicts.next() {
+            None => true,
+            Some(first) => verdicts.all(|v| v == first),
+        }
+    }
+
+    /// The common verdict if Agreement holds.
+    pub fn unanimous_verdict(&self) -> Option<Verdict> {
+        self.agreement().then(|| self.decisions.values().next().map(|d| d.verdict)).flatten()
+    }
+
+    /// Whether any correct node observed an actual partition.
+    pub fn any_confirmed(&self) -> bool {
+        self.decisions.values().any(|d| d.confirmed)
+    }
+
+    /// Fraction of correct nodes whose verdict matches `expected` — the
+    /// "decision success rate" of Fig. 8.
+    pub fn success_rate(&self, expected: Verdict) -> f64 {
+        if self.decisions.is_empty() {
+            return 1.0;
+        }
+        let ok = self.decisions.values().filter(|d| d.verdict == expected).count();
+        ok as f64 / self.decisions.len() as f64
+    }
+
+    /// Mean kilobytes sent per node — the y-axis of Figs. 3–7.
+    pub fn mean_kb_sent_per_node(&self) -> f64 {
+        self.metrics.mean_bytes_sent_per_node() / 1024.0
+    }
+}
+
+/// The persisted result of one simulation session: parameters, ground
+/// truth, and one [`EpochOutcome`] per epoch (at least one). The
+/// convenience accessors ([`decisions`](RunReport::decisions),
+/// [`agreement`](RunReport::agreement), …) read the **last** epoch — the
+/// current state of a monitoring session; multi-epoch analyses walk
+/// [`epochs`](RunReport::epochs) directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The engine that executed the session.
+    pub runtime: Runtime,
+    /// System size (`n`).
+    pub n: usize,
+    /// Byzantine budget (`t`).
+    pub t: usize,
+    /// Base key seed (epoch `e` ran with `key_seed + e`).
+    pub key_seed: u64,
+    /// The Byzantine cast.
+    pub byzantine: BTreeSet<NodeId>,
+    /// The ground-truth topology (for property checks).
+    pub topology: Graph,
+    /// Per-epoch outcomes, in epoch order.
+    pub epochs: Vec<EpochOutcome>,
+}
+
+impl RunReport {
+    /// The last epoch's outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a report with no epochs (a run always produces at least
+    /// one; only hand-built reports can be empty).
+    pub fn last(&self) -> &EpochOutcome {
+        self.epochs.last().expect("a run report holds at least one epoch")
+    }
+
+    /// The last epoch's decisions.
+    pub fn decisions(&self) -> &BTreeMap<NodeId, Decision> {
+        &self.last().decisions
+    }
+
+    /// The last epoch's traffic counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.last().metrics
+    }
+
+    /// The last epoch's oracle counters.
+    pub fn oracle(&self) -> &OracleStats {
+        &self.last().oracle
+    }
+
+    /// [`EpochOutcome::agreement`] of the last epoch.
+    pub fn agreement(&self) -> bool {
+        self.last().agreement()
+    }
+
+    /// [`EpochOutcome::unanimous_verdict`] of the last epoch.
+    pub fn unanimous_verdict(&self) -> Option<Verdict> {
+        self.last().unanimous_verdict()
+    }
+
+    /// [`EpochOutcome::success_rate`] of the last epoch.
+    pub fn success_rate(&self, expected: Verdict) -> f64 {
+        self.last().success_rate(expected)
+    }
+
+    /// [`EpochOutcome::mean_kb_sent_per_node`] of the last epoch.
+    pub fn mean_kb_sent_per_node(&self) -> f64 {
+        self.last().mean_kb_sent_per_node()
+    }
+
+    /// Ground truth: is the Byzantine cast a vertex cut of the topology
+    /// (i.e. is the subgraph of correct nodes partitioned)?
+    pub fn byzantine_cast_is_vertex_cut(&self) -> bool {
+        let cut: Vec<NodeId> = self.byzantine.iter().copied().collect();
+        traversal::is_partitioned_without(&self.topology, &cut)
+    }
+
+    /// Ground truth for the Validity property: does *some subset* of the
+    /// Byzantine cast form a vertex cut of `G`? (See
+    /// [`Outcome::byzantine_cast_can_cut`] for the Theorem 2 reading.)
+    pub fn byzantine_cast_can_cut(&self) -> bool {
+        if self.byzantine_cast_is_vertex_cut() {
+            return true;
+        }
+        let cast: Vec<NodeId> = self.byzantine.iter().copied().collect();
+        cast.iter().any(|&b| {
+            let others: Vec<NodeId> = cast.iter().copied().filter(|&x| x != b).collect();
+            traversal::is_partitioned_without(&self.topology, &others)
+        })
+    }
+
+    /// Ground truth: the topology's real vertex connectivity.
+    pub fn true_connectivity(&self) -> usize {
+        connectivity::vertex_connectivity(&self.topology)
+    }
+
+    /// Collapses the report into the legacy [`Outcome`] of its last epoch —
+    /// the compatibility bridge behind the deprecated `run_*` shims.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a report with no epochs.
+    pub fn into_outcome(mut self) -> Outcome {
+        let last = self.epochs.pop().expect("a run report holds at least one epoch");
+        Outcome {
+            decisions: last.decisions,
+            metrics: last.metrics,
+            byzantine: self.byzantine,
+            topology: self.topology,
+            oracle: last.oracle,
+        }
+    }
+
+    /// Extracts the last epoch's traffic counters — the compatibility
+    /// bridge behind the deprecated `run_metrics_only*` shims.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a report with no epochs.
+    pub fn into_metrics(mut self) -> Metrics {
+        self.epochs.pop().expect("a run report holds at least one epoch").metrics
+    }
+
+    // ---- JSON ----------------------------------------------------------
+
+    /// Serializes the full report as a JSON document (loss-free; parsed
+    /// back by [`from_json`](Self::from_json)).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let w = &mut out;
+        writeln!(w, "{{").expect("writing to String cannot fail");
+        writeln!(w, "  \"version\": {REPORT_CODEC_VERSION},").expect("infallible");
+        let workers = match self.runtime {
+            Runtime::Parallel { workers } => workers,
+            _ => 0,
+        };
+        writeln!(w, "  \"runtime\": \"{}\", \"workers\": {workers},", self.runtime)
+            .expect("infallible");
+        writeln!(w, "  \"n\": {}, \"t\": {}, \"key_seed\": {},", self.n, self.t, self.key_seed)
+            .expect("infallible");
+        writeln!(w, "  \"byzantine\": {},", json_usize_array(self.byzantine.iter().copied()))
+            .expect("infallible");
+        let edges = self
+            .topology
+            .edges()
+            .map(|(u, v)| format!("[{u}, {v}]"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        writeln!(
+            w,
+            "  \"topology\": {{\"n\": {}, \"edges\": [{edges}]}},",
+            self.topology.node_count()
+        )
+        .expect("infallible");
+        writeln!(w, "  \"epochs\": [").expect("infallible");
+        for (i, e) in self.epochs.iter().enumerate() {
+            let sep = if i + 1 == self.epochs.len() { "" } else { "," };
+            writeln!(w, "    {{\"epoch\": {}, \"key_seed\": {},", e.epoch, e.key_seed)
+                .expect("infallible");
+            let decisions = e
+                .decisions
+                .iter()
+                .map(|(node, d)| {
+                    format!(
+                        "{{\"node\": {node}, \"verdict\": \"{}\", \"confirmed\": {}, \
+                         \"reachable\": {}, \"connectivity\": {}}}",
+                        d.verdict, d.confirmed, d.reachable, d.connectivity
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(w, "     \"decisions\": [{decisions}],").expect("infallible");
+            let m = &e.metrics;
+            writeln!(
+                w,
+                "     \"metrics\": {{\"bytes_sent\": {}, \"msgs_sent\": {}, \
+                 \"bytes_received\": {}, \"msgs_received\": {}, \"bytes_per_round\": {}, \
+                 \"illegal_sends\": {}}},",
+                json_u64_array(m.bytes_sent()),
+                json_u64_array(m.msgs_sent()),
+                json_u64_array(m.bytes_received()),
+                json_u64_array(m.msgs_received()),
+                json_u64_array(m.bytes_per_round()),
+                m.illegal_sends()
+            )
+            .expect("infallible");
+            let s = &e.oracle;
+            writeln!(
+                w,
+                "     \"oracle\": {{\"queries\": {}, \"cache_hits\": {}, \
+                 \"structure_shortcuts\": {}, \"min_degree_shortcuts\": {}, \
+                 \"bounded_flows\": {}, \"early_exits\": {}}}}}{sep}",
+                s.queries,
+                s.cache_hits,
+                s.structure_shortcuts,
+                s.min_degree_shortcuts,
+                s.bounded_flows,
+                s.early_exits
+            )
+            .expect("infallible");
+        }
+        writeln!(w, "  ]").expect("infallible");
+        writeln!(w, "}}").expect("infallible");
+        out
+    }
+
+    /// Parses a report back from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed or version-skewed
+    /// input.
+    pub fn from_json(input: &str) -> Result<RunReport, String> {
+        let value = json::parse(input)?;
+        let obj = value.as_obj("report")?;
+        let version = obj.field("version")?.as_u64("version")?;
+        if version != REPORT_CODEC_VERSION as u64 {
+            return Err(format!("unsupported report version {version}"));
+        }
+        let workers = obj.field("workers")?.as_u64("workers")? as usize;
+        let runtime = match obj.field("runtime")?.as_str("runtime")? {
+            "parallel" => Runtime::Parallel { workers },
+            name => name.parse::<Runtime>()?,
+        };
+        let n = obj.field("n")?.as_u64("n")? as usize;
+        let t = obj.field("t")?.as_u64("t")? as usize;
+        let key_seed = obj.field("key_seed")?.as_u64("key_seed")?;
+        let byzantine: BTreeSet<NodeId> = obj
+            .field("byzantine")?
+            .as_arr("byzantine")?
+            .iter()
+            .map(|v| v.as_u64("byzantine node").map(|x| x as usize))
+            .collect::<Result<_, _>>()?;
+        let topo = obj.field("topology")?.as_obj("topology")?;
+        let topo_n = topo.field("n")?.as_u64("topology.n")? as usize;
+        let mut edges = Vec::new();
+        for e in topo.field("edges")?.as_arr("topology.edges")? {
+            let pair = e.as_arr("edge")?;
+            if pair.len() != 2 {
+                return Err("edge must be a [u, v] pair".into());
+            }
+            edges.push((
+                pair[0].as_u64("edge endpoint")? as usize,
+                pair[1].as_u64("edge endpoint")? as usize,
+            ));
+        }
+        let topology = Graph::from_edges(topo_n, edges).map_err(|e| e.to_string())?;
+        let mut epochs = Vec::new();
+        for e in obj.field("epochs")?.as_arr("epochs")? {
+            let e = e.as_obj("epoch")?;
+            let mut decisions = BTreeMap::new();
+            for d in e.field("decisions")?.as_arr("decisions")? {
+                let d = d.as_obj("decision")?;
+                decisions.insert(
+                    d.field("node")?.as_u64("node")? as usize,
+                    Decision {
+                        verdict: d.field("verdict")?.as_str("verdict")?.parse()?,
+                        confirmed: d.field("confirmed")?.as_bool("confirmed")?,
+                        reachable: d.field("reachable")?.as_u64("reachable")? as usize,
+                        connectivity: d.field("connectivity")?.as_u64("connectivity")? as usize,
+                    },
+                );
+            }
+            let m = e.field("metrics")?.as_obj("metrics")?;
+            let u64s = |key: &str| -> Result<Vec<u64>, String> {
+                m.field(key)?.as_arr(key)?.iter().map(|v| v.as_u64(key)).collect()
+            };
+            let metrics = Metrics::from_parts(
+                u64s("bytes_sent")?,
+                u64s("msgs_sent")?,
+                u64s("bytes_received")?,
+                u64s("msgs_received")?,
+                u64s("bytes_per_round")?,
+                m.field("illegal_sends")?.as_u64("illegal_sends")?,
+            );
+            let o = e.field("oracle")?.as_obj("oracle")?;
+            let stat = |key: &str| -> Result<u64, String> { o.field(key)?.as_u64(key) };
+            epochs.push(EpochOutcome {
+                epoch: e.field("epoch")?.as_u64("epoch")? as usize,
+                key_seed: e.field("key_seed")?.as_u64("key_seed")?,
+                decisions,
+                metrics,
+                oracle: OracleStats {
+                    queries: stat("queries")?,
+                    cache_hits: stat("cache_hits")?,
+                    structure_shortcuts: stat("structure_shortcuts")?,
+                    min_degree_shortcuts: stat("min_degree_shortcuts")?,
+                    bounded_flows: stat("bounded_flows")?,
+                    early_exits: stat("early_exits")?,
+                },
+            });
+        }
+        Ok(RunReport { runtime, n, t, key_seed, byzantine, topology, epochs })
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path` — the persistence hook
+    /// behind `nectar-cli detect --report <path>`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a report persisted by [`save_json`](Self::save_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on I/O or parse failure.
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> Result<RunReport, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("reading {}: {e}", path.as_ref().display()))?;
+        Self::from_json(&text)
+    }
+
+    // ---- CSV -----------------------------------------------------------
+
+    /// The per-node decision stream as CSV: header
+    /// `epoch,node,verdict,confirmed,reachable,connectivity`, one row per
+    /// correct node per epoch, in (epoch, node) order. Carries decisions
+    /// only — metrics and ground truth live in the JSON / binary forms.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(DECISIONS_CSV_HEADER);
+        out.push('\n');
+        for e in &self.epochs {
+            for (node, d) in &e.decisions {
+                writeln!(out, "{}", decision_csv_row(e.epoch, *node, d))
+                    .expect("writing to String cannot fail");
+            }
+        }
+        out
+    }
+
+    /// Parses the per-node decisions back out of [`to_csv`](Self::to_csv)
+    /// output: a map from epoch index to that epoch's per-node decisions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed rows.
+    pub fn decisions_from_csv(
+        csv: &str,
+    ) -> Result<BTreeMap<usize, BTreeMap<NodeId, Decision>>, String> {
+        let mut lines = csv.lines();
+        match lines.next() {
+            Some(header) if header == DECISIONS_CSV_HEADER => {}
+            other => return Err(format!("bad CSV header: {other:?}")),
+        }
+        let mut epochs: BTreeMap<usize, BTreeMap<NodeId, Decision>> = BTreeMap::new();
+        for line in lines {
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 6 {
+                return Err(format!("bad CSV row (expected 6 fields): {line}"));
+            }
+            let num =
+                |s: &str| s.parse::<usize>().map_err(|_| format!("bad number {s} in row {line}"));
+            let epoch = num(fields[0])?;
+            let node = num(fields[1])?;
+            let decision = Decision {
+                verdict: fields[2].parse()?,
+                confirmed: fields[3]
+                    .parse::<bool>()
+                    .map_err(|_| format!("bad bool {} in row {line}", fields[3]))?,
+                reachable: num(fields[4])?,
+                connectivity: num(fields[5])?,
+            };
+            epochs.entry(epoch).or_default().insert(node, decision);
+        }
+        Ok(epochs)
+    }
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let body = values.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    format!("[{body}]")
+}
+
+fn json_usize_array(values: impl Iterator<Item = usize>) -> String {
+    let body = values.map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+    format!("[{body}]")
+}
+
+// ---- binary codec ------------------------------------------------------
+
+fn runtime_tag(runtime: Runtime) -> (u8, u32) {
+    match runtime {
+        Runtime::Sync => (0, 0),
+        Runtime::Threaded => (1, 0),
+        Runtime::Event => (2, 0),
+        Runtime::Parallel { workers } => (3, workers as u32),
+    }
+}
+
+fn runtime_from_tag(tag: u8, workers: u32) -> Result<Runtime, CodecError> {
+    match tag {
+        0 => Ok(Runtime::Sync),
+        1 => Ok(Runtime::Threaded),
+        2 => Ok(Runtime::Event),
+        3 => Ok(Runtime::Parallel { workers: workers as usize }),
+        _ => Err(CodecError::LengthOutOfBounds { decoding: "runtime tag", len: tag as usize }),
+    }
+}
+
+fn verdict_tag(verdict: Verdict) -> u8 {
+    match verdict {
+        Verdict::NotPartitionable => 0,
+        Verdict::Partitionable => 1,
+    }
+}
+
+fn verdict_from_tag(tag: u8) -> Result<Verdict, CodecError> {
+    match tag {
+        0 => Ok(Verdict::NotPartitionable),
+        1 => Ok(Verdict::Partitionable),
+        _ => Err(CodecError::LengthOutOfBounds { decoding: "verdict tag", len: tag as usize }),
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+    if buf.len() < n {
+        return Err(CodecError::UnexpectedEnd { decoding: what });
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn take_len(buf: &mut &[u8], what: &'static str) -> Result<usize, CodecError> {
+    let len = take(buf, 4, what)?.get_u32() as usize;
+    if len > MAX_REPORT_ITEMS {
+        return Err(CodecError::LengthOutOfBounds { decoding: what, len });
+    }
+    Ok(len)
+}
+
+fn put_u64s(buf: &mut BytesMut, values: &[u64]) {
+    buf.put_u32(values.len() as u32);
+    for &v in values {
+        buf.put_u64(v);
+    }
+}
+
+fn take_u64s(buf: &mut &[u8], what: &'static str) -> Result<Vec<u64>, CodecError> {
+    let len = take_len(buf, what)?;
+    let mut head = take(buf, 8 * len, what)?;
+    Ok((0..len).map(|_| head.get_u64()).collect())
+}
+
+impl Encode for RunReport {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16(REPORT_CODEC_VERSION);
+        let (tag, workers) = runtime_tag(self.runtime);
+        buf.put_u8(tag);
+        buf.put_u32(workers);
+        buf.put_u32(self.n as u32);
+        buf.put_u32(self.t as u32);
+        buf.put_u64(self.key_seed);
+        buf.put_u32(self.byzantine.len() as u32);
+        for &b in &self.byzantine {
+            buf.put_u32(b as u32);
+        }
+        buf.put_u32(self.topology.node_count() as u32);
+        buf.put_u32(self.topology.edge_count() as u32);
+        for (u, v) in self.topology.edges() {
+            buf.put_u32(u as u32);
+            buf.put_u32(v as u32);
+        }
+        buf.put_u32(self.epochs.len() as u32);
+        for e in &self.epochs {
+            buf.put_u32(e.epoch as u32);
+            buf.put_u64(e.key_seed);
+            buf.put_u32(e.decisions.len() as u32);
+            for (&node, d) in &e.decisions {
+                buf.put_u32(node as u32);
+                buf.put_u8(verdict_tag(d.verdict));
+                buf.put_u8(d.confirmed as u8);
+                buf.put_u32(d.reachable as u32);
+                buf.put_u32(d.connectivity as u32);
+            }
+            put_u64s(buf, e.metrics.bytes_sent());
+            put_u64s(buf, e.metrics.msgs_sent());
+            put_u64s(buf, e.metrics.bytes_received());
+            put_u64s(buf, e.metrics.msgs_received());
+            put_u64s(buf, e.metrics.bytes_per_round());
+            buf.put_u64(e.metrics.illegal_sends());
+            for stat in [
+                e.oracle.queries,
+                e.oracle.cache_hits,
+                e.oracle.structure_shortcuts,
+                e.oracle.min_degree_shortcuts,
+                e.oracle.bounded_flows,
+                e.oracle.early_exits,
+            ] {
+                buf.put_u64(stat);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        let header = 2 + 1 + 4 + 4 + 4 + 8;
+        let byzantine = 4 + 4 * self.byzantine.len();
+        let topology = 4 + 4 + 8 * self.topology.edge_count();
+        let epochs: usize = self
+            .epochs
+            .iter()
+            .map(|e| {
+                let metrics_nodes = e.metrics.bytes_sent().len();
+                4 + 8
+                    + 4
+                    + 14 * e.decisions.len()
+                    + 4 * (4 + 8 * metrics_nodes)
+                    + (4 + 8 * e.metrics.bytes_per_round().len())
+                    + 8
+                    + 6 * 8
+            })
+            .sum();
+        header + byzantine + topology + 4 + epochs
+    }
+}
+
+impl Decode for RunReport {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let mut head = take(buf, 2 + 1 + 4 + 4 + 4 + 8, "report header")?;
+        let version = head.get_u16();
+        if version != REPORT_CODEC_VERSION {
+            return Err(CodecError::LengthOutOfBounds {
+                decoding: "report version",
+                len: version as usize,
+            });
+        }
+        let tag = head.get_u8();
+        let workers = head.get_u32();
+        let runtime = runtime_from_tag(tag, workers)?;
+        let n = head.get_u32() as usize;
+        let t = head.get_u32() as usize;
+        let key_seed = head.get_u64();
+        let byz_len = take_len(buf, "byzantine set")?;
+        let mut byz_head = take(buf, 4 * byz_len, "byzantine set")?;
+        let byzantine: BTreeSet<NodeId> =
+            (0..byz_len).map(|_| byz_head.get_u32() as usize).collect();
+        let topo_n = take_len(buf, "topology size")?;
+        let edge_count = take_len(buf, "topology edges")?;
+        let mut edge_head = take(buf, 8 * edge_count, "topology edges")?;
+        let edges: Vec<(usize, usize)> = (0..edge_count)
+            .map(|_| (edge_head.get_u32() as usize, edge_head.get_u32() as usize))
+            .collect();
+        let topology = Graph::from_edges(topo_n, edges).map_err(|_| {
+            CodecError::LengthOutOfBounds { decoding: "topology edge", len: topo_n }
+        })?;
+        let epoch_count = take_len(buf, "epoch count")?;
+        let mut epochs = Vec::with_capacity(epoch_count.min(1024));
+        for _ in 0..epoch_count {
+            let mut head = take(buf, 4 + 8, "epoch header")?;
+            let epoch = head.get_u32() as usize;
+            let epoch_seed = head.get_u64();
+            let decision_count = take_len(buf, "decision count")?;
+            let mut decisions = BTreeMap::new();
+            for _ in 0..decision_count {
+                let mut d = take(buf, 14, "decision")?;
+                let node = d.get_u32() as usize;
+                let verdict = verdict_from_tag(d.get_u8())?;
+                let confirmed = match d.get_u8() {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(CodecError::LengthOutOfBounds {
+                            decoding: "confirmed flag",
+                            len: other as usize,
+                        })
+                    }
+                };
+                let reachable = d.get_u32() as usize;
+                let connectivity = d.get_u32() as usize;
+                decisions.insert(node, Decision { verdict, confirmed, reachable, connectivity });
+            }
+            let bytes_sent = take_u64s(buf, "metrics bytes_sent")?;
+            let msgs_sent = take_u64s(buf, "metrics msgs_sent")?;
+            let bytes_received = take_u64s(buf, "metrics bytes_received")?;
+            let msgs_received = take_u64s(buf, "metrics msgs_received")?;
+            let bytes_per_round = take_u64s(buf, "metrics bytes_per_round")?;
+            if msgs_sent.len() != bytes_sent.len()
+                || bytes_received.len() != bytes_sent.len()
+                || msgs_received.len() != bytes_sent.len()
+            {
+                return Err(CodecError::LengthOutOfBounds {
+                    decoding: "metrics vectors",
+                    len: msgs_sent.len(),
+                });
+            }
+            let mut tail = take(buf, 8 + 6 * 8, "metrics/oracle tail")?;
+            let illegal_sends = tail.get_u64();
+            let metrics = Metrics::from_parts(
+                bytes_sent,
+                msgs_sent,
+                bytes_received,
+                msgs_received,
+                bytes_per_round,
+                illegal_sends,
+            );
+            let oracle = OracleStats {
+                queries: tail.get_u64(),
+                cache_hits: tail.get_u64(),
+                structure_shortcuts: tail.get_u64(),
+                min_degree_shortcuts: tail.get_u64(),
+                bounded_flows: tail.get_u64(),
+                early_exits: tail.get_u64(),
+            };
+            epochs.push(EpochOutcome { epoch, key_seed: epoch_seed, decisions, metrics, oracle });
+        }
+        Ok(RunReport { runtime, n, t, key_seed, byzantine, topology, epochs })
+    }
+}
+
+// ---- minimal JSON reader -----------------------------------------------
+
+/// A tiny recursive-descent JSON reader covering exactly the grammar
+/// [`RunReport::to_json`] emits (objects, arrays, strings without exotic
+/// escapes, unsigned integers, booleans, null) — enough to round-trip
+/// persisted reports without a serde dependency.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(u64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_obj(&self, what: &str) -> Result<&BTreeMap<String, Value>, String> {
+            match self {
+                Value::Obj(map) => Ok(map),
+                other => Err(format!("{what}: expected object, got {other:?}")),
+            }
+        }
+
+        pub fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                other => Err(format!("{what}: expected array, got {other:?}")),
+            }
+        }
+
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                other => Err(format!("{what}: expected number, got {other:?}")),
+            }
+        }
+
+        pub fn as_bool(&self, what: &str) -> Result<bool, String> {
+            match self {
+                Value::Bool(b) => Ok(*b),
+                other => Err(format!("{what}: expected bool, got {other:?}")),
+            }
+        }
+
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(format!("{what}: expected string, got {other:?}")),
+            }
+        }
+    }
+
+    /// Field lookup on parsed objects.
+    pub trait Fields {
+        /// The value under `key`.
+        ///
+        /// # Errors
+        ///
+        /// Errors when the key is absent.
+        fn field(&self, key: &str) -> Result<&Value, String>;
+    }
+
+    impl Fields for BTreeMap<String, Value> {
+        fn field(&self, key: &str) -> Result<&Value, String> {
+            self.get(key).ok_or_else(|| format!("missing field {key}"))
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending byte offset.
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser { bytes: input.as_bytes(), at: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.at));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        at: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.at < self.bytes.len()
+                && matches!(self.bytes[self.at], b' ' | b'\t' | b'\n' | b'\r')
+            {
+                self.at += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes.get(self.at).copied().ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), String> {
+            let got = self.peek()?;
+            if got != byte {
+                return Err(format!(
+                    "expected {:?} at byte {}, got {:?}",
+                    byte as char, self.at, got as char
+                ));
+            }
+            self.at += 1;
+            Ok(())
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b'0'..=b'9' => self.number(),
+                b't' => self.keyword("true", Value::Bool(true)),
+                b'f' => self.keyword("false", Value::Bool(false)),
+                b'n' => self.keyword("null", Value::Null),
+                other => Err(format!("unexpected {:?} at byte {}", other as char, self.at)),
+            }
+        }
+
+        fn keyword(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            self.skip_ws();
+            if self.bytes[self.at..].starts_with(word.as_bytes()) {
+                self.at += word.len();
+                Ok(value)
+            } else {
+                Err(format!("bad keyword at byte {}", self.at))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            let start = self.at;
+            while self.at < self.bytes.len() && self.bytes[self.at].is_ascii_digit() {
+                self.at += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+            text.parse::<u64>().map(Value::Num).map_err(|_| format!("bad number {text}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(&b) = self.bytes.get(self.at) else {
+                    return Err("unterminated string".into());
+                };
+                self.at += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(&esc) = self.bytes.get(self.at) else {
+                            return Err("unterminated escape".into());
+                        };
+                        self.at += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            other => return Err(format!("unsupported escape \\{}", other as char)),
+                        }
+                    }
+                    other => out.push(other as char),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            if self.peek()? == b'}' {
+                self.at += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                map.insert(key, self.value()?);
+                match self.peek()? {
+                    b',' => self.at += 1,
+                    b'}' => {
+                        self.at += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    other => {
+                        return Err(format!("expected , or }} got {:?}", other as char));
+                    }
+                }
+                self.skip_ws();
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.at += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.at += 1,
+                    b']' => {
+                        self.at += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => {
+                        return Err(format!("expected , or ] got {:?}", other as char));
+                    }
+                }
+            }
+        }
+    }
+}
+
+use json::Fields as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::ByzantineBehavior;
+    use crate::runner::Scenario;
+    use nectar_graph::gen;
+
+    fn sample_report() -> RunReport {
+        Scenario::new(gen::harary(4, 10).unwrap(), 2)
+            .with_byzantine(3, ByzantineBehavior::Silent)
+            .with_key_seed(9)
+            .sim()
+            .epochs(2)
+            .run()
+    }
+
+    #[test]
+    fn json_round_trips_losslessly() {
+        let report = sample_report();
+        let json = report.to_json();
+        let parsed = RunReport::from_json(&json).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn json_round_trips_metrics_only_and_parallel_runtime() {
+        let report = Scenario::new(gen::cycle(6), 1).sim().workers(3).metrics_only().run();
+        let parsed = RunReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.runtime, Runtime::Parallel { workers: 3 });
+    }
+
+    #[test]
+    fn json_rejects_version_skew_and_garbage() {
+        let report = sample_report();
+        let skewed = report.to_json().replace("\"version\": 1", "\"version\": 99");
+        assert!(RunReport::from_json(&skewed).is_err());
+        assert!(RunReport::from_json("").is_err());
+        assert!(RunReport::from_json("{\"version\": 1}").is_err());
+        assert!(RunReport::from_json("nonsense").is_err());
+    }
+
+    #[test]
+    fn binary_codec_round_trips_losslessly() {
+        let report = sample_report();
+        let bytes = report.to_wire_bytes();
+        assert_eq!(bytes.len(), report.encoded_len());
+        let mut slice = bytes.as_slice();
+        let decoded = RunReport::decode(&mut slice).expect("decodes");
+        assert!(slice.is_empty());
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn binary_codec_rejects_truncation_without_panicking() {
+        let report = sample_report();
+        let bytes = report.to_wire_bytes();
+        for cut in [0, 1, 2, 10, 40, bytes.len() / 2, bytes.len() - 1] {
+            let mut slice = &bytes[..cut];
+            assert!(RunReport::decode(&mut slice).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn csv_carries_the_per_node_decision_stream() {
+        let report = sample_report();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "epoch,node,verdict,confirmed,reachable,connectivity");
+        // 9 correct nodes × 2 epochs.
+        assert_eq!(lines.len(), 1 + 9 * 2);
+        let parsed = RunReport::decisions_from_csv(&csv).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        for e in &report.epochs {
+            assert_eq!(parsed[&e.epoch], e.decisions);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        assert!(RunReport::decisions_from_csv("wrong,header\n").is_err());
+        let csv = "epoch,node,verdict,confirmed,reachable,connectivity\n0,1,WARP,true,5,2\n";
+        assert!(RunReport::decisions_from_csv(csv).is_err());
+        let csv = "epoch,node,verdict,confirmed,reachable,connectivity\n0,1\n";
+        assert!(RunReport::decisions_from_csv(csv).is_err());
+    }
+
+    #[test]
+    fn save_and_load_json_persist_to_disk() {
+        let report = sample_report();
+        let path = std::env::temp_dir().join("nectar-report-roundtrip.json");
+        report.save_json(&path).expect("writes");
+        let loaded = RunReport::load_json(&path).expect("loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, report);
+    }
+
+    #[test]
+    fn into_outcome_bridges_to_the_legacy_shape() {
+        let report = sample_report();
+        let decisions = report.decisions().clone();
+        let outcome = report.into_outcome();
+        assert_eq!(outcome.decisions, decisions);
+        assert_eq!(outcome.byzantine, [3].into());
+    }
+}

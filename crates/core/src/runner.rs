@@ -4,20 +4,24 @@
 //!
 //! This is the entry point the experiments, examples and integration tests
 //! share. A [`Scenario`] owns the topology, the protocol parameters and the
-//! Byzantine assignment; [`Scenario::run`] executes the propagation rounds
-//! and collects every correct node's decision plus traffic metrics. The
+//! Byzantine assignment; [`Scenario::sim`] starts the
+//! [`Simulation`](crate::sim::Simulation) builder that executes the
+//! propagation rounds and collects every correct node's decision plus
+//! traffic metrics into a [`RunReport`](crate::report::RunReport). The
 //! [`Runtime`] enum selects the execution engine — deterministic sync,
 //! thread-per-node, the event-driven loop that hosts 10k+-node topologies,
 //! or the work-stealing parallel engine that spreads those topologies over
-//! every core — and all four produce bit-identical [`Outcome`]s (enforced
-//! by the cross-runtime equivalence property suite; the contract lives in
-//! `docs/DETERMINISM.md`).
+//! every core — and all four produce bit-identical results (enforced by
+//! the cross-runtime equivalence property suite; the contract lives in
+//! `docs/DETERMINISM.md`). The eleven legacy `run_*` methods remain as
+//! `#[deprecated]` shims over the builder, returning the legacy
+//! [`Outcome`] shape.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use nectar_crypto::{KeyStore, NeighborhoodProof};
+use nectar_crypto::{KeyStore, NeighborhoodProof, Verifier};
 use nectar_graph::{connectivity, traversal, ConnectivityOracle, Fingerprint, Graph, OracleStats};
-use nectar_net::{parallel_map, Metrics, NodeId, SyncNetwork};
+use nectar_net::{parallel_map, Metrics, NodeId, RoundSink, SyncNetwork};
 
 use crate::byzantine::{
     wrap_traffic_fault, ByzantineBehavior, EquivocatorNode, LateRevealNode, Participant,
@@ -70,7 +74,7 @@ impl Runtime {
 
     /// Worker threads available to the decision phase under this runtime
     /// (1 = run it inline, as the single-threaded runtimes do).
-    fn decision_workers(self) -> usize {
+    pub(crate) fn decision_workers(self) -> usize {
         match self {
             Runtime::Parallel { workers } => nectar_net::resolve_workers(workers),
             _ => 1,
@@ -180,183 +184,233 @@ impl Scenario {
     /// Panics if a `FictitiousEdges` / `LateReveal` behaviour names
     /// non-Byzantine accomplices.
     pub fn build_participants(&self) -> Vec<Participant> {
+        self.build_participants_with(1)
+    }
+
+    /// [`build_participants`](Self::build_participants) with the per-node
+    /// construction — neighborhood-proof signing plus Byzantine wrapping,
+    /// ~20% of a large-n run — fanned over `workers` work-stealing workers
+    /// (`0` = match the machine, `1` = inline). The key-universe derivation
+    /// stays sequential (it is one seeded stream shared by every node), and
+    /// [`parallel_map`] preserves node order, so the returned participants
+    /// are bit-identical at any worker count (a determinism test enforces
+    /// this). [`Simulation`](crate::sim::Simulation) selects this path
+    /// automatically under [`Runtime::Parallel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `FictitiousEdges` / `LateReveal` behaviour names
+    /// non-Byzantine accomplices.
+    pub fn build_participants_with(&self, workers: usize) -> Vec<Participant> {
         let n = self.topology.node_count();
         let keys = KeyStore::generate(n, self.key_seed);
         let verifier = keys.verifier();
-        (0..n)
-            .map(|i| {
-                let proofs: BTreeMap<NodeId, NeighborhoodProof> = self
-                    .topology
-                    .neighbors(i)
-                    .map(|j| {
-                        (j, NeighborhoodProof::new(&keys.signer(i as u16), &keys.signer(j as u16)))
-                    })
-                    .collect();
-                let mut node = NectarNode::new(
-                    i,
-                    self.config.clone(),
-                    keys.signer(i as u16),
-                    verifier.clone(),
-                    proofs,
-                );
-                match self.byzantine.get(&i) {
-                    None => Participant::Correct(node),
-                    Some(
-                        b @ (ByzantineBehavior::Silent
-                        | ByzantineBehavior::CrashAfter { .. }
-                        | ByzantineBehavior::TwoFaced { .. }),
-                    ) => wrap_traffic_fault(node, b),
-                    Some(ByzantineBehavior::HideEdges { toward }) => {
-                        for &v in toward {
-                            node.hide_edge_to(v);
-                        }
-                        Participant::Correct(node)
-                    }
-                    Some(ByzantineBehavior::FictitiousEdges { partners }) => {
-                        for &p in partners {
-                            assert!(
-                                self.byzantine.contains_key(&p),
-                                "fictitious edge partner {p} must be Byzantine (§II: proofs \
-                                 involving a correct node cannot be forged)"
-                            );
-                            if p != i && !self.topology.has_edge(i, p) {
-                                node.announce_extra_proof(NeighborhoodProof::new(
-                                    &keys.signer(i as u16),
-                                    &keys.signer(p as u16),
-                                ));
-                            }
-                        }
-                        Participant::Correct(node)
-                    }
-                    Some(ByzantineBehavior::LateReveal { partner, others }) => {
-                        assert!(
-                            self.byzantine.contains_key(partner),
-                            "late-reveal partner {partner} must be Byzantine"
-                        );
-                        for o in others {
-                            assert!(
-                                self.byzantine.contains_key(o),
-                                "late-reveal accomplice {o} must be Byzantine"
-                            );
-                        }
-                        let proof = NeighborhoodProof::new(
+        parallel_map((0..n).collect(), workers, |i| self.build_participant(i, &keys, &verifier))
+    }
+
+    /// Builds the participant for node `i` — the per-node body of
+    /// [`build_participants_with`], independent across nodes.
+    fn build_participant(&self, i: NodeId, keys: &KeyStore, verifier: &Verifier) -> Participant {
+        let proofs: BTreeMap<NodeId, NeighborhoodProof> = self
+            .topology
+            .neighbors(i)
+            .map(|j| (j, NeighborhoodProof::new(&keys.signer(i as u16), &keys.signer(j as u16))))
+            .collect();
+        let mut node = NectarNode::new(
+            i,
+            self.config.clone(),
+            keys.signer(i as u16),
+            verifier.clone(),
+            proofs,
+        );
+        match self.byzantine.get(&i) {
+            None => Participant::Correct(node),
+            Some(
+                b @ (ByzantineBehavior::Silent
+                | ByzantineBehavior::CrashAfter { .. }
+                | ByzantineBehavior::TwoFaced { .. }),
+            ) => wrap_traffic_fault(node, b),
+            Some(ByzantineBehavior::HideEdges { toward }) => {
+                for &v in toward {
+                    node.hide_edge_to(v);
+                }
+                Participant::Correct(node)
+            }
+            Some(ByzantineBehavior::FictitiousEdges { partners }) => {
+                for &p in partners {
+                    assert!(
+                        self.byzantine.contains_key(&p),
+                        "fictitious edge partner {p} must be Byzantine (§II: proofs \
+                         involving a correct node cannot be forged)"
+                    );
+                    if p != i && !self.topology.has_edge(i, p) {
+                        node.announce_extra_proof(NeighborhoodProof::new(
                             &keys.signer(i as u16),
-                            &keys.signer(*partner as u16),
-                        );
-                        let partner_signer = keys.signer(*partner as u16);
-                        let other_signers: Vec<_> =
-                            others.iter().map(|&o| keys.signer(o as u16)).collect();
-                        let self_signer = keys.signer(i as u16);
-                        let mut chain_signers = vec![&partner_signer];
-                        chain_signers.extend(other_signers.iter());
-                        chain_signers.push(&self_signer);
-                        Participant::LateReveal(LateRevealNode::new(node, proof, &chain_signers))
-                    }
-                    Some(ByzantineBehavior::Equivocate { victims }) => {
-                        Participant::Equivocator(EquivocatorNode::new(node, victims.clone()))
+                            &keys.signer(p as u16),
+                        ));
                     }
                 }
-            })
-            .collect()
+                Participant::Correct(node)
+            }
+            Some(ByzantineBehavior::LateReveal { partner, others }) => {
+                assert!(
+                    self.byzantine.contains_key(partner),
+                    "late-reveal partner {partner} must be Byzantine"
+                );
+                for o in others {
+                    assert!(
+                        self.byzantine.contains_key(o),
+                        "late-reveal accomplice {o} must be Byzantine"
+                    );
+                }
+                let proof =
+                    NeighborhoodProof::new(&keys.signer(i as u16), &keys.signer(*partner as u16));
+                let partner_signer = keys.signer(*partner as u16);
+                let other_signers: Vec<_> = others.iter().map(|&o| keys.signer(o as u16)).collect();
+                let self_signer = keys.signer(i as u16);
+                let mut chain_signers = vec![&partner_signer];
+                chain_signers.extend(other_signers.iter());
+                chain_signers.push(&self_signer);
+                Participant::LateReveal(LateRevealNode::new(node, proof, &chain_signers))
+            }
+            Some(ByzantineBehavior::Equivocate { victims }) => {
+                Participant::Equivocator(EquivocatorNode::new(node, victims.clone()))
+            }
+        }
+    }
+
+    /// The scenario's key-universe seed.
+    pub(crate) fn key_seed(&self) -> u64 {
+        self.key_seed
+    }
+
+    /// In-place seed override — lets a multi-epoch simulation re-seed one
+    /// working clone per session instead of deep-cloning the topology and
+    /// cast every epoch.
+    pub(crate) fn set_key_seed(&mut self, seed: u64) {
+        self.key_seed = seed;
     }
 
     /// Executes the propagation rounds on the chosen runtime, returning the
     /// final participants and traffic metrics — the one place all runtime
-    /// dispatch happens.
-    fn propagate(&self, runtime: Runtime) -> (Vec<Participant>, Metrics) {
-        let participants = self.build_participants();
+    /// dispatch happens. Every committed round is reported to `sink`, in
+    /// the canonical order of `docs/DETERMINISM.md`, identically on all
+    /// four engines.
+    pub(crate) fn propagate(
+        &self,
+        runtime: Runtime,
+        sink: &mut dyn RoundSink,
+    ) -> (Vec<Participant>, Metrics) {
+        let participants = self.build_participants_with(runtime.decision_workers());
         let rounds = self.config.effective_rounds();
         match runtime {
             Runtime::Sync => {
                 let mut net = SyncNetwork::new(participants, self.topology.clone());
-                net.run_rounds(rounds);
+                net.run_rounds_with(rounds, sink);
                 net.into_parts()
             }
-            Runtime::Threaded => nectar_net::run_threaded(participants, &self.topology, rounds),
-            Runtime::Event => nectar_net::run_event_driven(participants, &self.topology, rounds),
+            Runtime::Threaded => {
+                nectar_net::run_threaded_with(participants, &self.topology, rounds, sink)
+            }
+            Runtime::Event => {
+                nectar_net::run_event_driven_with(participants, &self.topology, rounds, sink)
+            }
             Runtime::Parallel { workers } => {
-                nectar_net::run_parallel(participants, &self.topology, rounds, workers)
+                nectar_net::run_parallel_with(participants, &self.topology, rounds, workers, sink)
             }
         }
     }
 
     /// Runs the scenario on the deterministic synchronous engine.
+    #[deprecated(note = "use `scenario.sim().run()` — see docs/DETERMINISM.md for the migration")]
     pub fn run(&self) -> Outcome {
-        self.run_with_oracle(&mut ConnectivityOracle::new())
+        self.sim().run().into_outcome()
     }
 
     /// Runs the scenario with a caller-supplied [`ConnectivityOracle`], so
     /// repeated executions — epoch monitoring, experiment sweeps over the
     /// same topology — share cached verdicts across runs. The returned
     /// [`Outcome::oracle`] counters cover this run only.
+    #[deprecated(note = "use `scenario.sim().oracle(&mut oracle).run()`")]
     pub fn run_with_oracle(&self, oracle: &mut ConnectivityOracle) -> Outcome {
-        self.run_on_with_oracle(Runtime::Sync, oracle)
+        self.sim().oracle(oracle).run().into_outcome()
     }
 
     /// Runs the scenario on the named [`Runtime`].
+    #[deprecated(note = "use `scenario.sim().runtime(runtime).run()`")]
     pub fn run_on(&self, runtime: Runtime) -> Outcome {
-        self.run_on_with_oracle(runtime, &mut ConnectivityOracle::new())
+        self.sim().runtime(runtime).run().into_outcome()
     }
 
     /// [`run_on`](Self::run_on) with a caller-supplied oracle.
+    #[deprecated(note = "use `scenario.sim().runtime(runtime).oracle(&mut oracle).run()`")]
     pub fn run_on_with_oracle(&self, runtime: Runtime, oracle: &mut ConnectivityOracle) -> Outcome {
-        let (participants, metrics) = self.propagate(runtime);
-        self.collect(participants, metrics, oracle, runtime.decision_workers())
+        self.sim().runtime(runtime).oracle(oracle).run().into_outcome()
     }
 
     /// Runs the scenario and returns only the traffic metrics, skipping the
-    /// decision phase. The cost figures (Figs. 3–7) measure dissemination
-    /// traffic only, and skipping `n` vertex-connectivity computations keeps
-    /// large sweeps fast.
+    /// decision phase.
+    #[deprecated(note = "use `scenario.sim().metrics_only().run()`")]
     pub fn run_metrics_only(&self) -> Metrics {
-        self.run_metrics_only_on(Runtime::Sync)
+        self.sim().metrics_only().run().into_metrics()
     }
 
-    /// [`run_metrics_only`](Self::run_metrics_only) on the named runtime —
-    /// the large-n cost sweeps use [`Runtime::Event`], whose quiescence
-    /// scheduling makes thousand-node dissemination measurements feasible.
+    /// [`run_metrics_only`](Self::run_metrics_only) on the named runtime.
+    #[deprecated(note = "use `scenario.sim().runtime(runtime).metrics_only().run()`")]
     pub fn run_metrics_only_on(&self, runtime: Runtime) -> Metrics {
-        self.propagate(runtime).1
+        self.sim().runtime(runtime).metrics_only().run().into_metrics()
     }
 
     /// Runs the scenario and returns the raw participants (with their full
-    /// protocol state) instead of summarized decisions — for tests and
-    /// experiments that inspect per-node views.
+    /// protocol state) instead of summarized decisions.
+    #[deprecated(note = "use `scenario.sim().participants()`")]
     pub fn run_participants(&self) -> Vec<Participant> {
-        self.propagate(Runtime::Sync).0
+        self.sim().participants()
     }
 
     /// Runs the scenario on the thread-per-node runtime (same results, real
     /// concurrency).
+    #[deprecated(note = "use `scenario.sim().runtime(Runtime::Threaded).run()`")]
     pub fn run_threaded(&self) -> Outcome {
-        self.run_on(Runtime::Threaded)
+        self.sim().runtime(Runtime::Threaded).run().into_outcome()
     }
 
     /// [`run_threaded`](Self::run_threaded) with a caller-supplied oracle.
+    #[deprecated(
+        note = "use `scenario.sim().runtime(Runtime::Threaded).oracle(&mut oracle).run()`"
+    )]
     pub fn run_threaded_with_oracle(&self, oracle: &mut ConnectivityOracle) -> Outcome {
-        self.run_on_with_oracle(Runtime::Threaded, oracle)
+        self.sim().runtime(Runtime::Threaded).oracle(oracle).run().into_outcome()
     }
 
     /// Runs the scenario on the event-driven runtime — the engine for
     /// topologies far beyond thread-per-node scale (10k+ nodes in one
-    /// process), with outcomes bit-identical to [`run`](Self::run).
+    /// process), with outcomes bit-identical to the sync engine's.
+    #[deprecated(note = "use `scenario.sim().runtime(Runtime::Event).run()`")]
     pub fn run_event_driven(&self) -> Outcome {
-        self.run_on(Runtime::Event)
+        self.sim().runtime(Runtime::Event).run().into_outcome()
     }
 
     /// [`run_event_driven`](Self::run_event_driven) with a caller-supplied
     /// oracle.
+    #[deprecated(note = "use `scenario.sim().runtime(Runtime::Event).oracle(&mut oracle).run()`")]
     pub fn run_event_driven_with_oracle(&self, oracle: &mut ConnectivityOracle) -> Outcome {
-        self.run_on_with_oracle(Runtime::Event, oracle)
+        self.sim().runtime(Runtime::Event).oracle(oracle).run().into_outcome()
     }
 
-    fn collect(
+    /// The decision phase: groups the surviving participants' views into
+    /// classes (Lemma 2), answers each class's `κ ≤ t` question through the
+    /// oracle, and emits every correct node's decision — in ascending node
+    /// order, reporting each to `on_decided` as it commits (the per-node
+    /// stream behind [`RunObserver::node_decided`](crate::sim::RunObserver)).
+    /// Returns the decisions plus this run's share of the oracle counters.
+    pub(crate) fn collect(
         &self,
         participants: Vec<Participant>,
-        metrics: Metrics,
         oracle: &mut ConnectivityOracle,
         workers: usize,
-    ) -> Outcome {
+        mut on_decided: impl FnMut(NodeId, &Decision),
+    ) -> (BTreeMap<NodeId, Decision>, OracleStats) {
         let byzantine = self.byzantine_nodes();
         let before = *oracle.stats();
         let n = self.config.n;
@@ -452,31 +506,24 @@ impl Scenario {
         // Stage 5 (sequential): per-node decisions in node order, each
         // issuing its own oracle query. The lazy fallback covers the rare
         // case where the bounded verdict cache flushed between the stage-4
-        // peek and this query.
-        let decisions = correct
-            .iter()
-            .zip(&node_class)
-            .map(|(node, &c)| {
-                let class = &mut classes[c];
-                let answer = match oracle.cached_answer(class.fingerprint, t) {
-                    Some(answer) => answer,
-                    None => {
-                        let graph =
-                            class.graph.get_or_insert_with(|| view_graph(&class_keys[c], n));
-                        oracle.answer_fingerprinted(class.fingerprint, graph, t)
-                    }
-                };
-                let reachable = class.component_size.get(&node.node_id()).copied().unwrap_or(1);
-                (node.node_id(), Decision::from_view(n, t, reachable, answer.kappa.report()))
-            })
-            .collect();
-        Outcome {
-            decisions,
-            metrics,
-            byzantine,
-            topology: self.topology.clone(),
-            oracle: oracle.stats().since(&before),
+        // peek and this query. This per-node order is the canonical
+        // decision-commit order every observer stream reproduces.
+        let mut decisions = BTreeMap::new();
+        for (node, &c) in correct.iter().zip(&node_class) {
+            let class = &mut classes[c];
+            let answer = match oracle.cached_answer(class.fingerprint, t) {
+                Some(answer) => answer,
+                None => {
+                    let graph = class.graph.get_or_insert_with(|| view_graph(&class_keys[c], n));
+                    oracle.answer_fingerprinted(class.fingerprint, graph, t)
+                }
+            };
+            let reachable = class.component_size.get(&node.node_id()).copied().unwrap_or(1);
+            let decision = Decision::from_view(n, t, reachable, answer.kappa.report());
+            on_decided(node.node_id(), &decision);
+            decisions.insert(node.node_id(), decision);
         }
+        (decisions, oracle.stats().since(&before))
     }
 }
 
@@ -618,29 +665,29 @@ mod tests {
 
     #[test]
     fn clean_ring_reaches_unanimous_not_partitionable() {
-        let out = Scenario::new(gen::cycle(6), 1).run();
+        let out = Scenario::new(gen::cycle(6), 1).sim().run();
         assert!(out.agreement());
         assert_eq!(out.unanimous_verdict(), Some(Verdict::NotPartitionable));
-        assert_eq!(out.decisions.len(), 6);
+        assert_eq!(out.decisions().len(), 6);
     }
 
     #[test]
     fn threaded_run_matches_sync_run() {
         let scenario = Scenario::new(gen::harary(4, 10).unwrap(), 2).with_key_seed(5);
-        let a = scenario.run();
-        let b = scenario.run_threaded();
-        assert_eq!(a.decisions, b.decisions);
-        assert_eq!(a.metrics, b.metrics);
+        let a = scenario.sim().run();
+        let b = scenario.sim().runtime(Runtime::Threaded).run();
+        assert_eq!(a.decisions(), b.decisions());
+        assert_eq!(a.metrics(), b.metrics());
     }
 
     #[test]
     fn event_driven_run_matches_sync_run() {
         let scenario = Scenario::new(gen::harary(4, 10).unwrap(), 2).with_key_seed(5);
-        let a = scenario.run();
-        let b = scenario.run_event_driven();
-        assert_eq!(a.decisions, b.decisions);
-        assert_eq!(a.metrics, b.metrics);
-        assert_eq!(a.oracle, b.oracle);
+        let a = scenario.sim().run();
+        let b = scenario.sim().runtime(Runtime::Event).run();
+        assert_eq!(a.decisions(), b.decisions());
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.oracle(), b.oracle());
     }
 
     #[test]
@@ -653,10 +700,10 @@ mod tests {
                 .with_byzantine(1, ByzantineBehavior::Silent)
                 .with_key_seed(9)
         };
-        let a = build().run();
-        let b = build().run_event_driven();
-        assert_eq!(a.decisions, b.decisions);
-        assert_eq!(a.metrics, b.metrics);
+        let a = build().sim().run();
+        let b = build().sim().runtime(Runtime::Event).run();
+        assert_eq!(a.decisions(), b.decisions());
+        assert_eq!(a.metrics(), b.metrics());
     }
 
     #[test]
@@ -676,12 +723,12 @@ mod tests {
         let scenario = Scenario::new(gen::harary(4, 12).unwrap(), 2)
             .with_byzantine(2, ByzantineBehavior::TwoFaced { silent_toward: [7, 8].into() })
             .with_key_seed(5);
-        let a = scenario.run();
+        let a = scenario.sim().run();
         for workers in [0, 1, 2, 5] {
-            let b = scenario.run_on(Runtime::Parallel { workers });
-            assert_eq!(a.decisions, b.decisions, "{workers} workers");
-            assert_eq!(a.metrics, b.metrics, "{workers} workers");
-            assert_eq!(a.oracle, b.oracle, "{workers} workers");
+            let b = scenario.sim().workers(workers).run();
+            assert_eq!(a.decisions(), b.decisions(), "{workers} workers");
+            assert_eq!(a.metrics(), b.metrics(), "{workers} workers");
+            assert_eq!(a.oracle(), b.oracle(), "{workers} workers");
         }
     }
 
@@ -696,10 +743,33 @@ mod tests {
                 .with_byzantine(1, ByzantineBehavior::Silent)
                 .with_key_seed(9)
         };
-        let a = build().run();
-        let b = build().run_on(Runtime::Parallel { workers: 3 });
-        assert_eq!(a.decisions, b.decisions);
-        assert_eq!(a.metrics, b.metrics);
+        let a = build().sim().run();
+        let b = build().sim().workers(3).run();
+        assert_eq!(a.decisions(), b.decisions());
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn participants_are_bit_identical_at_any_build_worker_count() {
+        // build_participants_with fans proof signing across the pool; the
+        // fan-out must never change what is built. Debug formatting covers
+        // every field of every participant (keys, proofs, wrappers), so
+        // equal strings mean bit-identical construction.
+        let scenario = Scenario::new(gen::harary(4, 40).unwrap(), 2)
+            .with_byzantine(2, ByzantineBehavior::TwoFaced { silent_toward: [7, 8].into() })
+            .with_byzantine(9, ByzantineBehavior::LateReveal { partner: 2, others: vec![] })
+            .with_key_seed(11);
+        let reference: Vec<String> =
+            scenario.build_participants().iter().map(|p| format!("{p:?}")).collect();
+        assert_eq!(reference.len(), 40);
+        for workers in [0, 2, 3, 7] {
+            let built: Vec<String> = scenario
+                .build_participants_with(workers)
+                .iter()
+                .map(|p| format!("{p:?}"))
+                .collect();
+            assert_eq!(built, reference, "{workers} workers");
+        }
     }
 
     #[test]
@@ -710,6 +780,7 @@ mod tests {
         let out = Scenario::new(g, 2)
             .with_byzantine(3, ByzantineBehavior::Silent)
             .with_byzantine(7, ByzantineBehavior::Silent)
+            .sim()
             .run();
         assert!(out.agreement());
         assert_eq!(out.unanimous_verdict(), Some(Verdict::NotPartitionable));
@@ -718,12 +789,13 @@ mod tests {
     #[test]
     fn star_hub_byzantine_is_detected_as_partitionable() {
         // Fig. 1b: the hub is a cut vertex; κ = 1 ≤ t.
-        let out = Scenario::new(gen::star(6), 1).with_byzantine(0, ByzantineBehavior::Silent).run();
+        let out =
+            Scenario::new(gen::star(6), 1).with_byzantine(0, ByzantineBehavior::Silent).sim().run();
         assert!(out.agreement());
         assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
         // The hub's silence means leaves saw nothing beyond themselves:
         // everyone confirms a real partition.
-        assert!(out.decisions.values().all(|d| d.confirmed));
+        assert!(out.decisions().values().all(|d| d.confirmed));
         assert!(out.byzantine_cast_is_vertex_cut());
     }
 
@@ -736,15 +808,15 @@ mod tests {
             .with_byzantine(2, ByzantineBehavior::TwoFaced { silent_toward: [7, 8].into() })
             .with_byzantine(9, ByzantineBehavior::Silent)
             .with_key_seed(3);
-        let out = scenario.run();
-        let participants = scenario.run_participants();
+        let out = scenario.sim().run();
+        let participants = scenario.sim().participants();
         let mut oracle = ConnectivityOracle::new();
         for p in participants.iter().filter(|p| p.is_correct()) {
             let expected = p.nectar().decide_with(&mut oracle);
-            assert_eq!(out.decisions[&p.nectar().node_id()], expected);
+            assert_eq!(out.decisions()[&p.nectar().node_id()], expected);
         }
-        assert_eq!(out.oracle.queries, oracle.stats().queries);
-        assert_eq!(out.oracle.cache_hits, oracle.stats().cache_hits);
+        assert_eq!(out.oracle().queries, oracle.stats().queries);
+        assert_eq!(out.oracle().cache_hits, oracle.stats().cache_hits);
     }
 
     #[test]
@@ -752,28 +824,40 @@ mod tests {
         // Clean ring: all 6 correct views are identical (Lemma 2), so the
         // decision phase pays for one connectivity query and hits the cache
         // five times.
-        let out = Scenario::new(gen::cycle(6), 1).run();
-        assert_eq!(out.oracle.queries, 6);
-        assert_eq!(out.oracle.cache_hits, 5);
-    }
-
-    #[test]
-    fn shared_oracle_carries_verdicts_across_runs() {
-        let scenario = Scenario::new(gen::cycle(6), 1);
-        let mut oracle = nectar_graph::ConnectivityOracle::new();
-        let first = scenario.run_with_oracle(&mut oracle);
-        let second = scenario.run_with_oracle(&mut oracle);
-        assert_eq!(first.decisions, second.decisions);
-        // Per-run deltas: the second run answers every query from cache.
-        assert_eq!(second.oracle.cache_hits, second.oracle.queries);
-        assert_eq!(second.oracle.bounded_flows, 0);
+        let out = Scenario::new(gen::cycle(6), 1).sim().run();
+        assert_eq!(out.oracle().queries, 6);
+        assert_eq!(out.oracle().cache_hits, 5);
     }
 
     #[test]
     fn success_rate_counts_expected_verdicts() {
-        let out = Scenario::new(gen::cycle(5), 1).run();
+        let out = Scenario::new(gen::cycle(5), 1).sim().run();
         assert_eq!(out.success_rate(Verdict::NotPartitionable), 1.0);
         assert_eq!(out.success_rate(Verdict::Partitionable), 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_reproduce_the_builder() {
+        // The legacy run_* surface survives one release as thin shims; each
+        // must keep returning exactly what the builder produces.
+        let scenario = Scenario::new(gen::harary(4, 10).unwrap(), 2)
+            .with_byzantine(3, ByzantineBehavior::Silent)
+            .with_key_seed(5);
+        let reference = scenario.sim().run();
+        let legacy = scenario.run();
+        assert_eq!(&legacy.decisions, reference.decisions());
+        assert_eq!(&legacy.metrics, reference.metrics());
+        assert_eq!(&legacy.oracle, reference.oracle());
+        assert_eq!(legacy.byzantine, reference.byzantine);
+        let threaded = scenario.run_threaded();
+        assert_eq!(&threaded.decisions, reference.decisions());
+        let metrics = scenario.run_metrics_only();
+        assert_eq!(&metrics, reference.metrics());
+        let mut oracle = ConnectivityOracle::new();
+        let with_oracle = scenario.run_with_oracle(&mut oracle);
+        assert_eq!(&with_oracle.decisions, reference.decisions());
+        assert_eq!(scenario.run_participants().len(), 10);
     }
 
     #[test]
@@ -781,6 +865,7 @@ mod tests {
     fn fictitious_edges_require_byzantine_partner() {
         let _ = Scenario::new(gen::cycle(5), 1)
             .with_byzantine(0, ByzantineBehavior::FictitiousEdges { partners: vec![2] })
+            .sim()
             .run();
     }
 }

@@ -1,0 +1,391 @@
+//! The one way to execute a scenario: the [`Simulation`] builder.
+//!
+//! Eleven `run_*` entry points used to cover the runtime × oracle ×
+//! metrics-only surface of [`Scenario`]; every new execution axis (worker
+//! pools, epochs, future sharding) multiplied that surface again. The
+//! builder collapses them into a single session API:
+//!
+//! ```
+//! use nectar_protocol::{Runtime, Scenario};
+//!
+//! let report = Scenario::new(nectar_graph::gen::cycle(8), 1)
+//!     .sim()
+//!     .runtime(Runtime::Event)
+//!     .epochs(2)
+//!     .run();
+//! assert!(report.agreement());
+//! assert_eq!(report.epochs.len(), 2);
+//! ```
+//!
+//! [`Simulation::run`] finishes in a [`RunReport`] — the persisted session
+//! result, serializable to JSON, CSV and the binary codec (see
+//! [`crate::report`]). A [`RunObserver`] can watch the execution *stream*:
+//! every committed round, every per-node verdict and every closed epoch, in
+//! the canonical commit order of `docs/DETERMINISM.md`, identically on all
+//! four engines — the per-node decision granularity distributed-detection
+//! analyses (Kailkhura et al.) treat as the primary experimental output.
+
+use std::collections::BTreeMap;
+
+use nectar_graph::{ConnectivityOracle, OracleStats};
+use nectar_net::{NodeId, RoundSink};
+
+use crate::byzantine::Participant;
+use crate::config::Decision;
+use crate::report::{EpochOutcome, RunReport};
+use crate::runner::{Runtime, Scenario};
+
+/// Streaming hooks fed from every engine while a [`Simulation`] runs.
+///
+/// All hooks fire in the canonical commit order of `docs/DETERMINISM.md`,
+/// so the observed stream is bit-identical across the four runtimes and any
+/// worker count: per epoch, `round_committed` fires once per round of the
+/// horizon in ascending round order (rounds an engine skipped as provably
+/// silent included), then `node_decided` fires once per correct node in
+/// ascending node order, then `epoch_closed` fires once. Every hook
+/// defaults to a no-op, so an observer implements only what it watches.
+pub trait RunObserver {
+    /// Round `round` (1-based) of epoch `epoch` committed, carrying `bytes`
+    /// of traffic.
+    fn round_committed(&mut self, epoch: usize, round: usize, bytes: u64) {
+        let _ = (epoch, round, bytes);
+    }
+
+    /// Correct node `node` decided `decision` during epoch `epoch` (never
+    /// fires on metrics-only runs).
+    fn node_decided(&mut self, epoch: usize, node: NodeId, decision: &Decision) {
+        let _ = (epoch, node, decision);
+    }
+
+    /// Epoch `epoch` finished with `outcome` (fired before the outcome is
+    /// folded into the final [`RunReport`]).
+    fn epoch_closed(&mut self, epoch: usize, outcome: &EpochOutcome) {
+        let _ = (epoch, outcome);
+    }
+}
+
+/// Adapts the engines' [`RoundSink`] barrier stream to a [`RunObserver`],
+/// stamping the current epoch onto each committed round.
+struct EpochSink<'s, 'a> {
+    observer: &'s mut Option<&'a mut dyn RunObserver>,
+    epoch: usize,
+}
+
+impl RoundSink for EpochSink<'_, '_> {
+    fn round_committed(&mut self, round: usize, bytes: u64) {
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer.round_committed(self.epoch, round, bytes);
+        }
+    }
+}
+
+/// A configured-but-not-yet-executed session over one [`Scenario`]:
+/// runtime, worker pool, shared oracle, epoch count, observers. Finish with
+/// [`run`](Simulation::run) (→ [`RunReport`]) or
+/// [`participants`](Simulation::participants) (→ raw protocol state).
+///
+/// This builder is the seam every future execution axis plugs into
+/// (`docs/DETERMINISM.md` has the new-axis checklist): an axis becomes one
+/// method here instead of another `run_*` generation.
+pub struct Simulation<'a> {
+    scenario: &'a Scenario,
+    runtime: Runtime,
+    oracle: Option<&'a mut ConnectivityOracle>,
+    metrics_only: bool,
+    epochs: usize,
+    observer: Option<&'a mut dyn RunObserver>,
+}
+
+impl Scenario {
+    /// Starts a [`Simulation`] over this scenario: sync runtime, private
+    /// oracle, one epoch, full decision phase, no observer.
+    pub fn sim(&self) -> Simulation<'_> {
+        Simulation {
+            scenario: self,
+            runtime: Runtime::Sync,
+            oracle: None,
+            metrics_only: false,
+            epochs: 1,
+            observer: None,
+        }
+    }
+}
+
+impl<'a> Simulation<'a> {
+    /// Selects the engine executing the propagation rounds (default
+    /// [`Runtime::Sync`]). Results are bit-identical on all four; only
+    /// wall-clock differs.
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Shorthand for [`runtime`](Self::runtime)`(Runtime::Parallel {
+    /// workers })`: the work-stealing engine with a pool of `workers`
+    /// threads (`0` = match the machine). The worker count never affects
+    /// results.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.runtime = Runtime::Parallel { workers };
+        self
+    }
+
+    /// Shares a caller-supplied [`ConnectivityOracle`], so repeated
+    /// sessions over the same topology — epoch monitoring, experiment
+    /// sweeps — answer their decision phases from cached verdicts. The
+    /// per-epoch [`EpochOutcome::oracle`] counters cover each epoch only.
+    pub fn oracle(mut self, oracle: &'a mut ConnectivityOracle) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Skips the decision phase: the report carries traffic metrics only
+    /// (empty decisions, zero oracle counters). The cost figures
+    /// (Figs. 3–7) measure dissemination traffic alone, and skipping the
+    /// per-view connectivity work keeps large sweeps fast.
+    pub fn metrics_only(mut self) -> Self {
+        self.metrics_only = true;
+        self
+    }
+
+    /// Runs `epochs` monitoring epochs over the same topology: epoch `e`
+    /// uses key seed `base + e` (fresh keys per epoch, the
+    /// footnote-2 deployment pattern), and all epochs share one oracle so
+    /// unchanged topologies decide from cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        assert!(epochs >= 1, "a simulation runs at least one epoch");
+        self.epochs = epochs;
+        self
+    }
+
+    /// Streams the execution through `observer` (see [`RunObserver`] for
+    /// the hook order contract).
+    pub fn observe(mut self, observer: &'a mut dyn RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Executes the session and returns its [`RunReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `FictitiousEdges` / `LateReveal` behaviour names
+    /// non-Byzantine accomplices.
+    pub fn run(self) -> RunReport {
+        let Simulation { scenario, runtime, oracle, metrics_only, epochs, mut observer } = self;
+        let mut own_oracle = ConnectivityOracle::new();
+        let oracle = match oracle {
+            Some(shared) => shared,
+            None => &mut own_oracle,
+        };
+        let base_seed = scenario.key_seed();
+        let mut epoch_outcomes = Vec::with_capacity(epochs);
+        // One working clone serves every epoch after the first (re-seeded
+        // in place): epochs differ only in their key seed, and a deep
+        // topology + cast clone per epoch would be pure waste at fleet
+        // sizes.
+        let mut reseeded: Option<Scenario> = None;
+        for epoch in 0..epochs {
+            let key_seed = base_seed + epoch as u64;
+            let sc: &Scenario = if epoch == 0 {
+                scenario
+            } else {
+                let working = reseeded.get_or_insert_with(|| scenario.clone());
+                working.set_key_seed(key_seed);
+                working
+            };
+            let mut sink = EpochSink { observer: &mut observer, epoch };
+            let (participants, metrics) = sc.propagate(runtime, &mut sink);
+            let (decisions, oracle_stats) = if metrics_only {
+                (BTreeMap::new(), OracleStats::default())
+            } else {
+                let decided = &mut observer;
+                sc.collect(participants, oracle, runtime.decision_workers(), |node, decision| {
+                    if let Some(observer) = decided.as_deref_mut() {
+                        observer.node_decided(epoch, node, decision);
+                    }
+                })
+            };
+            let outcome =
+                EpochOutcome { epoch, key_seed, decisions, metrics, oracle: oracle_stats };
+            if let Some(observer) = observer.as_deref_mut() {
+                observer.epoch_closed(epoch, &outcome);
+            }
+            epoch_outcomes.push(outcome);
+        }
+        RunReport {
+            runtime,
+            n: scenario.config().n,
+            t: scenario.config().t,
+            key_seed: base_seed,
+            byzantine: scenario.byzantine_nodes(),
+            // Cloned even for metrics-only sessions, so every report is
+            // self-contained (ground-truth helpers, full-fidelity
+            // persistence). One O(n + m) clone per session; measured
+            // invisible next to the run itself even on the 50 000-node
+            // bench tiers.
+            topology: scenario.topology().clone(),
+            epochs: epoch_outcomes,
+        }
+    }
+
+    /// Executes the propagation rounds only and returns the raw
+    /// participants (full protocol state, in node order) — for tests and
+    /// experiments that inspect per-node views. Honors the configured
+    /// runtime and observer (`round_committed` fires; there is no decision
+    /// phase); the oracle, epoch count and metrics-only settings do not
+    /// apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `FictitiousEdges` / `LateReveal` behaviour names
+    /// non-Byzantine accomplices.
+    pub fn participants(self) -> Vec<Participant> {
+        let mut observer = self.observer;
+        let mut sink = EpochSink { observer: &mut observer, epoch: 0 };
+        self.scenario.propagate(self.runtime, &mut sink).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::ByzantineBehavior;
+    use crate::config::Verdict;
+    use nectar_graph::gen;
+
+    #[test]
+    fn builder_defaults_match_the_sync_engine() {
+        let report = Scenario::new(gen::cycle(6), 1).sim().run();
+        assert_eq!(report.runtime, Runtime::Sync);
+        assert_eq!(report.epochs.len(), 1);
+        assert_eq!(report.decisions().len(), 6);
+        assert!(report.agreement());
+        assert_eq!(report.unanimous_verdict(), Some(Verdict::NotPartitionable));
+    }
+
+    #[test]
+    fn builder_reports_byzantine_cast_and_ground_truth() {
+        let report =
+            Scenario::new(gen::star(6), 1).with_byzantine(0, ByzantineBehavior::Silent).sim().run();
+        assert_eq!(report.unanimous_verdict(), Some(Verdict::Partitionable));
+        assert!(report.byzantine.contains(&0));
+        assert!(report.byzantine_cast_is_vertex_cut());
+        assert_eq!(report.true_connectivity(), 1);
+    }
+
+    #[test]
+    fn metrics_only_skips_the_decision_phase() {
+        let report = Scenario::new(gen::cycle(6), 1).sim().metrics_only().run();
+        assert!(report.decisions().is_empty());
+        assert_eq!(report.oracle().queries, 0);
+        assert!(report.metrics().total_bytes_sent() > 0);
+    }
+
+    #[test]
+    fn epochs_share_the_session_oracle() {
+        let report = Scenario::new(gen::cycle(8), 1).sim().epochs(3).run();
+        assert_eq!(report.epochs.len(), 3);
+        // Epoch 0 pays the one real query; later epochs decide from cache.
+        assert_eq!(report.epochs[0].oracle.cache_hits, 7);
+        for epoch in &report.epochs[1..] {
+            assert_eq!(epoch.oracle.cache_hits, epoch.oracle.queries);
+            assert_eq!(epoch.oracle.bounded_flows, 0);
+        }
+        // Fresh keys per epoch: seeds advance from the scenario's base.
+        assert_eq!(report.epochs[2].key_seed, report.key_seed + 2);
+    }
+
+    #[test]
+    fn external_oracle_carries_verdicts_across_sessions() {
+        let scenario = Scenario::new(gen::cycle(6), 1);
+        let mut oracle = ConnectivityOracle::new();
+        let first = scenario.sim().oracle(&mut oracle).run();
+        let second = scenario.sim().oracle(&mut oracle).run();
+        assert_eq!(first.decisions(), second.decisions());
+        assert_eq!(second.oracle().cache_hits, second.oracle().queries);
+    }
+
+    #[test]
+    fn workers_shorthand_selects_the_parallel_engine() {
+        let report = Scenario::new(gen::cycle(6), 1).sim().workers(2).run();
+        assert_eq!(report.runtime, Runtime::Parallel { workers: 2 });
+        let sync = Scenario::new(gen::cycle(6), 1).sim().run();
+        assert_eq!(report.decisions(), sync.decisions());
+        assert_eq!(report.metrics(), sync.metrics());
+    }
+
+    #[test]
+    fn participants_expose_raw_protocol_state() {
+        let participants = Scenario::new(gen::cycle(5), 1).sim().participants();
+        assert_eq!(participants.len(), 5);
+        for (i, p) in participants.iter().enumerate() {
+            assert_eq!(p.nectar().node_id(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_is_rejected() {
+        let _ = Scenario::new(gen::cycle(4), 1).sim().epochs(0);
+    }
+
+    /// Observer recording every hook invocation in order.
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<String>,
+    }
+
+    impl RunObserver for Recorder {
+        fn round_committed(&mut self, epoch: usize, round: usize, bytes: u64) {
+            self.events.push(format!("round {epoch}/{round}/{bytes}"));
+        }
+        fn node_decided(&mut self, epoch: usize, node: NodeId, decision: &Decision) {
+            self.events.push(format!("node {epoch}/{node}/{}", decision.verdict));
+        }
+        fn epoch_closed(&mut self, epoch: usize, outcome: &EpochOutcome) {
+            self.events.push(format!("epoch {epoch}/{}", outcome.decisions.len()));
+        }
+    }
+
+    #[test]
+    fn observer_sees_rounds_then_decisions_then_epoch_close() {
+        let mut recorder = Recorder::default();
+        let scenario = Scenario::new(gen::cycle(5), 1);
+        let report = scenario.sim().observe(&mut recorder).run();
+        let rounds = scenario.config().effective_rounds();
+        assert_eq!(recorder.events.len(), rounds + 5 + 1);
+        for (r, event) in recorder.events[..rounds].iter().enumerate() {
+            assert!(event.starts_with(&format!("round 0/{}/", r + 1)), "{event}");
+        }
+        for (i, event) in recorder.events[rounds..rounds + 5].iter().enumerate() {
+            assert_eq!(event, &format!("node 0/{i}/NOT_PARTITIONABLE"));
+        }
+        assert_eq!(recorder.events.last().unwrap(), "epoch 0/5");
+        // The streamed bytes add up to the report's total traffic.
+        let streamed: u64 = recorder.events[..rounds]
+            .iter()
+            .map(|e| e.rsplit('/').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(streamed, report.metrics().total_bytes_sent());
+    }
+
+    #[test]
+    fn observer_streams_are_identical_across_runtimes() {
+        let scenario = Scenario::new(gen::harary(4, 10).unwrap(), 2)
+            .with_byzantine(3, ByzantineBehavior::Silent)
+            .with_key_seed(7);
+        let record = |runtime: Runtime| {
+            let mut recorder = Recorder::default();
+            scenario.sim().runtime(runtime).observe(&mut recorder).run();
+            recorder.events
+        };
+        let reference = record(Runtime::Sync);
+        for runtime in [Runtime::Threaded, Runtime::Event, Runtime::Parallel { workers: 3 }] {
+            assert_eq!(record(runtime), reference, "{runtime} stream drifted");
+        }
+    }
+}

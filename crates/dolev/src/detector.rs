@@ -413,7 +413,8 @@ mod tests {
         let mut net = SyncNetwork::new(nodes, g.clone());
         net.run_rounds(cfg.rounds());
         let unsigned_msgs: u64 = net.metrics().msgs_sent().iter().sum();
-        let nectar_metrics = nectar_protocol::Scenario::new(g, 2).run_metrics_only();
+        let nectar_metrics =
+            nectar_protocol::Scenario::new(g, 2).sim().metrics_only().run().into_metrics();
         let nectar_msgs: u64 = nectar_metrics.msgs_sent().iter().sum();
         assert!(
             unsigned_msgs > 3 * nectar_msgs,

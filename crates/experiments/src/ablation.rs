@@ -53,8 +53,12 @@ pub fn wire_format_ablation(cfg: &WireFormatConfig) -> Table {
                 .map(|&n| {
                     let g = gen::harary(cfg.k, n).expect("k < n checked");
                     let config = NectarConfig::new(n, cfg.k / 2).with_wire_format(format);
-                    let metrics =
-                        Scenario::new(g, cfg.k / 2).with_config(config).run_metrics_only();
+                    let metrics = Scenario::new(g, cfg.k / 2)
+                        .with_config(config)
+                        .sim()
+                        .metrics_only()
+                        .run()
+                        .into_metrics();
                     Point {
                         x: n as f64,
                         mean: metrics.mean_bytes_sent_per_node() / 1024.0,
@@ -105,10 +109,10 @@ pub fn rounds_ablation(cfg: &RoundsConfig) -> Table {
     for rounds in 1..n {
         let config = NectarConfig::new(n, cfg.t).with_rounds(rounds);
         let scenario = Scenario::new(cfg.graph.clone(), cfg.t).with_config(config);
-        let out = scenario.run();
+        let out = scenario.sim().run();
         // Completeness: mean fraction of edges discovered across nodes.
         let mean_edges: f64 = out
-            .decisions
+            .decisions()
             .keys()
             .map(|_| 0.0) // decisions do not expose edge counts; recompute below
             .sum::<f64>();
@@ -118,7 +122,7 @@ pub fn rounds_ablation(cfg: &RoundsConfig) -> Table {
         completeness.points.push(Point { x: rounds as f64, mean: frac, ci95: 0.0 });
         cost.points.push(Point {
             x: rounds as f64,
-            mean: out.metrics.mean_bytes_sent_per_node() / 1024.0,
+            mean: out.metrics().mean_bytes_sent_per_node() / 1024.0,
             ci95: 0.0,
         });
     }
@@ -136,7 +140,7 @@ pub fn rounds_ablation(cfg: &RoundsConfig) -> Table {
 }
 
 fn completeness_fraction(scenario: &Scenario, total_edges: f64) -> f64 {
-    let participants = scenario.run_participants();
+    let participants = scenario.sim().participants();
     let n = participants.len() as f64;
     participants.iter().map(|p| p.nectar().known_edge_count() as f64 / total_edges).sum::<f64>() / n
 }

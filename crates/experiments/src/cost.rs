@@ -27,7 +27,7 @@ fn mix_seed(base: u64, a: u64, b: u64, c: u64) -> u64 {
 
 /// Mean kilobytes sent per node by one NECTAR execution on `g`.
 fn nectar_kb_per_node(g: &Graph, t: usize) -> f64 {
-    let metrics = Scenario::new(g.clone(), t).run_metrics_only();
+    let metrics = Scenario::new(g.clone(), t).sim().metrics_only().run().into_metrics();
     metrics.mean_bytes_sent_per_node() / 1024.0
 }
 
@@ -495,7 +495,7 @@ pub fn topology_quiescence(cfg: &TopologyCostConfig) -> Table {
         let mut per_msg = Series { label: format!("{name}: KB/message"), points: Vec::new() };
         for &n in &cfg.ns {
             let Some(g) = build(k, n) else { continue };
-            let metrics = Scenario::new(g, k / 2).run_metrics_only();
+            let metrics = Scenario::new(g, k / 2).sim().metrics_only().run().into_metrics();
             let rounds = metrics.bytes_per_round().iter().filter(|&&b| b > 0).count();
             let msgs: u64 = metrics.msgs_sent().iter().sum();
             let kb_per_msg = if msgs == 0 {
@@ -568,7 +568,12 @@ pub fn large_scale_cost(cfg: &LargeScaleConfig) -> Table {
                 .map(|&n| {
                     let g = gen::disjoint_cliques(n / size, size);
                     let t = (size / 2).max(1);
-                    let metrics = Scenario::new(g, t).run_metrics_only_on(cfg.runtime);
+                    let metrics = Scenario::new(g, t)
+                        .sim()
+                        .runtime(cfg.runtime)
+                        .metrics_only()
+                        .run()
+                        .into_metrics();
                     Point {
                         x: (n / size * size) as f64,
                         mean: metrics.mean_bytes_sent_per_node() / 1024.0,
@@ -609,7 +614,7 @@ pub fn per_node_disparity(cfg: &TopologyCostConfig) -> Table {
         let mut max_s = Series { label: format!("{name}: max KB"), points: Vec::new() };
         for &n in &cfg.ns {
             let Some(g) = build(k, n) else { continue };
-            let metrics = Scenario::new(g, k / 2).run_metrics_only();
+            let metrics = Scenario::new(g, k / 2).sim().metrics_only().run().into_metrics();
             let kb = |b: u64| b as f64 / 1024.0;
             let min = metrics.bytes_sent().iter().copied().min().unwrap_or(0);
             min_s.points.push(Point { x: n as f64, mean: kb(min), ci95: 0.0 });

@@ -66,7 +66,7 @@ fn mix(base: u64, a: u64, b: u64) -> u64 {
 fn nectar_bridge_run(cfg: &Fig8Config, t: usize, seed: u64) -> f64 {
     if t == 0 {
         let s = partitioned_with_insiders(cfg.n, 0, seed);
-        let out = Scenario::new(s.graph, 0).with_key_seed(seed).run();
+        let out = Scenario::new(s.graph, 0).with_key_seed(seed).sim().run();
         return out.success_rate(Verdict::Partitionable);
     }
     let s = bridged_partition(cfg.n, t, cfg.links_per_part, seed);
@@ -77,7 +77,7 @@ fn nectar_bridge_run(cfg: &Fig8Config, t: usize, seed: u64) -> f64 {
             ByzantineBehavior::TwoFaced { silent_toward: s.part_b.iter().copied().collect() },
         );
     }
-    scenario.run().success_rate(Verdict::Partitionable)
+    scenario.sim().run().success_rate(Verdict::Partitionable)
 }
 
 /// One MtGv2 bridge-attack run.
@@ -277,7 +277,7 @@ fn family_resilience(cfg: &TopologyResilienceConfig, family: &str, g: &Graph) ->
                     },
                 );
             }
-            let out = scenario.run_with_oracle(&mut oracle);
+            let out = scenario.sim().oracle(&mut oracle).run().into_outcome();
             nectar_samples.push(if nectar_spec_compliant_with(&mut oracle, &out, t) {
                 1.0
             } else {
@@ -405,8 +405,8 @@ pub fn clustered_resilience(cfg: &ClusteredResilienceConfig) -> Table {
                 for &b in &s.byzantine {
                     scenario = scenario.with_byzantine(b, ByzantineBehavior::Silent);
                 }
-                let out = scenario.run_on_with_oracle(cfg.runtime, &mut oracle);
-                debug_assert!(out.decisions.values().all(|d| d.confirmed));
+                let out = scenario.sim().runtime(cfg.runtime).oracle(&mut oracle).run();
+                debug_assert!(out.decisions().values().all(|d| d.confirmed));
                 out.success_rate(Verdict::Partitionable)
             })
             .collect();
@@ -468,7 +468,7 @@ mod tests {
     #[test]
     fn spec_compliance_accepts_clean_runs() {
         let g = gen::harary(4, 10).unwrap();
-        let out = Scenario::new(g, 2).run();
+        let out = Scenario::new(g, 2).sim().run().into_outcome();
         assert!(nectar_spec_compliant(&out, 2));
     }
 

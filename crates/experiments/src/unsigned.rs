@@ -48,7 +48,7 @@ pub fn unsigned_cost(cfg: &UnsignedCostConfig) -> Table {
             Ok(g) => g,
             Err(_) => continue,
         };
-        let nectar = Scenario::new(g.clone(), cfg.t).run_metrics_only();
+        let nectar = Scenario::new(g.clone(), cfg.t).sim().metrics_only().run().into_metrics();
         let ucfg = UnsignedConfig::new(n, cfg.t);
         let nodes: Vec<UnsignedNode> =
             (0..n).map(|i| UnsignedNode::new(i, ucfg, g.neighborhood(i))).collect();

@@ -6,8 +6,10 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-use nectar_graph::{connectivity, gen, traversal, ConnectivityOracle, Graph};
-use nectar_protocol::{ByzantineBehavior, Outcome, Runtime, Scenario, Verdict};
+use nectar_graph::{connectivity, gen, traversal, Graph};
+use nectar_protocol::{
+    ByzantineBehavior, Decision, EpochOutcome, RunObserver, Runtime, Scenario, Verdict,
+};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +57,11 @@ pub struct DetectArgs {
     /// Number of monitoring epochs to run (same topology, fresh keys per
     /// epoch, one shared connectivity oracle across all of them).
     pub epochs: usize,
+    /// Report every node's verdict (streamed through the `RunObserver`
+    /// hooks) instead of the epoch summaries.
+    pub per_node: bool,
+    /// Persist the full `RunReport` as JSON to this path.
+    pub report: Option<String>,
 }
 
 /// Usage text.
@@ -64,7 +71,8 @@ nectar-cli — Byzantine-resilient partition detection
 USAGE:
   nectar-cli detect --topology <family> --n <N> [--k <K>] [--t <T>]
              [--byz <node>:<behavior> ...] [--runtime <R>] [--workers <W>]
-             [--seed <S>] [--epochs <E>] [--json | --csv]
+             [--seed <S>] [--epochs <E>] [--per-node] [--report <path>]
+             [--json | --csv]
   nectar-cli families --k <K> --n <N> [--csv]
   nectar-cli help
 
@@ -87,9 +95,14 @@ OUTPUT:
   and connectivity-oracle statistics (cache hits, bounded flows, early
   exits); --csv emits the same per-epoch results as CSV rows with the
   header `epoch,verdict,confirmed,agreement,mean_kb_per_node,\
-oracle_queries,oracle_cache_hits`. For `families`, --csv emits
-  `family,nodes,edges,kappa,diameter`. --epochs E re-runs detection E
-  times on the same topology with fresh keys, sharing one oracle so
+oracle_queries,oracle_cache_hits`. --per-node switches both (and the
+  text form) to one row per correct node per epoch — streamed live from
+  the run's observer hooks — with the columns `epoch,node,verdict,\
+confirmed,reachable,connectivity`. --report <path> additionally persists
+  the complete RunReport (parameters, topology, per-epoch decisions,
+  traffic and oracle counters) as JSON to <path>. For `families`, --csv
+  emits `family,nodes,edges,kappa,diameter`. --epochs E re-runs detection
+  E times on the same topology with fresh keys, sharing one oracle so
   unchanged graphs decide from cache. (The experiment runners emit CSV
   too: `cargo run -p nectar-bench --bin figures` writes results/<id>.csv
   for every figure.)
@@ -109,6 +122,7 @@ EXAMPLES:
   nectar-cli detect --topology star --n 8 --t 1 --byz 0:two-faced@4-7
   nectar-cli detect --topology cliques --n 10000 --t 2 --runtime event
   nectar-cli detect --topology cliques --n 10000 --t 2 --runtime parallel --workers 4
+  nectar-cli detect --topology star --n 8 --t 1 --byz 0:silent --per-node --csv
   nectar-cli families --k 4 --n 24 --csv
 ";
 
@@ -147,14 +161,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 json: false,
                 csv: false,
                 epochs: 1,
+                per_node: false,
+                report: None,
             };
             let mut workers: Option<usize> = None;
             let rest: Vec<String> = it.cloned().collect();
-            parse_flags(&rest, &["--threaded", "--json", "--csv"], |flag, value| {
+            parse_flags(&rest, &["--threaded", "--json", "--csv", "--per-node"], |flag, value| {
                 match (flag, value) {
                     ("--threaded", _) => out.runtime = Runtime::Threaded,
                     ("--json", _) => out.json = true,
                     ("--csv", _) => out.csv = true,
+                    ("--per-node", _) => out.per_node = true,
+                    ("--report", Some(v)) => out.report = Some(v.into()),
                     ("--topology", Some(v)) => out.topology = v.into(),
                     ("--n", Some(v)) => set_usize(&mut out.n, v, "--n")?,
                     ("--k", Some(v)) => set_usize(&mut out.k, v, "--k")?,
@@ -369,33 +387,109 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     return Err(format!("byzantine node {node} out of range (n = {})", args.n));
                 }
             }
-            // One oracle across all epochs: the topology does not move
-            // between them, so epochs after the first decide from cache.
-            let mut oracle = ConnectivityOracle::new();
-            let outcomes: Vec<Outcome> = (0..args.epochs)
-                .map(|epoch| {
-                    let mut scenario = Scenario::new(graph.clone(), args.t)
-                        .with_key_seed(args.seed + epoch as u64);
-                    for (node, behavior) in &args.byzantine {
-                        scenario = scenario.with_byzantine(*node, behavior.clone());
-                    }
-                    scenario.run_on_with_oracle(args.runtime, &mut oracle)
-                })
-                .collect();
-            if args.json {
-                Ok(render_detect_json(&args, kappa, &outcomes))
+            let mut scenario = Scenario::new(graph, args.t).with_key_seed(args.seed);
+            for (node, behavior) in &args.byzantine {
+                scenario = scenario.with_byzantine(*node, behavior.clone());
+            }
+            // One session runs all epochs: the builder re-seeds the keys
+            // per epoch and shares one oracle, so epochs after the first
+            // decide from cache. Per-node rows are not read back off the
+            // report — they stream live through the observer hooks.
+            let mut stream = PerNodeStream::default();
+            let mut sim = scenario.sim().runtime(args.runtime).epochs(args.epochs);
+            if args.per_node {
+                sim = sim.observe(&mut stream);
+            }
+            let report = sim.run();
+            if let Some(path) = &args.report {
+                report.save_json(path).map_err(|e| format!("writing report {path}: {e}"))?;
+            }
+            if args.per_node {
+                Ok(render_per_node(&args, kappa, &stream.rows))
+            } else if args.json {
+                Ok(render_detect_json(&args, kappa, &report.epochs))
             } else if args.csv {
-                Ok(render_detect_csv(&outcomes))
+                Ok(render_detect_csv(&report.epochs))
             } else {
-                Ok(render_detect_text(&args, kappa, &outcomes))
+                Ok(render_detect_text(&args, kappa, &report.epochs))
             }
         }
     }
 }
 
+/// Collects the per-node verdict stream from the run's observer hooks —
+/// the `detect --per-node` data source (closing the "no machine-readable
+/// per-node decisions" gap).
+#[derive(Debug, Default)]
+struct PerNodeStream {
+    rows: Vec<(usize, usize, Decision)>,
+}
+
+impl RunObserver for PerNodeStream {
+    fn node_decided(&mut self, epoch: usize, node: usize, decision: &Decision) {
+        self.rows.push((epoch, node, *decision));
+    }
+}
+
+/// Renders the streamed per-node verdicts: CSV or JSON when requested,
+/// an aligned table otherwise. CSV rows come from the same formatter as
+/// `RunReport::to_csv`, so the stream stays parseable by
+/// `RunReport::decisions_from_csv`.
+fn render_per_node(args: &DetectArgs, kappa: usize, rows: &[(usize, usize, Decision)]) -> String {
+    let mut out = String::new();
+    if args.csv {
+        out.push_str(nectar_protocol::DECISIONS_CSV_HEADER);
+        out.push('\n');
+        for (epoch, node, d) in rows {
+            writeln!(out, "{}", nectar_protocol::decision_csv_row(*epoch, *node, d))
+                .expect("writing to String cannot fail");
+        }
+    } else if args.json {
+        writeln!(out, "{{").expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "  \"topology\": \"{}\", \"n\": {}, \"t\": {}, \"kappa\": {kappa},",
+            args.topology, args.n, args.t
+        )
+        .expect("writing to String cannot fail");
+        writeln!(out, "  \"per_node\": [").expect("writing to String cannot fail");
+        for (i, (epoch, node, d)) in rows.iter().enumerate() {
+            let sep = if i + 1 == rows.len() { "" } else { "," };
+            writeln!(
+                out,
+                "    {{\"epoch\": {epoch}, \"node\": {node}, \"verdict\": \"{}\", \
+                 \"confirmed\": {}, \"reachable\": {}, \"connectivity\": {}}}{sep}",
+                d.verdict, d.confirmed, d.reachable, d.connectivity
+            )
+            .expect("writing to String cannot fail");
+        }
+        writeln!(out, "  ]").expect("writing to String cannot fail");
+        writeln!(out, "}}").expect("writing to String cannot fail");
+    } else {
+        writeln!(
+            out,
+            "{:>5} {:>5} {:<18} {:>9} {:>9} {:>12}",
+            "epoch", "node", "verdict", "confirmed", "reachable", "connectivity"
+        )
+        .expect("writing to String cannot fail");
+        for (epoch, node, d) in rows {
+            writeln!(
+                out,
+                "{epoch:>5} {node:>5} {:<18} {:>9} {:>9} {:>12}",
+                d.verdict.to_string(),
+                d.confirmed,
+                d.reachable,
+                d.connectivity
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
 /// Human-readable `detect` report (epoch summaries after the first when
 /// `--epochs` exceeds 1).
-fn render_detect_text(args: &DetectArgs, kappa: usize, outcomes: &[Outcome]) -> String {
+fn render_detect_text(args: &DetectArgs, kappa: usize, outcomes: &[EpochOutcome]) -> String {
     let outcome = outcomes.last().expect("at least one epoch runs");
     let mut out = String::new();
     writeln!(out, "topology: {} (n = {}, κ = {kappa}), t = {}", args.topology, args.n, args.t)
@@ -410,7 +504,7 @@ fn render_detect_text(args: &DetectArgs, kappa: usize, outcomes: &[Outcome]) -> 
     }
     match outcome.unanimous_verdict() {
         Some(v) => {
-            let confirmed = outcome.decisions.values().any(|d| d.confirmed);
+            let confirmed = outcome.any_confirmed();
             writeln!(out, "verdict:  {v} (confirmed partition: {confirmed})")
                 .expect("writing to String cannot fail");
             if v == Verdict::Partitionable && kappa > args.t {
@@ -442,7 +536,7 @@ fn render_detect_text(args: &DetectArgs, kappa: usize, outcomes: &[Outcome]) -> 
 }
 
 /// CSV `detect` report: one row per epoch, columns documented in [`USAGE`].
-fn render_detect_csv(outcomes: &[Outcome]) -> String {
+fn render_detect_csv(outcomes: &[EpochOutcome]) -> String {
     let mut out = String::from(
         "epoch,verdict,confirmed,agreement,mean_kb_per_node,oracle_queries,oracle_cache_hits\n",
     );
@@ -451,7 +545,7 @@ fn render_detect_csv(outcomes: &[Outcome]) -> String {
             Some(v) => v.to_string(),
             None => "DISAGREEMENT".into(),
         };
-        let confirmed = outcome.decisions.values().any(|d| d.confirmed);
+        let confirmed = outcome.any_confirmed();
         writeln!(
             out,
             "{epoch},{verdict},{confirmed},{},{:.3},{},{}",
@@ -467,7 +561,7 @@ fn render_detect_csv(outcomes: &[Outcome]) -> String {
 
 /// Machine-readable `detect` report: run parameters, per-epoch verdicts and
 /// the per-epoch connectivity-oracle counters.
-fn render_detect_json(args: &DetectArgs, kappa: usize, outcomes: &[Outcome]) -> String {
+fn render_detect_json(args: &DetectArgs, kappa: usize, outcomes: &[EpochOutcome]) -> String {
     let mut out = String::new();
     let byz: Vec<String> = args.byzantine.iter().map(|(n, _)| n.to_string()).collect();
     writeln!(out, "{{").expect("writing to String cannot fail");
@@ -484,7 +578,7 @@ fn render_detect_json(args: &DetectArgs, kappa: usize, outcomes: &[Outcome]) -> 
             Some(v) => format!("\"{v}\""),
             None => "null".into(),
         };
-        let confirmed = outcome.decisions.values().any(|d| d.confirmed);
+        let confirmed = outcome.any_confirmed();
         let s = &outcome.oracle;
         let sep = if epoch + 1 == outcomes.len() { "" } else { "," };
         writeln!(
@@ -625,6 +719,75 @@ mod tests {
     #[test]
     fn json_and_csv_are_mutually_exclusive() {
         assert!(parse(&strs(&["detect", "--json", "--csv"])).is_err());
+    }
+
+    #[test]
+    fn per_node_csv_streams_one_row_per_correct_node() {
+        let cmd = parse(&strs(&[
+            "detect",
+            "--topology",
+            "star",
+            "--n",
+            "8",
+            "--t",
+            "1",
+            "--byz",
+            "0:silent",
+            "--per-node",
+            "--csv",
+        ]))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "epoch,node,verdict,confirmed,reachable,connectivity");
+        // 7 correct nodes (the hub is Byzantine), one epoch.
+        assert_eq!(lines.len(), 1 + 7);
+        // The silent hub leaves each leaf with only its own hub edge:
+        // r = 2 (itself + the hub it can prove), confirmed.
+        assert_eq!(lines[1], "0,1,PARTITIONABLE,true,2,0");
+        // Rows arrive in (epoch, node) order — the canonical decision order.
+        let nodes: Vec<usize> =
+            lines[1..].iter().map(|l| l.split(',').nth(1).unwrap().parse().unwrap()).collect();
+        assert_eq!(nodes, (1..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_node_json_and_text_cover_all_epochs() {
+        let base = ["detect", "--topology", "cycle", "--n", "6", "--epochs", "2", "--per-node"];
+        let mut json_args = base.to_vec();
+        json_args.push("--json");
+        let json = run(parse(&strs(&json_args)).unwrap()).unwrap();
+        assert!(json.contains("\"per_node\": ["), "{json}");
+        assert_eq!(json.matches("\"verdict\": \"NOT_PARTITIONABLE\"").count(), 12, "{json}");
+        assert!(json.contains("\"epoch\": 1, \"node\": 5"), "{json}");
+        let text = run(parse(&strs(&base)).unwrap()).unwrap();
+        assert!(text.lines().next().unwrap().contains("verdict"), "{text}");
+        assert_eq!(text.lines().count(), 1 + 12, "{text}");
+    }
+
+    #[test]
+    fn report_flag_persists_the_full_run_report() {
+        let path = std::env::temp_dir().join("nectar-cli-report-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let cmd = parse(&strs(&[
+            "detect",
+            "--topology",
+            "cycle",
+            "--n",
+            "6",
+            "--epochs",
+            "2",
+            "--report",
+            &path_str,
+        ]))
+        .unwrap();
+        let _ = run(cmd).unwrap();
+        let report = nectar_protocol::RunReport::load_json(&path).expect("persisted report loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.n, 6);
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(report.unanimous_verdict(), Some(Verdict::NotPartitionable));
+        assert_eq!(report.topology.edge_count(), 6);
     }
 
     #[test]

@@ -19,11 +19,12 @@
 //!
 //! // Build a topology, pick a Byzantine budget, run NECTAR.
 //! let graph = nectar::graph::gen::harary(4, 12)?;
-//! let outcome = Scenario::new(graph, 2)
+//! let report = Scenario::new(graph, 2)
 //!     .with_byzantine(5, ByzantineBehavior::Silent)
+//!     .sim()
 //!     .run();
-//! assert!(outcome.agreement());
-//! assert_eq!(outcome.unanimous_verdict(), Some(Verdict::NotPartitionable));
+//! assert!(report.agreement());
+//! assert_eq!(report.unanimous_verdict(), Some(Verdict::NotPartitionable));
 //! # Ok::<(), nectar::graph::GraphError>(())
 //! ```
 
@@ -58,7 +59,7 @@ pub mod prelude {
     pub use nectar_baselines::{BaselineVerdict, MtgBehavior, MtgConfig, MtgV2Behavior};
     pub use nectar_graph::{connectivity, gen, traversal, Graph};
     pub use nectar_protocol::{
-        ByzantineBehavior, Decision, EpochMonitor, NectarConfig, NectarNode, Outcome, Runtime,
-        Scenario, Verdict,
+        ByzantineBehavior, Decision, EpochMonitor, EpochOutcome, NectarConfig, NectarNode, Outcome,
+        RunObserver, RunReport, Runtime, Scenario, Simulation, Verdict,
     };
 }

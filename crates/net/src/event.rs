@@ -33,7 +33,7 @@ use std::collections::BinaryHeap;
 use nectar_graph::Graph;
 
 use crate::metrics::Metrics;
-use crate::process::{NodeId, Process, WireSized};
+use crate::process::{NodeId, Process, RoundSink, WireSized};
 
 /// What an event does when it surfaces from the queue. Declaration order is
 /// scheduling order within a round.
@@ -154,6 +154,16 @@ impl<P: Process> EventNetwork<P> {
     /// the loop ends as soon as the queue holds nothing but the epoch
     /// boundary, i.e. once every node has quiesced).
     pub fn run_rounds(&mut self, rounds: usize) {
+        self.run_rounds_with(rounds, &mut ());
+    }
+
+    /// [`run_rounds`](Self::run_rounds), reporting each committed round to
+    /// `sink`. A round is committed the moment the first event of a later
+    /// round surfaces (the heap is ordered, so nothing of the earlier round
+    /// can still be queued); rounds the quiescence scheduling skipped
+    /// entirely still fire, in order, with the zero traffic they carried —
+    /// so the sink stream is identical to [`crate::sync::SyncNetwork`]'s.
+    pub fn run_rounds_with<S: RoundSink + ?Sized>(&mut self, rounds: usize, sink: &mut S) {
         if rounds == 0 {
             return;
         }
@@ -166,8 +176,14 @@ impl<P: Process> EventNetwork<P> {
             seq: 0,
             msg: None,
         }));
+        // First round not yet reported to the sink.
+        let mut uncommitted = self.next_round;
         while let Some(Reverse(ev)) = self.queue.pop() {
             self.events_processed += 1;
+            while uncommitted < ev.round {
+                sink.round_committed(uncommitted, self.round_bytes(uncommitted));
+                uncommitted += 1;
+            }
             match ev.phase {
                 Phase::Send => self.fire_send(ev.round, ev.node),
                 Phase::Deliver => {
@@ -177,12 +193,20 @@ impl<P: Process> EventNetwork<P> {
                     self.schedule_send(ev.round + 1, ev.node);
                 }
                 Phase::EpochEnd => {
+                    // The boundary sorts after every send/delivery of the
+                    // horizon round, so the horizon commits here.
+                    sink.round_committed(horizon, self.round_bytes(horizon));
                     self.next_round = ev.round + 1;
                     return;
                 }
             }
         }
         unreachable!("the epoch-boundary event always surfaces");
+    }
+
+    /// Bytes committed during `round` (0 when the round carried nothing).
+    fn round_bytes(&self, round: usize) -> u64 {
+        self.metrics.bytes_per_round().get(round - 1).copied().unwrap_or(0)
     }
 
     /// Polls node `i` for round `round` and queues its deliveries.
@@ -283,8 +307,24 @@ pub fn run_event_driven<P: Process>(
     topology: &Graph,
     rounds: usize,
 ) -> (Vec<P>, Metrics) {
+    run_event_driven_with(processes, topology, rounds, &mut ())
+}
+
+/// [`run_event_driven`] with a [`RoundSink`] observing every committed
+/// round (skipped-as-silent rounds included).
+///
+/// # Panics
+///
+/// Panics unless `processes[i].id() == i` for every `i` and the process
+/// count equals the topology's node count.
+pub fn run_event_driven_with<P: Process, S: RoundSink + ?Sized>(
+    processes: Vec<P>,
+    topology: &Graph,
+    rounds: usize,
+    sink: &mut S,
+) -> (Vec<P>, Metrics) {
     let mut net = EventNetwork::new(processes, topology.clone());
-    net.run_rounds(rounds);
+    net.run_rounds_with(rounds, sink);
     net.into_parts()
 }
 

@@ -75,10 +75,12 @@ pub mod process;
 pub mod sync;
 pub mod threaded;
 
-pub use event::{run_event_driven, EventNetwork};
+pub use event::{run_event_driven, run_event_driven_with, EventNetwork};
 pub use fault::{ClosureFault, Crash, DropRandom, FaultModel, Faulty, TwoFaced};
 pub use metrics::Metrics;
-pub use parallel::{parallel_map, resolve_workers, run_parallel, ParallelNetwork};
-pub use process::{NodeId, Outgoing, Process, WireSized};
+pub use parallel::{
+    parallel_map, resolve_workers, run_parallel, run_parallel_with, ParallelNetwork,
+};
+pub use process::{NodeId, Outgoing, Process, RoundSink, WireSized};
 pub use sync::SyncNetwork;
-pub use threaded::run_threaded;
+pub use threaded::{run_threaded, run_threaded_with};

@@ -31,6 +31,37 @@ impl Metrics {
         }
     }
 
+    /// Reassembles counters from their raw parts — the constructor behind
+    /// deserialized run reports (`nectar_protocol`'s `RunReport` codec),
+    /// which must rebuild the exact counters a runtime recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the four per-node vectors have equal lengths.
+    pub fn from_parts(
+        bytes_sent: Vec<u64>,
+        msgs_sent: Vec<u64>,
+        bytes_received: Vec<u64>,
+        msgs_received: Vec<u64>,
+        bytes_per_round: Vec<u64>,
+        illegal_sends: u64,
+    ) -> Self {
+        assert!(
+            bytes_sent.len() == msgs_sent.len()
+                && bytes_sent.len() == bytes_received.len()
+                && bytes_sent.len() == msgs_received.len(),
+            "per-node counter vectors must cover the same system"
+        );
+        Metrics {
+            bytes_sent,
+            msgs_sent,
+            bytes_received,
+            msgs_received,
+            bytes_per_round,
+            illegal_sends,
+        }
+    }
+
     /// Records a successful transmission of `bytes` from `from` to `to`
     /// during `round` (1-based).
     pub fn record_send(&mut self, round: usize, from: usize, to: usize, bytes: usize) {

@@ -40,7 +40,7 @@ use parking_lot::Mutex;
 use nectar_graph::Graph;
 
 use crate::metrics::Metrics;
-use crate::process::{NodeId, Process, WireSized};
+use crate::process::{NodeId, Process, RoundSink, WireSized};
 
 /// Resolves a requested worker count: `0` means "match the machine"
 /// (`std::thread::available_parallelism`, 1 if unknown); any other value is
@@ -223,17 +223,35 @@ where
     /// soon as every node is quiescent and no delivery is pending, the
     /// remaining rounds are provably silent and are skipped wholesale).
     pub fn run_rounds(&mut self, rounds: usize) {
+        self.run_rounds_with(rounds, &mut ());
+    }
+
+    /// [`run_rounds`](Self::run_rounds), reporting each committed round to
+    /// `sink`, in ascending order — rounds skipped wholesale as provably
+    /// silent still fire with the zero bytes they carried, so the stream is
+    /// identical to [`crate::sync::SyncNetwork`]'s.
+    pub fn run_rounds_with<S: RoundSink + ?Sized>(&mut self, rounds: usize, sink: &mut S) {
         let horizon = self.next_round + rounds;
         while self.next_round < horizon {
             if !self.active.iter().any(|&a| a) {
                 // Nobody may send spontaneously and nothing is in flight:
                 // every remaining round is a no-op, exactly as under the
                 // sync engine (which would poll n nodes to learn the same).
-                self.next_round = horizon;
+                while self.next_round < horizon {
+                    sink.round_committed(self.next_round, 0);
+                    self.next_round += 1;
+                }
                 return;
             }
+            let round = self.next_round;
             self.step();
+            sink.round_committed(round, self.round_bytes(round));
         }
+    }
+
+    /// Bytes committed during `round` (0 when the round carried nothing).
+    fn round_bytes(&self, round: usize) -> u64 {
+        self.metrics.bytes_per_round().get(round - 1).copied().unwrap_or(0)
     }
 
     /// Executes one round: parallel send phase, canonical-order commit,
@@ -380,8 +398,32 @@ where
     P: Process + Send,
     P::Msg: Send,
 {
+    run_parallel_with(processes, topology, rounds, workers, &mut ())
+}
+
+/// [`run_parallel`] with a [`RoundSink`] observing every committed round
+/// (skipped-as-silent rounds included). The sink runs on the calling
+/// thread, at the single-threaded commit barrier, so observation costs no
+/// synchronization.
+///
+/// # Panics
+///
+/// Panics unless `processes[i].id() == i` for every `i` and the process
+/// count equals the topology's node count.
+pub fn run_parallel_with<P, S>(
+    processes: Vec<P>,
+    topology: &Graph,
+    rounds: usize,
+    workers: usize,
+    sink: &mut S,
+) -> (Vec<P>, Metrics)
+where
+    P: Process + Send,
+    P::Msg: Send,
+    S: RoundSink + ?Sized,
+{
     let mut net = ParallelNetwork::new(processes, topology.clone(), workers);
-    net.run_rounds(rounds);
+    net.run_rounds_with(rounds, sink);
     net.into_parts()
 }
 

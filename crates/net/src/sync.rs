@@ -18,7 +18,7 @@
 use nectar_graph::Graph;
 
 use crate::metrics::Metrics;
-use crate::process::{NodeId, Process};
+use crate::process::{NodeId, Process, RoundSink};
 
 /// A synchronous network executing one [`Process`] per topology node.
 #[derive(Debug)]
@@ -85,9 +85,23 @@ impl<P: Process> SyncNetwork<P> {
 
     /// Runs `rounds` synchronous rounds.
     pub fn run_rounds(&mut self, rounds: usize) {
+        self.run_rounds_with(rounds, &mut ());
+    }
+
+    /// [`run_rounds`](Self::run_rounds), reporting each committed round to
+    /// `sink` — this engine's per-step order *is* the canonical commit
+    /// order every other runtime's sink stream must reproduce.
+    pub fn run_rounds_with<S: RoundSink + ?Sized>(&mut self, rounds: usize, sink: &mut S) {
         for _ in 0..rounds {
+            let round = self.next_round;
             self.step();
+            sink.round_committed(round, self.round_bytes(round));
         }
+    }
+
+    /// Bytes committed during `round` (0 when the round carried nothing).
+    fn round_bytes(&self, round: usize) -> u64 {
+        self.metrics.bytes_per_round().get(round - 1).copied().unwrap_or(0)
     }
 
     /// The round [`step`](Self::step) will execute next (1-based).

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use nectar_graph::Graph;
 
 use crate::metrics::Metrics;
-use crate::process::{NodeId, Process, WireSized};
+use crate::process::{NodeId, Process, RoundSink, WireSized};
 
 /// Runs `rounds` synchronous rounds of the given processes over `topology`,
 /// one OS thread per node. Returns the processes (in node order) and the
@@ -33,12 +33,40 @@ where
     P: Process + Send + 'static,
     P::Msg: Send + 'static,
 {
+    run_threaded_with(processes, topology, rounds, &mut ())
+}
+
+/// [`run_threaded`] with a [`RoundSink`] observing every committed round.
+/// The calling thread acts as a coordinator joining the round barriers, so
+/// the sink fires on the caller between a round's receive barrier and the
+/// next round's sends — the same commit instant the other engines report.
+///
+/// # Panics
+///
+/// Panics unless `processes[i].id() == i` for every `i` and the process
+/// count equals the topology's node count; also panics if a worker thread
+/// panics.
+pub fn run_threaded_with<P, S>(
+    processes: Vec<P>,
+    topology: &Graph,
+    rounds: usize,
+    sink: &mut S,
+) -> (Vec<P>, Metrics)
+where
+    P: Process + Send + 'static,
+    P::Msg: Send + 'static,
+    S: RoundSink + ?Sized,
+{
     let n = processes.len();
     assert_eq!(n, topology.node_count(), "need exactly one process per topology node");
     for (i, p) in processes.iter().enumerate() {
         assert_eq!(p.id(), i, "process at index {i} reports id {}", p.id());
     }
     if n == 0 {
+        // No node will ever send: every round commits empty, as under sync.
+        for round in 1..=rounds {
+            sink.round_committed(round, 0);
+        }
         return (processes, Metrics::new(0));
     }
 
@@ -53,7 +81,8 @@ where
 
     let topology = Arc::new(topology.clone());
     let metrics = Arc::new(Mutex::new(Metrics::new(n)));
-    let barrier = Arc::new(Barrier::new(n));
+    // n workers + the coordinating caller, which observes round commits.
+    let barrier = Arc::new(Barrier::new(n + 1));
 
     let mut handles = Vec::with_capacity(n);
     for (i, (mut proc, rx)) in processes.into_iter().zip(receivers).enumerate() {
@@ -62,33 +91,69 @@ where
         let metrics = Arc::clone(&metrics);
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
+            // A panicking process must not abandon the barriers: the other
+            // workers and the coordinating caller would deadlock (std's
+            // Barrier does not poison). Trap the payload, sit out the
+            // remaining rounds in lock-step, and re-raise at the end so the
+            // join below observes the original panic.
+            let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
             for round in 1..=rounds {
-                let out = proc.send(round);
-                for o in out {
-                    if o.to >= senders.len() || !topology.has_edge(i, o.to) {
-                        metrics.lock().record_illegal_send();
-                        continue;
-                    }
-                    metrics.lock().record_send(round, i, o.to, o.msg.wire_bytes());
-                    // Receiver ends live as long as every worker, so a send
-                    // can only fail if a peer panicked; propagate by panic.
-                    senders[o.to].send((round, i, o.msg)).expect("peer thread alive during round");
+                if panicked.is_none() {
+                    let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let out = proc.send(round);
+                        for o in out {
+                            if o.to >= senders.len() || !topology.has_edge(i, o.to) {
+                                metrics.lock().record_illegal_send();
+                                continue;
+                            }
+                            metrics.lock().record_send(round, i, o.to, o.msg.wire_bytes());
+                            // Receiver ends live as long as every worker, so
+                            // a send can only fail if a peer panicked — and a
+                            // panicked peer still drains barriers, so treat a
+                            // refused send like our own panic.
+                            senders[o.to]
+                                .send((round, i, o.msg))
+                                .expect("peer thread alive during round");
+                        }
+                    }));
+                    panicked = phase.err();
                 }
                 // All sends for this round are in flight.
                 barrier.wait();
-                let mut inbox: Vec<Packet<P::Msg>> = rx.try_iter().collect();
-                inbox.sort_by_key(|&(_, from, _)| from);
-                for (msg_round, from, msg) in inbox {
-                    debug_assert_eq!(msg_round, round, "synchrony: no message may cross a round");
-                    proc.receive(round, from, msg);
+                if panicked.is_none() {
+                    let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut inbox: Vec<Packet<P::Msg>> = rx.try_iter().collect();
+                        inbox.sort_by_key(|&(_, from, _)| from);
+                        for (msg_round, from, msg) in inbox {
+                            debug_assert_eq!(
+                                msg_round, round,
+                                "synchrony: no message may cross a round"
+                            );
+                            proc.receive(round, from, msg);
+                        }
+                    }));
+                    panicked = phase.err();
                 }
                 // All receives done before anyone starts the next round.
                 barrier.wait();
+            }
+            if let Some(payload) = panicked {
+                std::panic::resume_unwind(payload);
             }
             proc
         }));
     }
     drop(senders);
+
+    // Coordinator: join both barriers of every round, then report the
+    // commit. After the second barrier all of the round's sends are
+    // recorded, so the per-round byte count is final.
+    for round in 1..=rounds {
+        barrier.wait();
+        barrier.wait();
+        let bytes = metrics.lock().bytes_per_round().get(round - 1).copied().unwrap_or(0);
+        sink.round_committed(round, bytes);
+    }
 
     let mut out: Vec<P> =
         handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect();
@@ -193,6 +258,33 @@ mod tests {
         let (procs, metrics) = run_threaded(Vec::<Flood>::new(), &g, 3);
         assert!(procs.is_empty());
         assert_eq!(metrics.total_bytes_sent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // A process panicking mid-run must fail the call, not hang it: the
+        // panicked worker keeps draining the round barriers (std barriers
+        // do not poison) and re-raises at join time.
+        #[derive(Debug)]
+        struct Bomb {
+            id: usize,
+        }
+        impl Process for Bomb {
+            type Msg = IdMsg;
+            fn id(&self) -> usize {
+                self.id
+            }
+            fn send(&mut self, round: usize) -> Vec<Outgoing<IdMsg>> {
+                if round == 2 && self.id == 1 {
+                    panic!("process bug under test");
+                }
+                vec![Outgoing::new((self.id + 1) % 3, IdMsg(self.id))]
+            }
+            fn receive(&mut self, _round: usize, _from: usize, _msg: IdMsg) {}
+        }
+        let g = gen::cycle(3);
+        let _ = run_threaded(vec![Bomb { id: 0 }, Bomb { id: 1 }, Bomb { id: 2 }], &g, 4);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use nectar::baselines::{run_mtg, MtgBehavior, MtgConfig};
 use nectar::prelude::*;
 
-fn nectar_line(name: &str, outcome: &Outcome) {
+fn nectar_line(name: &str, outcome: &RunReport) {
     let verdict = outcome
         .unanimous_verdict()
         .map(|v| v.to_string())
@@ -60,7 +60,7 @@ fn main() -> Result<(), nectar::graph::GraphError> {
         for (node, behavior) in cast {
             scenario = scenario.with_byzantine(node, behavior);
         }
-        let outcome = scenario.run();
+        let outcome = scenario.sim().run();
         nectar_line(name, &outcome);
         assert!(outcome.agreement(), "NECTAR must preserve Agreement under {name}");
     }

@@ -52,7 +52,7 @@ fn main() {
             ByzantineBehavior::TwoFaced { silent_toward: part_b.clone().into_iter().collect() },
         );
     }
-    let outcome = nectar.run();
+    let outcome = nectar.sim().run();
     let verdict = outcome.unanimous_verdict().expect("NECTAR guarantees agreement");
     println!("NECTAR: every correct validator decides {verdict}");
     println!(

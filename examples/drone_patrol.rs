@@ -32,9 +32,9 @@ fn main() -> Result<(), nectar::graph::GraphError> {
         let graph = placement.graph.clone();
         let edges = graph.edge_count();
         let kappa = connectivity::vertex_connectivity(&graph);
-        let outcome = Scenario::new(graph, t).run();
+        let outcome = Scenario::new(graph, t).sim().run();
         let verdict = outcome.unanimous_verdict().expect("correct nodes agree");
-        let confirmed = outcome.decisions.values().next().expect("non-empty").confirmed;
+        let confirmed = outcome.decisions().values().next().expect("non-empty").confirmed;
         println!("{d:>5.1} {edges:>7} {kappa:>6} {verdict:>20} {confirmed:>10}");
         if confirmed {
             println!("\n>>> partition confirmed at d = {d}: issuing rally order, both");

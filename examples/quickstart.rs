@@ -9,12 +9,12 @@
 
 use nectar::prelude::*;
 
-fn report(name: &str, outcome: &Outcome) {
+fn report(name: &str, outcome: &RunReport) {
     let verdict = outcome
         .unanimous_verdict()
         .map(|v| v.to_string())
         .unwrap_or_else(|| "NO AGREEMENT (bug!)".into());
-    let sample = outcome.decisions.values().next().expect("at least one correct node");
+    let sample = outcome.decisions().values().next().expect("at least one correct node");
     // `connectivity` is the oracle's witness bound, not the exact κ: for a
     // NOT_PARTITIONABLE verdict it reads "κ is at least this" (t + 1), for
     // PARTITIONABLE "a cut no larger than this exists".
@@ -35,12 +35,12 @@ fn main() -> Result<(), nectar::graph::GraphError> {
     // Fig. 1a: a ring is 2-connected. One Byzantine node cannot partition
     // the correct nodes, wherever it sits.
     let ring = gen::cycle(8);
-    report("ring of 8 (κ=2)", &Scenario::new(ring, 1).run());
+    report("ring of 8 (κ=2)", &Scenario::new(ring, 1).sim().run());
 
     // Fig. 1b: a star is 1-connected. A Byzantine hub could partition
     // everything, so NECTAR must flag it.
     let star = gen::star(8);
-    report("star of 8 (κ=1)", &Scenario::new(star, 1).run());
+    report("star of 8 (κ=1)", &Scenario::new(star, 1).sim().run());
 
     // A 4-connected Harary graph with two *actively misbehaving* Byzantine
     // nodes: κ = 4 = 2t, so the verdict stays NOT_PARTITIONABLE (Lemma 1).
@@ -48,12 +48,13 @@ fn main() -> Result<(), nectar::graph::GraphError> {
     let outcome = Scenario::new(harary, 2)
         .with_byzantine(3, ByzantineBehavior::Silent)
         .with_byzantine(7, ByzantineBehavior::HideEdges { toward: [6, 8].into() })
+        .sim()
         .run();
     report("H(4,10), 2 Byzantine (t=2)", &outcome);
 
     // An actually partitioned network: two disconnected triangles.
     let split = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])?;
-    let outcome = Scenario::new(split, 1).run();
+    let outcome = Scenario::new(split, 1).sim().run();
     report("two triangles (partitioned)", &outcome);
     println!(
         "\nThe last case sets confirmed = true: some nodes were unreachable, so\n\

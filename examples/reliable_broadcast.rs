@@ -54,6 +54,7 @@ fn main() -> Result<(), nectar::graph::GraphError> {
     // Pre-flight: can t Byzantine nodes sever this mesh?
     let outcome = Scenario::new(graph.clone(), t)
         .with_byzantine(byzantine_relay, ByzantineBehavior::Silent)
+        .sim()
         .run();
     let verdict = outcome.unanimous_verdict().expect("NECTAR guarantees agreement");
     println!("NECTAR pre-flight: {verdict}");

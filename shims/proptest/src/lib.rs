@@ -3,9 +3,13 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking.** A failing case reports its deterministic case index
-//!   and the assertion message; re-running the test replays the identical
-//!   stream, so failures are reproducible without persistence files.
+//! * **No shrinking.** A failing case reports its deterministic case
+//!   index, the assertion message *and the generated input values*
+//!   (`Debug`-formatted, so every strategy value type must implement
+//!   `Debug` — all std and workspace types do); re-running the test
+//!   replays the identical stream, so failures are reproducible without
+//!   persistence files, and the offending inputs are visible without
+//!   instrumenting the property body.
 //! * **Deterministic generation.** Case `i` of every test derives its RNG
 //!   from `i` via SplitMix64, so CI and local runs see the same inputs.
 //!
@@ -493,9 +497,15 @@ macro_rules! __proptest_impl {
                 let outcome: ::std::result::Result<(), $crate::TestCaseError> =
                     (|| { $body ::std::result::Result::Ok(()) })();
                 if let ::std::result::Result::Err(err) = outcome {
+                    // Generation is deterministic, so the failing inputs can
+                    // be regenerated here (the body consumed the originals)
+                    // and the passing path pays nothing for the report.
+                    let mut replay =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case as u64);
+                    let __inputs = $crate::Strategy::generate(&strategy, &mut replay);
                     panic!(
-                        "property `{}` failed at deterministic case {}/{}: {}",
-                        stringify!($name), case, config.cases, err
+                        "property `{}` failed at deterministic case {}/{}: {}\n  inputs: {:?}",
+                        stringify!($name), case, config.cases, err, __inputs
                     );
                 }
             }
@@ -637,13 +647,16 @@ mod tests {
     }
 
     #[test]
-    fn failing_case_reports_index() {
-        // A property failing on every case must panic with the case index.
+    fn failing_case_reports_index_and_inputs() {
+        // A property failing on every case must panic with the case index
+        // AND the Debug rendering of the generated inputs — the shim's
+        // stand-in for shrinking: the offending values are printed, not
+        // just a replay handle.
         let result = std::panic::catch_unwind(|| {
             proptest! {
                 #![proptest_config(ProptestConfig::with_cases(4))]
                 #[allow(unused)]
-                fn always_fails(x in 0usize..10) {
+                fn always_fails(x in 0usize..10, v in crate::collection::vec(0u8..3, 2..4)) {
                     prop_assert!(false, "x was {}", x);
                 }
             }
@@ -651,5 +664,12 @@ mod tests {
         });
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("deterministic case 0/4"), "got: {msg}");
+        // The generated tuple is printed verbatim: `inputs: (<x>, [<v>...])`.
+        let inputs = msg.split("inputs: ").nth(1).expect("inputs section present");
+        assert!(inputs.starts_with('('), "got: {msg}");
+        assert!(inputs.contains('['), "vector input rendered: {msg}");
+        // And it names the actual failing value from the message.
+        let x: usize = msg.split("x was ").nth(1).unwrap().lines().next().unwrap().parse().unwrap();
+        assert!(inputs.contains(&format!("({x}, ")), "x value {x} appears in {inputs}");
     }
 }

@@ -18,7 +18,7 @@ fn with_zero_byzantine_everyone_is_right() {
     assert_eq!(mtg.success_rate(BaselineVerdict::Partitioned), 1.0);
     let v2 = run_mtg_v2(&s.graph, &BTreeMap::new(), N - 1, 1);
     assert_eq!(v2.success_rate(BaselineVerdict::Partitioned), 1.0);
-    let nectar = Scenario::new(s.graph, 0).run();
+    let nectar = Scenario::new(s.graph, 0).sim().run();
     assert_eq!(nectar.success_rate(Verdict::Partitionable), 1.0);
 }
 
@@ -53,7 +53,7 @@ fn one_byzantine_breaks_baseline_agreement_but_not_nectar() {
             scenario = scenario
                 .with_byzantine(x, ByzantineBehavior::TwoFaced { silent_toward: silent.clone() });
         }
-        let nectar = scenario.run();
+        let nectar = scenario.sim().run();
         assert!(nectar.agreement(), "NECTAR keeps Agreement (seed {seed})");
         assert_eq!(
             nectar.success_rate(Verdict::Partitionable),
@@ -88,7 +88,7 @@ fn nectar_stays_perfect_up_to_six_byzantine() {
             scenario = scenario
                 .with_byzantine(b, ByzantineBehavior::TwoFaced { silent_toward: silent.clone() });
         }
-        let out = scenario.run();
+        let out = scenario.sim().run();
         assert!(out.agreement(), "t = {t}");
         assert_eq!(out.success_rate(Verdict::Partitionable), 1.0, "t = {t}");
     }

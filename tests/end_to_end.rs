@@ -33,7 +33,7 @@ fn forced_cases() -> Vec<(&'static str, Graph, usize, Verdict)> {
 #[test]
 fn forced_verdicts_on_the_sync_runtime() {
     for (name, g, t, expected) in forced_cases() {
-        let out = Scenario::new(g, t).run();
+        let out = Scenario::new(g, t).sim().run();
         assert!(out.agreement(), "{name}: agreement");
         assert_eq!(out.unanimous_verdict(), Some(expected), "{name}");
     }
@@ -42,7 +42,7 @@ fn forced_verdicts_on_the_sync_runtime() {
 #[test]
 fn forced_verdicts_on_the_threaded_runtime() {
     for (name, g, t, expected) in forced_cases() {
-        let out = Scenario::new(g, t).run_threaded();
+        let out = Scenario::new(g, t).sim().runtime(Runtime::Threaded).run();
         assert!(out.agreement(), "{name}: agreement");
         assert_eq!(out.unanimous_verdict(), Some(expected), "{name}");
     }
@@ -53,10 +53,10 @@ fn both_runtimes_are_bit_identical() {
     let g = gen::k_pasted_tree(3, 15).unwrap();
     let scenario =
         Scenario::new(g, 1).with_key_seed(99).with_byzantine(4, ByzantineBehavior::Silent);
-    let sync = scenario.run();
-    let threaded = scenario.run_threaded();
-    assert_eq!(sync.decisions, threaded.decisions);
-    assert_eq!(sync.metrics, threaded.metrics);
+    let sync = scenario.sim().run();
+    let threaded = scenario.sim().runtime(Runtime::Threaded).run();
+    assert_eq!(sync.decisions(), threaded.decisions());
+    assert_eq!(sync.metrics(), threaded.metrics());
 }
 
 #[test]
@@ -65,9 +65,9 @@ fn confirmed_partition_in_a_severed_drone_swarm() {
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(5);
     let placement = gen::drone_scenario(16, 6.0, 2.4, &mut rng).unwrap();
-    let out = Scenario::new(placement.graph, 1).run();
+    let out = Scenario::new(placement.graph, 1).sim().run();
     assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
-    assert!(out.decisions.values().all(|d| d.confirmed));
+    assert!(out.decisions().values().all(|d| d.confirmed));
     // Validity: confirmed implies the (empty) Byzantine cast is a vertex
     // cut — which for an empty cast means the graph itself is partitioned.
     assert!(traversal::is_partitioned(&out.topology));
@@ -83,20 +83,20 @@ fn byzantine_bridge_keeps_all_correct_nodes_on_partitionable() {
         scenario = scenario
             .with_byzantine(b, ByzantineBehavior::TwoFaced { silent_toward: silent.clone() });
     }
-    let out = scenario.run();
+    let out = scenario.sim().run();
     assert!(out.agreement());
     assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
     // Side A saw everything (r = n, unconfirmed); side B saw a hole
     // (confirmed). Both verdicts agree, as Lemma 3 requires.
-    assert!(out.decisions.values().any(|d| d.confirmed));
-    assert!(out.decisions.values().any(|d| !d.confirmed));
+    assert!(out.decisions().values().any(|d| d.confirmed));
+    assert!(out.decisions().values().any(|d| !d.confirmed));
 }
 
 #[test]
 fn traffic_metrics_are_plausible() {
     let g = gen::harary(4, 16).unwrap();
-    let out = Scenario::new(g.clone(), 2).run();
-    let m = &out.metrics;
+    let out = Scenario::new(g.clone(), 2).sim().run();
+    let m = out.metrics();
     assert_eq!(m.illegal_sends(), 0);
     assert!(m.total_bytes_sent() > 0);
     // Every node must have sent something (it has 4 neighbors to announce).
@@ -116,10 +116,10 @@ fn traffic_metrics_are_plausible() {
 fn decisions_report_consistent_r_and_k() {
     let g = gen::harary(4, 10).unwrap();
     let t = 2;
-    let out = Scenario::new(g.clone(), t).run();
+    let out = Scenario::new(g.clone(), t).sim().run();
     let kappa = connectivity::vertex_connectivity(&g);
     assert!(kappa > t, "harary(4, 10) is 4-connected");
-    for d in out.decisions.values() {
+    for d in out.decisions().values() {
         assert_eq!(d.reachable, 10);
         // The scenario's decision phase runs through the connectivity
         // oracle, which reports the witness bound t + 1 ("κ is at least
@@ -132,7 +132,7 @@ fn decisions_report_consistent_r_and_k() {
     }
     // The reference path on the same discovered graph reports exact κ.
     let mut oracle = nectar::graph::ConnectivityOracle::new();
-    for p in Scenario::new(g, t).run_participants() {
+    for p in Scenario::new(g, t).sim().participants() {
         let node = p.nectar();
         assert_eq!(node.decide().connectivity, kappa);
         assert_eq!(node.decide_with(&mut oracle).verdict, node.decide().verdict);

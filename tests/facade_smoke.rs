@@ -10,9 +10,9 @@ use nectar::prelude::*;
 #[test]
 fn prelude_quick_start_runs() {
     let graph = nectar::graph::gen::harary(4, 12).expect("valid harary parameters");
-    let outcome = Scenario::new(graph, 2).with_byzantine(5, ByzantineBehavior::Silent).run();
-    assert!(outcome.agreement());
-    assert_eq!(outcome.unanimous_verdict(), Some(Verdict::NotPartitionable));
+    let report = Scenario::new(graph, 2).with_byzantine(5, ByzantineBehavior::Silent).sim().run();
+    assert!(report.agreement());
+    assert_eq!(report.unanimous_verdict(), Some(Verdict::NotPartitionable));
 }
 
 /// Every `pub use` in the facade root must stay importable.
@@ -61,6 +61,7 @@ fn prelude_exports_the_documented_names() {
     let _mtg_cfg = MtgConfig::new(5);
     let graph: Graph = gen::star(5);
     let scenario = Scenario::new(graph, 1);
-    let outcome: Outcome = scenario.run();
+    let report: RunReport = scenario.sim().run();
+    let outcome: Outcome = report.into_outcome();
     let _decisions: &std::collections::BTreeMap<usize, Decision> = &outcome.decisions;
 }

@@ -43,12 +43,12 @@ fn arb_cast(n: usize, t: usize) -> impl Strategy<Value = Vec<(usize, ByzantineBe
     })
 }
 
-fn run_with_cast(g: &Graph, t: usize, cast: &[(usize, ByzantineBehavior)]) -> Outcome {
+fn run_with_cast(g: &Graph, t: usize, cast: &[(usize, ByzantineBehavior)]) -> RunReport {
     let mut scenario = Scenario::new(g.clone(), t).with_key_seed(7);
     for (node, behavior) in cast {
         scenario = scenario.with_byzantine(*node, behavior.clone());
     }
-    scenario.run()
+    scenario.sim().run()
 }
 
 /// A graph, the Byzantine budget `t` used to size its cast, and a cast
@@ -74,7 +74,7 @@ proptest! {
     #[test]
     fn agreement_under_zoo_casts((g, t, cast) in arb_graph_and_cast(9)) {
         let out = run_with_cast(&g, t, &cast);
-        prop_assert!(out.agreement(), "verdicts: {:?}", out.decisions);
+        prop_assert!(out.agreement(), "verdicts: {:?}", out.decisions());
     }
 
     /// Agreement: all correct nodes decide the same verdict, whatever the
@@ -105,7 +105,7 @@ proptest! {
         let mut seen = BTreeSet::new();
         let cast: Vec<_> = cast.into_iter().filter(|(node, _)| seen.insert(*node)).collect();
         let out = run_with_cast(&g, t, &cast);
-        prop_assert!(out.agreement(), "verdicts: {:?}", out.decisions);
+        prop_assert!(out.agreement(), "verdicts: {:?}", out.decisions());
     }
 
     /// Safety: when the Byzantine nodes form a vertex cut of G, no correct
@@ -125,7 +125,7 @@ proptest! {
         let cast: Vec<_> = cut.into_iter().map(|b| (b, behavior.clone())).collect();
         let out = run_with_cast(&g, t, &cast);
         prop_assert!(out.byzantine_cast_is_vertex_cut());
-        for (node, d) in &out.decisions {
+        for (node, d) in out.decisions() {
             prop_assert_eq!(d.verdict, Verdict::Partitionable, "node {} violated Safety", node);
         }
     }
@@ -173,7 +173,7 @@ proptest! {
         let mut seen = BTreeSet::new();
         let cast: Vec<_> = cast.into_iter().filter(|(node, _)| seen.insert(*node)).collect();
         let out = run_with_cast(&g, t, &cast);
-        let confirmed_somewhere = out.decisions.values().any(|d| d.confirmed);
+        let confirmed_somewhere = out.decisions().values().any(|d| d.confirmed);
         if confirmed_somewhere {
             // Some subset of the cast must be a vertex cut (Theorem 2's
             // reading) — or the graph itself is partitioned (empty cut).
@@ -188,10 +188,10 @@ proptest! {
     #[test]
     fn runtime_equivalence(g in arb_graph(8)) {
         let scenario = Scenario::new(g, 1).with_key_seed(3);
-        let a = scenario.run();
-        let b = scenario.run_threaded();
-        prop_assert_eq!(a.decisions, b.decisions);
-        prop_assert_eq!(a.metrics, b.metrics);
+        let a = scenario.sim().run();
+        let b = scenario.sim().runtime(Runtime::Threaded).run();
+        prop_assert_eq!(a.decisions(), b.decisions());
+        prop_assert_eq!(a.metrics(), b.metrics());
     }
 
     /// The oracle-backed decision phase (what `Scenario::run` executes)
@@ -208,7 +208,7 @@ proptest! {
         }
         let byzantine: BTreeSet<usize> = cast.iter().map(|(node, _)| *node).collect();
         let mut oracle = nectar::graph::ConnectivityOracle::new();
-        for p in scenario.run_participants() {
+        for p in scenario.sim().participants() {
             let node = p.nectar();
             if byzantine.contains(&node.node_id()) {
                 continue;

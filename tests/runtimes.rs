@@ -93,11 +93,11 @@ fn build_scenario(g: &Graph, t: usize, cast: &[(usize, ByzantineBehavior)]) -> S
     scenario
 }
 
-fn assert_outcomes_identical(a: &Outcome, b: &Outcome, label: &str) {
-    assert_eq!(a.decisions, b.decisions, "{label}: decisions differ");
-    assert_eq!(a.metrics, b.metrics, "{label}: metrics differ");
+fn assert_reports_identical(a: &RunReport, b: &RunReport, label: &str) {
+    assert_eq!(a.decisions(), b.decisions(), "{label}: decisions differ");
+    assert_eq!(a.metrics(), b.metrics(), "{label}: metrics differ");
     assert_eq!(a.byzantine, b.byzantine, "{label}: casts differ");
-    assert_eq!(a.oracle, b.oracle, "{label}: oracle counters differ");
+    assert_eq!(a.oracle(), b.oracle(), "{label}: oracle counters differ");
 }
 
 proptest! {
@@ -113,13 +113,13 @@ proptest! {
         workers in 1usize..5,
     ) {
         let scenario = build_scenario(&g, t, &cast);
-        let sync = scenario.run_on(Runtime::Sync);
-        let threaded = scenario.run_on(Runtime::Threaded);
-        let event = scenario.run_on(Runtime::Event);
-        let parallel = scenario.run_on(Runtime::Parallel { workers });
-        assert_outcomes_identical(&sync, &threaded, "sync vs threaded");
-        assert_outcomes_identical(&sync, &event, "sync vs event");
-        assert_outcomes_identical(&sync, &parallel, "sync vs parallel");
+        let sync = scenario.sim().runtime(Runtime::Sync).run();
+        let threaded = scenario.sim().runtime(Runtime::Threaded).run();
+        let event = scenario.sim().runtime(Runtime::Event).run();
+        let parallel = scenario.sim().workers(workers).run();
+        assert_reports_identical(&sync, &threaded, "sync vs threaded");
+        assert_reports_identical(&sync, &event, "sync vs event");
+        assert_reports_identical(&sync, &parallel, "sync vs parallel");
     }
 }
 
@@ -136,13 +136,13 @@ fn colluding_casts_agree_across_runtimes() {
             .with_byzantine(0, ByzantineBehavior::LateReveal { partner: 1, others: vec![] })
             .with_byzantine(1, ByzantineBehavior::FictitiousEdges { partners: vec![0] })
     };
-    let sync = build().run_on(Runtime::Sync);
-    let threaded = build().run_on(Runtime::Threaded);
-    let event = build().run_on(Runtime::Event);
-    let parallel = build().run_on(Runtime::Parallel { workers: 3 });
-    assert_outcomes_identical(&sync, &threaded, "sync vs threaded");
-    assert_outcomes_identical(&sync, &event, "sync vs event");
-    assert_outcomes_identical(&sync, &parallel, "sync vs parallel");
+    let sync = build().sim().run();
+    let threaded = build().sim().runtime(Runtime::Threaded).run();
+    let event = build().sim().runtime(Runtime::Event).run();
+    let parallel = build().sim().workers(3).run();
+    assert_reports_identical(&sync, &threaded, "sync vs threaded");
+    assert_reports_identical(&sync, &event, "sync vs event");
+    assert_reports_identical(&sync, &parallel, "sync vs parallel");
 }
 
 /// The scale claim of the event-driven runtime: an n = 10 000 node scenario
@@ -158,15 +158,17 @@ fn ten_thousand_node_scenario_completes_on_the_event_runtime() {
         .with_key_seed(42)
         .with_byzantine(0, ByzantineBehavior::Silent)
         .with_byzantine(4, ByzantineBehavior::TwoFaced { silent_toward: [5].into() })
-        .run_event_driven();
-    assert_eq!(out.decisions.len(), n - 2);
+        .sim()
+        .runtime(Runtime::Event)
+        .run();
+    assert_eq!(out.decisions().len(), n - 2);
     assert!(out.agreement());
     // Ground truth: the fleet is maximally partitioned; every correct node
     // sees only its own cluster and confirms the partition.
     assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
-    assert!(out.decisions.values().all(|d| d.confirmed));
-    assert!(out.decisions.values().all(|d| d.reachable <= 4));
-    assert!(out.metrics.total_bytes_sent() > 0);
+    assert!(out.decisions().values().all(|d| d.confirmed));
+    assert!(out.decisions().values().all(|d| d.reachable <= 4));
+    assert!(out.metrics().total_bytes_sent() > 0);
 }
 
 /// The same 10 000-node scenario on the parallel runtime: the work-stealing
@@ -182,11 +184,13 @@ fn ten_thousand_node_scenario_completes_on_the_parallel_runtime() {
         .with_key_seed(42)
         .with_byzantine(0, ByzantineBehavior::Silent)
         .with_byzantine(4, ByzantineBehavior::TwoFaced { silent_toward: [5].into() })
-        .run_on(Runtime::Parallel { workers: 2 });
-    assert_eq!(out.decisions.len(), n - 2);
+        .sim()
+        .workers(2)
+        .run();
+    assert_eq!(out.decisions().len(), n - 2);
     assert!(out.agreement());
     assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
-    assert!(out.decisions.values().all(|d| d.confirmed));
-    assert!(out.decisions.values().all(|d| d.reachable <= 4));
-    assert!(out.metrics.total_bytes_sent() > 0);
+    assert!(out.decisions().values().all(|d| d.confirmed));
+    assert!(out.decisions().values().all(|d| d.reachable <= 4));
+    assert!(out.metrics().total_bytes_sent() > 0);
 }

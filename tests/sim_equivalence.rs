@@ -1,0 +1,297 @@
+//! Builder equivalence: `scenario.sim()…run()` must reproduce the legacy
+//! `run_*` entry points bit for bit — decisions, traffic metrics and
+//! connectivity-oracle counters — across the runtime × topology × behaviour
+//! zoos, and the streaming [`RunObserver`] hooks must fire in the canonical
+//! commit order of `docs/DETERMINISM.md` on all four engines.
+//!
+//! This suite is the named `builder-equivalence` CI step. Two kinds of
+//! checks, deliberately:
+//!
+//! * **Bridge checks** (builder vs deprecated shims). The shims delegate
+//!   to the builder, so these cannot catch a builder-wide semantic drift;
+//!   what they do pin is the *bridging* — `into_outcome`/`into_metrics`
+//!   field mapping, oracle argument plumbing, and that `.epochs(k)` equals
+//!   k independently-constructed sessions (a genuinely different code
+//!   path).
+//! * **Ground-truth checks** (builder vs the per-node reference path,
+//!   `NectarNode::decide_with` over the raw participants). These share
+//!   none of `Simulation::run`'s epoch/collect/report plumbing, so a
+//!   builder-wide drift fails here even though the shims would drift with
+//!   it.
+
+#![allow(deprecated)] // the whole point: legacy run_* vs the builder
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use nectar::prelude::*;
+use nectar::protocol::ConnectivityOracle;
+
+/// A compact topology zoo: one representative per §V-B family plus a dense
+/// random mask, sized so every case also runs on the thread-per-node
+/// engine.
+fn arb_zoo_graph() -> impl Strategy<Value = Graph> {
+    let mask_graph = (4usize..9).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+        proptest::collection::vec(0.0f64..1.0, pairs.len()).prop_map(move |weights| {
+            let edges = pairs.iter().zip(&weights).filter_map(|(&e, &w)| (w < 0.5).then_some(e));
+            Graph::from_edges(n, edges).expect("edges in range")
+        })
+    });
+    prop_oneof![
+        (2usize..5, 0usize..6)
+            .prop_map(|(k, extra)| gen::harary(k, k + 2 + extra).expect("valid harary")),
+        (3usize..5, 0usize..5).prop_map(|(k, extra)| {
+            gen::generalized_wheel(k, (2 * k + 2 + extra).max(k + 3)).expect("valid wheel")
+        }),
+        (2usize..4, 0usize..5)
+            .prop_map(|(k, extra)| gen::k_pasted_tree(k, 2 * k + 4 + extra).expect("valid lhg")),
+        (3usize..9).prop_map(gen::cycle),
+        (4usize..9).prop_map(gen::star),
+        mask_graph,
+    ]
+}
+
+/// A Byzantine cast from the topology-independent behaviour zoo.
+fn arb_cast(n: usize, t: usize) -> impl Strategy<Value = Vec<(usize, ByzantineBehavior)>> {
+    let behavior = (0..4usize, proptest::collection::btree_set(0..n, 0..3), 1..4usize).prop_map(
+        move |(kind, others, round)| {
+            let others: BTreeSet<usize> = others;
+            match kind {
+                0 => ByzantineBehavior::Silent,
+                1 => ByzantineBehavior::CrashAfter { round },
+                2 => ByzantineBehavior::TwoFaced { silent_toward: others },
+                _ => ByzantineBehavior::HideEdges { toward: others },
+            }
+        },
+    );
+    proptest::collection::btree_set(0..n, 0..=t).prop_flat_map(move |nodes| {
+        let nodes: Vec<usize> = nodes.into_iter().collect();
+        proptest::collection::vec(behavior.clone(), nodes.len())
+            .prop_map(move |behaviors| nodes.iter().copied().zip(behaviors).collect())
+    })
+}
+
+fn arb_scenario() -> impl Strategy<Value = (Graph, usize, Vec<(usize, ByzantineBehavior)>)> {
+    arb_zoo_graph().prop_flat_map(|g| {
+        let n = g.node_count();
+        let t = 2.min(n / 3);
+        arb_cast(n, t).prop_map(move |cast| (g.clone(), t, cast))
+    })
+}
+
+fn build_scenario(g: &Graph, t: usize, cast: &[(usize, ByzantineBehavior)]) -> Scenario {
+    let mut scenario = Scenario::new(g.clone(), t).with_key_seed(55);
+    for (node, behavior) in cast {
+        scenario = scenario.with_byzantine(*node, behavior.clone());
+    }
+    scenario
+}
+
+fn assert_matches_legacy(report: &RunReport, legacy: &Outcome, label: &str) {
+    assert_eq!(report.decisions(), &legacy.decisions, "{label}: decisions differ");
+    assert_eq!(report.metrics(), &legacy.metrics, "{label}: metrics differ");
+    assert_eq!(report.oracle(), &legacy.oracle, "{label}: oracle counters differ");
+    assert_eq!(report.byzantine, legacy.byzantine, "{label}: casts differ");
+    assert_eq!(report.topology, legacy.topology, "{label}: topologies differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The builder reproduces every legacy entry point on every runtime:
+    /// `run_on` (decision phase included) and `run_metrics_only_on`, over
+    /// the topology and behaviour zoos, at a case-varied parallel worker
+    /// count.
+    #[test]
+    fn builder_reproduces_legacy_run_outputs(
+        (g, t, cast) in arb_scenario(),
+        workers in 1usize..4,
+    ) {
+        let scenario = build_scenario(&g, t, &cast);
+        for runtime in [
+            Runtime::Sync,
+            Runtime::Threaded,
+            Runtime::Event,
+            Runtime::Parallel { workers },
+        ] {
+            let report = scenario.sim().runtime(runtime).run();
+            let legacy = scenario.run_on(runtime);
+            assert_matches_legacy(&report, &legacy, &format!("{runtime}"));
+            let metrics = scenario.sim().runtime(runtime).metrics_only().run();
+            prop_assert_eq!(
+                metrics.metrics(),
+                &scenario.run_metrics_only_on(runtime),
+                "{} metrics-only", runtime
+            );
+        }
+    }
+
+    /// Ground truth, not a bridge check: the builder's decisions and
+    /// oracle counters must equal deciding node by node via
+    /// `NectarNode::decide_with` on the raw participants — the reference
+    /// path that shares no code with `Simulation::run`'s collect/report
+    /// plumbing, so a builder-wide semantic drift cannot hide behind the
+    /// delegating shims.
+    #[test]
+    fn builder_decisions_match_the_per_node_reference((g, t, cast) in arb_scenario()) {
+        let scenario = build_scenario(&g, t, &cast);
+        let report = scenario.sim().run();
+        let byzantine = scenario.byzantine_nodes();
+        let participants = scenario.sim().participants();
+        let mut oracle = ConnectivityOracle::new();
+        let mut checked = 0;
+        for p in &participants {
+            let node = p.nectar();
+            if byzantine.contains(&node.node_id()) {
+                continue;
+            }
+            let expected = node.decide_with(&mut oracle);
+            prop_assert_eq!(
+                report.decisions().get(&node.node_id()),
+                Some(&expected),
+                "node {}", node.node_id()
+            );
+            checked += 1;
+        }
+        prop_assert_eq!(report.decisions().len(), checked);
+        prop_assert_eq!(report.oracle().queries, oracle.stats().queries);
+        prop_assert_eq!(report.oracle().cache_hits, oracle.stats().cache_hits);
+    }
+
+    /// Oracle sharing through the builder equals oracle sharing through the
+    /// legacy `_with_oracle` variants: same decisions and the same per-run
+    /// counter deltas, including the all-cache-hits second run.
+    #[test]
+    fn builder_oracle_sharing_matches_legacy((g, t, cast) in arb_scenario()) {
+        let scenario = build_scenario(&g, t, &cast);
+        let mut builder_oracle = ConnectivityOracle::new();
+        let first = scenario.sim().oracle(&mut builder_oracle).run();
+        let second = scenario.sim().oracle(&mut builder_oracle).run();
+        let mut legacy_oracle = ConnectivityOracle::new();
+        let legacy_first = scenario.run_with_oracle(&mut legacy_oracle);
+        let legacy_second = scenario.run_with_oracle(&mut legacy_oracle);
+        assert_matches_legacy(&first, &legacy_first, "first shared-oracle run");
+        assert_matches_legacy(&second, &legacy_second, "second shared-oracle run");
+    }
+}
+
+/// `.epochs(k)` equals the legacy pattern it replaces: k scenarios with
+/// key seeds `base + e` sharing one oracle (what `nectar-cli detect
+/// --epochs` used to hand-roll).
+#[test]
+fn builder_epochs_match_the_legacy_epoch_loop() {
+    let g = gen::harary(4, 10).unwrap();
+    let scenario =
+        Scenario::new(g.clone(), 2).with_key_seed(31).with_byzantine(4, ByzantineBehavior::Silent);
+    let report = scenario.sim().runtime(Runtime::Event).epochs(3).run();
+    let mut oracle = ConnectivityOracle::new();
+    for epoch in 0..3 {
+        let legacy = Scenario::new(g.clone(), 2)
+            .with_key_seed(31 + epoch as u64)
+            .with_byzantine(4, ByzantineBehavior::Silent)
+            .run_event_driven_with_oracle(&mut oracle);
+        let e = &report.epochs[epoch];
+        assert_eq!(&e.decisions, &legacy.decisions, "epoch {epoch}");
+        assert_eq!(&e.metrics, &legacy.metrics, "epoch {epoch}");
+        assert_eq!(&e.oracle, &legacy.oracle, "epoch {epoch}");
+    }
+}
+
+/// `sim().participants()` equals `run_participants()` (same views, bit for
+/// bit, judged by each node's discovered graph and full Debug state).
+#[test]
+fn builder_participants_match_legacy() {
+    let scenario = Scenario::new(gen::cycle(9), 2)
+        .with_key_seed(3)
+        .with_byzantine(1, ByzantineBehavior::Silent);
+    let a = scenario.sim().participants();
+    let b = scenario.run_participants();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(format!("{x:?}"), format!("{y:?}"));
+    }
+}
+
+/// Observer hook-order contract, enforced across all four engines: per
+/// epoch, `round_committed` for rounds `1..=R` in order (with the exact
+/// per-round byte counts of the sync engine), then `node_decided` in
+/// ascending node order matching the report, then `epoch_closed` — and the
+/// entire stream identical on every runtime and worker count.
+#[test]
+fn observer_hooks_fire_in_canonical_order_on_all_runtimes() {
+    #[derive(Debug, PartialEq, Clone)]
+    enum Hook {
+        Round { epoch: usize, round: usize, bytes: u64 },
+        Node { epoch: usize, node: usize, verdict: Verdict },
+        EpochClosed { epoch: usize },
+    }
+
+    #[derive(Default)]
+    struct Recorder(Vec<Hook>);
+
+    impl RunObserver for Recorder {
+        fn round_committed(&mut self, epoch: usize, round: usize, bytes: u64) {
+            self.0.push(Hook::Round { epoch, round, bytes });
+        }
+        fn node_decided(&mut self, epoch: usize, node: usize, decision: &Decision) {
+            self.0.push(Hook::Node { epoch, node, verdict: decision.verdict });
+        }
+        fn epoch_closed(&mut self, epoch: usize, _outcome: &EpochOutcome) {
+            self.0.push(Hook::EpochClosed { epoch });
+        }
+    }
+
+    let scenario = Scenario::new(gen::harary(4, 10).unwrap(), 2)
+        .with_key_seed(17)
+        .with_byzantine(3, ByzantineBehavior::TwoFaced { silent_toward: [5, 6].into() });
+    let rounds = scenario.config().effective_rounds();
+
+    let record = |runtime: Runtime| {
+        let mut recorder = Recorder::default();
+        let report = scenario.sim().runtime(runtime).epochs(2).observe(&mut recorder).run();
+        (recorder.0, report)
+    };
+
+    let (reference, report) = record(Runtime::Sync);
+    // Shape: per epoch, R rounds, then one Node per correct node, then the
+    // epoch close — nothing interleaved, nothing out of order.
+    let correct = report.epochs[0].decisions.len();
+    assert_eq!(reference.len(), 2 * (rounds + correct + 1));
+    for epoch in 0..2 {
+        let base = epoch * (rounds + correct + 1);
+        for r in 0..rounds {
+            match &reference[base + r] {
+                Hook::Round { epoch: e, round, bytes } => {
+                    assert_eq!((*e, *round), (epoch, r + 1));
+                    let recorded =
+                        report.epochs[epoch].metrics.bytes_per_round().get(r).copied().unwrap_or(0);
+                    assert_eq!(*bytes, recorded, "epoch {epoch} round {}", r + 1);
+                }
+                other => panic!("expected round commit at {}, got {other:?}", base + r),
+            }
+        }
+        let nodes: Vec<usize> = report.epochs[epoch].decisions.keys().copied().collect();
+        for (i, &expected_node) in nodes.iter().enumerate() {
+            match &reference[base + rounds + i] {
+                Hook::Node { epoch: e, node, .. } => {
+                    assert_eq!((*e, *node), (epoch, expected_node));
+                }
+                other => panic!("expected node decision, got {other:?}"),
+            }
+        }
+        assert_eq!(reference[base + rounds + correct], Hook::EpochClosed { epoch });
+    }
+
+    // And the identical stream on every other engine / worker count.
+    for runtime in [
+        Runtime::Threaded,
+        Runtime::Event,
+        Runtime::Parallel { workers: 1 },
+        Runtime::Parallel { workers: 3 },
+    ] {
+        let (stream, _) = record(runtime);
+        assert_eq!(stream, reference, "{runtime}: hook stream drifted");
+    }
+}

@@ -24,7 +24,7 @@ fn family_zoo() -> Vec<(String, Graph)> {
 #[test]
 fn honest_runs_discover_the_exact_topology() {
     for (name, g) in family_zoo() {
-        let participants = Scenario::new(g.clone(), 1).run_participants();
+        let participants = Scenario::new(g.clone(), 1).sim().participants();
         for p in &participants {
             assert_eq!(
                 p.nectar().discovered_graph(),
@@ -42,7 +42,7 @@ fn verdicts_track_connectivity_thresholds() {
         let kappa = connectivity::vertex_connectivity(&g);
         // t below half the connectivity: NOT_PARTITIONABLE (2t ≤ κ).
         let t_low = kappa / 2;
-        let out = Scenario::new(g.clone(), t_low).run();
+        let out = Scenario::new(g.clone(), t_low).sim().run();
         assert_eq!(
             out.unanimous_verdict(),
             Some(Verdict::NotPartitionable),
@@ -50,7 +50,7 @@ fn verdicts_track_connectivity_thresholds() {
         );
         // t at or above the connectivity: PARTITIONABLE (k ≤ t branch).
         let t_high = kappa;
-        let out = Scenario::new(g.clone(), t_high).run();
+        let out = Scenario::new(g.clone(), t_high).sim().run();
         assert_eq!(
             out.unanimous_verdict(),
             Some(Verdict::Partitionable),
@@ -84,7 +84,7 @@ fn wheel_center_byzantine_clique_cannot_hide_spoke_edges() {
         scenario = scenario
             .with_byzantine(hub, ByzantineBehavior::HideEdges { toward: (0..14).collect() });
     }
-    let out = scenario.run();
+    let out = scenario.sim().run();
     assert!(out.agreement());
     assert_eq!(out.unanimous_verdict(), Some(Verdict::NotPartitionable));
 }
@@ -104,13 +104,14 @@ fn hidden_byzantine_byzantine_edge_forces_conservative_verdict() {
     let out = Scenario::new(g, 2)
         .with_byzantine(3, ByzantineBehavior::HideEdges { toward: [4].into() })
         .with_byzantine(4, ByzantineBehavior::HideEdges { toward: [3].into() })
+        .sim()
         .run();
     assert!(out.agreement());
     assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
     // The views see a disconnected graph (edge (3,4) missing), so the
     // partition is "confirmed" — and Validity holds: {3,4} really is a
     // vertex cut of the true graph.
-    assert!(out.decisions.values().all(|d| d.confirmed));
+    assert!(out.decisions().values().all(|d| d.confirmed));
     assert!(out.byzantine_cast_is_vertex_cut());
 }
 
@@ -120,9 +121,9 @@ fn lhg_families_finish_earlier_than_k_regular() {
     // early quiescence ⇒ shorter chains.
     let k = 4;
     let n = 48;
-    let regular = Scenario::new(gen::harary(k, n).unwrap(), 1).run_metrics_only();
-    let pasted = Scenario::new(gen::k_pasted_tree(k, n).unwrap(), 1).run_metrics_only();
-    let active_rounds = |m: &nectar::net::Metrics| m.bytes_per_round().len();
+    let regular = Scenario::new(gen::harary(k, n).unwrap(), 1).sim().metrics_only().run();
+    let pasted = Scenario::new(gen::k_pasted_tree(k, n).unwrap(), 1).sim().metrics_only().run();
+    let active_rounds = |m: &RunReport| m.metrics().bytes_per_round().len();
     assert!(
         active_rounds(&pasted) < active_rounds(&regular),
         "pasted tree ({}) should finish before the k-regular graph ({})",
@@ -138,7 +139,7 @@ fn drone_graphs_over_the_whole_distance_range() {
     let mut rng = StdRng::seed_from_u64(23);
     for d in [0.0, 2.0, 4.0, 6.0] {
         let placement = gen::drone_scenario(14, d, 2.4, &mut rng).unwrap();
-        let out = Scenario::new(placement.graph.clone(), 1).run();
+        let out = Scenario::new(placement.graph.clone(), 1).sim().run();
         assert!(out.agreement(), "d = {d}");
         // Verdict must match ground truth thresholds.
         let kappa = connectivity::vertex_connectivity(&placement.graph);
@@ -174,12 +175,12 @@ fn nectar_handles_the_extended_topology_families() {
             continue; // rewiring can rarely disconnect; skip those samples
         }
         let kappa = connectivity::vertex_connectivity(&g);
-        let out = Scenario::new(g.clone(), 1).run();
+        let out = Scenario::new(g.clone(), 1).sim().run();
         assert!(out.agreement(), "{name}");
         let expected = if kappa >= 2 { Verdict::NotPartitionable } else { Verdict::Partitionable };
         assert_eq!(out.unanimous_verdict(), Some(expected), "{name} (κ = {kappa})");
         // Honest runs always reconstruct the exact topology.
-        let participants = Scenario::new(g.clone(), 1).run_participants();
+        let participants = Scenario::new(g.clone(), 1).sim().participants();
         assert!(participants.iter().all(|p| p.nectar().discovered_graph() == g), "{name}");
     }
 }
@@ -196,7 +197,7 @@ fn torus_with_byzantine_neighborhood_is_flagged() {
     for b in cut {
         scenario = scenario.with_byzantine(b, ByzantineBehavior::Silent);
     }
-    let out = scenario.run();
+    let out = scenario.sim().run();
     assert!(out.agreement());
     assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
 }
