@@ -15,7 +15,7 @@ use std::hint::black_box;
 
 use nectar_baselines::{run_mtg, run_mtg_v2, MtgConfig};
 use nectar_graph::gen;
-use nectar_protocol::{Runtime, Scenario};
+use nectar_protocol::{Runtime, Scenario, TopologySchedule};
 
 fn bench_nectar_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("nectar_run");
@@ -96,6 +96,35 @@ fn bench_runtime_scaling(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("threaded", n), &scenario, |b, s| {
                 b.iter(|| black_box(s).sim().runtime(Runtime::Threaded).metrics_only().run())
             });
+        }
+        // A flap-heavy schedule on the 10k fleet: 256 cliques flap one
+        // intra-clique edge 8 times over the first 17 rounds (4 096
+        // transitions). Every heal re-wakes its endpoints, so this prices
+        // what dynamics cost the active-set scheduler: the `Scheduled`
+        // wrapper's fate checks plus the churn the flaps keep injecting
+        // into an otherwise ~4-round-quiescent dissemination.
+        if n == 10_000 {
+            let mut schedule = TopologySchedule::new().with_seed(7);
+            for c in 0..256 {
+                for k in 0..8 {
+                    let (u, v) = (4 * c, 4 * c + 1);
+                    schedule = schedule.drop_edge(1 + 2 * k, u, v).heal_edge(2 + 2 * k, u, v);
+                }
+            }
+            group.bench_with_input(
+                BenchmarkId::new("event_flap", n),
+                &(&scenario, schedule),
+                |b, (s, sched)| {
+                    b.iter(|| {
+                        black_box(*s)
+                            .sim()
+                            .runtime(Runtime::Event)
+                            .schedule(sched.clone())
+                            .metrics_only()
+                            .run()
+                    })
+                },
+            );
         }
     }
     group.finish();

@@ -142,6 +142,18 @@ impl Process for Participant {
             Participant::Equivocator(e) => e.quiescent(),
         }
     }
+
+    fn link_changed(&mut self, round: usize, peer: NodeId, up: bool) {
+        // NECTAR nodes ignore the notification (mid-epoch re-announcement
+        // is blocked by the chain-length rule), but forwarding keeps any
+        // wrapper stack — auditors, fault models — fully informed.
+        match self {
+            Participant::Correct(n) => n.link_changed(round, peer, up),
+            Participant::TrafficFault(f) => f.link_changed(round, peer, up),
+            Participant::LateReveal(l) => l.inner.link_changed(round, peer, up),
+            Participant::Equivocator(e) => e.inner.link_changed(round, peer, up),
+        }
+    }
 }
 
 /// Wraps a correct node with a traffic fault model chosen by `behavior`.

@@ -68,7 +68,8 @@ pub use config::{Decision, NectarConfig, Verdict};
 pub use epochs::{EpochMonitor, EpochReport};
 pub use message::{NectarMsg, RelayedEdge, WireFormat};
 pub use nectar_graph::{ConnectivityOracle, OracleStats};
+pub use nectar_net::{ScheduleError, TopologySchedule};
 pub use node::{NectarNode, RejectReason};
-pub use report::{decision_csv_row, EpochOutcome, RunReport, DECISIONS_CSV_HEADER};
+pub use report::{decision_csv_row, EpochOutcome, RunReport, ScheduleRecord, DECISIONS_CSV_HEADER};
 pub use runner::{Outcome, Runtime, Scenario};
 pub use sim::{RunObserver, Simulation};

@@ -34,8 +34,9 @@ use crate::config::{Decision, Verdict};
 use crate::runner::{Outcome, Runtime};
 
 /// Version tag of the persisted report formats (bumped on incompatible
-/// changes; both the binary and JSON forms carry it).
-pub const REPORT_CODEC_VERSION: u16 = 1;
+/// changes; both the binary and JSON forms carry it). Version 2 added the
+/// applied topology schedule and the `schedule_drops` metrics counter.
+pub const REPORT_CODEC_VERSION: u16 = 2;
 
 /// Sanity cap on decoded collection lengths (nodes, edges, rounds): far
 /// above any supported system size, low enough that corrupt length
@@ -51,6 +52,21 @@ pub const DECISIONS_CSV_HEADER: &str = "epoch,node,verdict,confirmed,reachable,c
 /// matching [`DECISIONS_CSV_HEADER`]'s columns.
 pub fn decision_csv_row(epoch: usize, node: NodeId, d: &Decision) -> String {
     format!("{epoch},{node},{},{},{},{}", d.verdict, d.confirmed, d.reachable, d.connectivity)
+}
+
+/// The topology schedule a session ran under, as persisted in its
+/// [`RunReport`]: the script itself (re-parseable with
+/// `TopologySchedule::parse`) plus the compiled per-event timing — every
+/// edge transition the schedule actually produced, in the order it took
+/// effect. The same schedule re-applies identically in every epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleRecord {
+    /// The schedule in its text format (`TopologySchedule::to_script`).
+    pub script: String,
+    /// Resolved edge transitions `(round, u, v, up)` with `u < v`, in
+    /// (round, edge) order — the compiled ground truth of when each link
+    /// actually changed state.
+    pub transitions: Vec<(usize, NodeId, NodeId, bool)>,
 }
 
 /// Everything observable from one epoch of a simulation.
@@ -125,6 +141,9 @@ pub struct RunReport {
     pub byzantine: BTreeSet<NodeId>,
     /// The ground-truth topology (for property checks).
     pub topology: Graph,
+    /// The topology schedule the session ran under, if any (applied
+    /// identically in every epoch).
+    pub schedule: Option<ScheduleRecord>,
     /// Per-epoch outcomes, in epoch order.
     pub epochs: Vec<EpochOutcome>,
 }
@@ -259,6 +278,23 @@ impl RunReport {
             self.topology.node_count()
         )
         .expect("infallible");
+        match &self.schedule {
+            None => writeln!(w, "  \"schedule\": null,").expect("infallible"),
+            Some(s) => {
+                let transitions = s
+                    .transitions
+                    .iter()
+                    .map(|&(r, u, v, up)| format!("[{r}, {u}, {v}, {up}]"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                writeln!(
+                    w,
+                    "  \"schedule\": {{\"script\": \"{}\", \"transitions\": [{transitions}]}},",
+                    json_escape(&s.script)
+                )
+                .expect("infallible");
+            }
+        }
         writeln!(w, "  \"epochs\": [").expect("infallible");
         for (i, e) in self.epochs.iter().enumerate() {
             let sep = if i + 1 == self.epochs.len() { "" } else { "," };
@@ -282,13 +318,14 @@ impl RunReport {
                 w,
                 "     \"metrics\": {{\"bytes_sent\": {}, \"msgs_sent\": {}, \
                  \"bytes_received\": {}, \"msgs_received\": {}, \"bytes_per_round\": {}, \
-                 \"illegal_sends\": {}}},",
+                 \"illegal_sends\": {}, \"schedule_drops\": {}}},",
                 json_u64_array(m.bytes_sent()),
                 json_u64_array(m.msgs_sent()),
                 json_u64_array(m.bytes_received()),
                 json_u64_array(m.msgs_received()),
                 json_u64_array(m.bytes_per_round()),
-                m.illegal_sends()
+                m.illegal_sends(),
+                m.schedule_drops()
             )
             .expect("infallible");
             let s = &e.oracle;
@@ -352,6 +389,27 @@ impl RunReport {
             ));
         }
         let topology = Graph::from_edges(topo_n, edges).map_err(|e| e.to_string())?;
+        let schedule = match obj.field("schedule")? {
+            json::Value::Null => None,
+            value => {
+                let s = value.as_obj("schedule")?;
+                let script = s.field("script")?.as_str("schedule.script")?.to_string();
+                let mut transitions = Vec::new();
+                for t in s.field("transitions")?.as_arr("schedule.transitions")? {
+                    let quad = t.as_arr("transition")?;
+                    if quad.len() != 4 {
+                        return Err("transition must be a [round, u, v, up] quad".into());
+                    }
+                    transitions.push((
+                        quad[0].as_u64("transition round")? as usize,
+                        quad[1].as_u64("transition endpoint")? as usize,
+                        quad[2].as_u64("transition endpoint")? as usize,
+                        quad[3].as_bool("transition up")?,
+                    ));
+                }
+                Some(ScheduleRecord { script, transitions })
+            }
+        };
         let mut epochs = Vec::new();
         for e in obj.field("epochs")?.as_arr("epochs")? {
             let e = e.as_obj("epoch")?;
@@ -379,6 +437,7 @@ impl RunReport {
                 u64s("msgs_received")?,
                 u64s("bytes_per_round")?,
                 m.field("illegal_sends")?.as_u64("illegal_sends")?,
+                m.field("schedule_drops")?.as_u64("schedule_drops")?,
             );
             let o = e.field("oracle")?.as_obj("oracle")?;
             let stat = |key: &str| -> Result<u64, String> { o.field(key)?.as_u64(key) };
@@ -397,7 +456,7 @@ impl RunReport {
                 },
             });
         }
-        Ok(RunReport { runtime, n, t, key_seed, byzantine, topology, epochs })
+        Ok(RunReport { runtime, n, t, key_seed, byzantine, topology, schedule, epochs })
     }
 
     /// Writes [`to_json`](Self::to_json) to `path` — the persistence hook
@@ -475,6 +534,12 @@ impl RunReport {
         }
         Ok(epochs)
     }
+}
+
+/// Escapes a string for the JSON subset the reader below understands
+/// (backslash, quote and newline — all the schedule script format needs).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
 fn json_u64_array(values: &[u64]) -> String {
@@ -572,6 +637,21 @@ impl Encode for RunReport {
             buf.put_u32(u as u32);
             buf.put_u32(v as u32);
         }
+        match &self.schedule {
+            None => buf.put_u8(0),
+            Some(s) => {
+                buf.put_u8(1);
+                buf.put_u32(s.script.len() as u32);
+                buf.put_slice(s.script.as_bytes());
+                buf.put_u32(s.transitions.len() as u32);
+                for &(round, u, v, up) in &s.transitions {
+                    buf.put_u32(round as u32);
+                    buf.put_u32(u as u32);
+                    buf.put_u32(v as u32);
+                    buf.put_u8(up as u8);
+                }
+            }
+        }
         buf.put_u32(self.epochs.len() as u32);
         for e in &self.epochs {
             buf.put_u32(e.epoch as u32);
@@ -590,6 +670,7 @@ impl Encode for RunReport {
             put_u64s(buf, e.metrics.msgs_received());
             put_u64s(buf, e.metrics.bytes_per_round());
             buf.put_u64(e.metrics.illegal_sends());
+            buf.put_u64(e.metrics.schedule_drops());
             for stat in [
                 e.oracle.queries,
                 e.oracle.cache_hits,
@@ -607,6 +688,11 @@ impl Encode for RunReport {
         let header = 2 + 1 + 4 + 4 + 4 + 8;
         let byzantine = 4 + 4 * self.byzantine.len();
         let topology = 4 + 4 + 8 * self.topology.edge_count();
+        let schedule = 1 + self
+            .schedule
+            .as_ref()
+            .map(|s| 4 + s.script.len() + 4 + 13 * s.transitions.len())
+            .unwrap_or(0);
         let epochs: usize = self
             .epochs
             .iter()
@@ -618,10 +704,11 @@ impl Encode for RunReport {
                     + 4 * (4 + 8 * metrics_nodes)
                     + (4 + 8 * e.metrics.bytes_per_round().len())
                     + 8
+                    + 8
                     + 6 * 8
             })
             .sum();
-        header + byzantine + topology + 4 + epochs
+        header + byzantine + topology + schedule + 4 + epochs
     }
 }
 
@@ -654,6 +741,35 @@ impl Decode for RunReport {
         let topology = Graph::from_edges(topo_n, edges).map_err(|_| {
             CodecError::LengthOutOfBounds { decoding: "topology edge", len: topo_n }
         })?;
+        let schedule = match take(buf, 1, "schedule flag")?[0] {
+            0 => None,
+            1 => {
+                let script_len = take_len(buf, "schedule script")?;
+                let script = std::str::from_utf8(take(buf, script_len, "schedule script")?)
+                    .map_err(|_| CodecError::LengthOutOfBounds {
+                        decoding: "schedule script",
+                        len: script_len,
+                    })?
+                    .to_string();
+                let count = take_len(buf, "schedule transitions")?;
+                let mut head = take(buf, 13 * count, "schedule transitions")?;
+                let transitions = (0..count)
+                    .map(|_| {
+                        let round = head.get_u32() as usize;
+                        let u = head.get_u32() as usize;
+                        let v = head.get_u32() as usize;
+                        (round, u, v, head.get_u8() != 0)
+                    })
+                    .collect();
+                Some(ScheduleRecord { script, transitions })
+            }
+            other => {
+                return Err(CodecError::LengthOutOfBounds {
+                    decoding: "schedule flag",
+                    len: other as usize,
+                })
+            }
+        };
         let epoch_count = take_len(buf, "epoch count")?;
         let mut epochs = Vec::with_capacity(epoch_count.min(1024));
         for _ in 0..epoch_count {
@@ -694,8 +810,9 @@ impl Decode for RunReport {
                     len: msgs_sent.len(),
                 });
             }
-            let mut tail = take(buf, 8 + 6 * 8, "metrics/oracle tail")?;
+            let mut tail = take(buf, 8 + 8 + 6 * 8, "metrics/oracle tail")?;
             let illegal_sends = tail.get_u64();
+            let schedule_drops = tail.get_u64();
             let metrics = Metrics::from_parts(
                 bytes_sent,
                 msgs_sent,
@@ -703,6 +820,7 @@ impl Decode for RunReport {
                 msgs_received,
                 bytes_per_round,
                 illegal_sends,
+                schedule_drops,
             );
             let oracle = OracleStats {
                 queries: tail.get_u64(),
@@ -714,7 +832,7 @@ impl Decode for RunReport {
             };
             epochs.push(EpochOutcome { epoch, key_seed: epoch_seed, decisions, metrics, oracle });
         }
-        Ok(RunReport { runtime, n, t, key_seed, byzantine, topology, epochs })
+        Ok(RunReport { runtime, n, t, key_seed, byzantine, topology, schedule, epochs })
     }
 }
 
@@ -887,6 +1005,7 @@ mod json {
                         match esc {
                             b'"' => out.push('"'),
                             b'\\' => out.push('\\'),
+                            b'n' => out.push('\n'),
                             other => return Err(format!("unsupported escape \\{}", other as char)),
                         }
                     }
@@ -981,10 +1100,10 @@ mod tests {
     #[test]
     fn json_rejects_version_skew_and_garbage() {
         let report = sample_report();
-        let skewed = report.to_json().replace("\"version\": 1", "\"version\": 99");
+        let skewed = report.to_json().replace("\"version\": 2", "\"version\": 99");
         assert!(RunReport::from_json(&skewed).is_err());
         assert!(RunReport::from_json("").is_err());
-        assert!(RunReport::from_json("{\"version\": 1}").is_err());
+        assert!(RunReport::from_json("{\"version\": 2}").is_err());
         assert!(RunReport::from_json("nonsense").is_err());
     }
 

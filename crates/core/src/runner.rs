@@ -18,10 +18,13 @@
 //! [`Outcome`] shape.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use nectar_crypto::{KeyStore, NeighborhoodProof, Verifier};
 use nectar_graph::{connectivity, traversal, ConnectivityOracle, Fingerprint, Graph, OracleStats};
-use nectar_net::{parallel_map, Metrics, NodeId, RoundSink, SyncNetwork};
+use nectar_net::{
+    parallel_map, CompiledSchedule, Metrics, NodeId, Process, RoundSink, Scheduled, SyncNetwork,
+};
 
 use crate::byzantine::{
     wrap_traffic_fault, ByzantineBehavior, EquivocatorNode, LateRevealNode, Participant,
@@ -299,24 +302,23 @@ impl Scenario {
     pub(crate) fn propagate(
         &self,
         runtime: Runtime,
+        schedule: Option<&Arc<CompiledSchedule>>,
         sink: &mut dyn RoundSink,
     ) -> (Vec<Participant>, Metrics) {
         let participants = self.build_participants_with(runtime.decision_workers());
         let rounds = self.config.effective_rounds();
-        match runtime {
-            Runtime::Sync => {
-                let mut net = SyncNetwork::new(participants, self.topology.clone());
-                net.run_rounds_with(rounds, sink);
-                net.into_parts()
-            }
-            Runtime::Threaded => {
-                nectar_net::run_threaded_with(participants, &self.topology, rounds, sink)
-            }
-            Runtime::Event => {
-                nectar_net::run_event_driven_with(participants, &self.topology, rounds, sink)
-            }
-            Runtime::Parallel { workers } => {
-                nectar_net::run_parallel_with(participants, &self.topology, rounds, workers, sink)
+        match schedule {
+            None => dispatch(runtime, participants, &self.topology, rounds, sink),
+            Some(compiled) => {
+                // Same dispatch, with every participant behind the schedule
+                // wrapper; the wrappers are pure functions of the shared
+                // compiled schedule, so engine equivalence is untouched.
+                let wrapped = Scheduled::wrap_all(participants, compiled);
+                let (wrapped, mut metrics) =
+                    dispatch(runtime, wrapped, &self.topology, rounds, sink);
+                let drops = wrapped.iter().map(Scheduled::drops).sum();
+                metrics.record_schedule_drops(drops);
+                (wrapped.into_iter().map(Scheduled::into_inner).collect(), metrics)
             }
         }
     }
@@ -576,6 +578,33 @@ fn view_component_sizes(key: &[(u16, u16)], n: usize) -> BTreeMap<NodeId, usize>
         root_size[find(&mut parent, i)] += 1;
     }
     index.iter().map(|(&v, &i)| (v, root_size[find(&mut parent, i)])).collect()
+}
+
+/// Runs `procs` for `rounds` on the chosen engine — the single runtime
+/// dispatch shared by scheduled (wrapper-clad) and plain executions.
+fn dispatch<P>(
+    runtime: Runtime,
+    procs: Vec<P>,
+    topology: &Graph,
+    rounds: usize,
+    sink: &mut dyn RoundSink,
+) -> (Vec<P>, Metrics)
+where
+    P: Process + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    match runtime {
+        Runtime::Sync => {
+            let mut net = SyncNetwork::new(procs, topology.clone());
+            net.run_rounds_with(rounds, sink);
+            net.into_parts()
+        }
+        Runtime::Threaded => nectar_net::run_threaded_with(procs, topology, rounds, sink),
+        Runtime::Event => nectar_net::run_event_driven_with(procs, topology, rounds, sink),
+        Runtime::Parallel { workers } => {
+            nectar_net::run_parallel_with(procs, topology, rounds, workers, sink)
+        }
+    }
 }
 
 /// Everything observable after a scenario execution.

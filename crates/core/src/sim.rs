@@ -26,13 +26,14 @@
 //! analyses (Kailkhura et al.) treat as the primary experimental output.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use nectar_graph::{ConnectivityOracle, OracleStats};
-use nectar_net::{NodeId, RoundSink};
+use nectar_net::{CompiledSchedule, NodeId, RoundSink, TopologySchedule};
 
 use crate::byzantine::Participant;
 use crate::config::Decision;
-use crate::report::{EpochOutcome, RunReport};
+use crate::report::{EpochOutcome, RunReport, ScheduleRecord};
 use crate::runner::{Runtime, Scenario};
 
 /// Streaming hooks fed from every engine while a [`Simulation`] runs.
@@ -94,6 +95,7 @@ pub struct Simulation<'a> {
     metrics_only: bool,
     epochs: usize,
     observer: Option<&'a mut dyn RunObserver>,
+    schedule: Option<TopologySchedule>,
 }
 
 impl Scenario {
@@ -107,6 +109,7 @@ impl Scenario {
             metrics_only: false,
             epochs: 1,
             observer: None,
+            schedule: None,
         }
     }
 }
@@ -168,6 +171,25 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Runs the session under a [`TopologySchedule`]: scripted edge
+    /// drops/heals, node churn, partitions and per-link loss/delay windows
+    /// applied at the round-commit barrier, bit-identically on every
+    /// runtime at any worker count (the schedule axis of
+    /// `docs/DETERMINISM.md` §4). The schedule re-applies identically in
+    /// each epoch, and the report records the applied script plus every
+    /// resolved edge transition.
+    ///
+    /// The schedule is validated against the scenario topology when the
+    /// session executes; [`run`](Self::run) /
+    /// [`participants`](Self::participants) panic on an inconsistent
+    /// schedule (an unknown edge, a heal without a drop, an out-of-range
+    /// probability). Callers with untrusted input validate first via
+    /// `TopologySchedule::compile`.
+    pub fn schedule(mut self, schedule: TopologySchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
     /// Executes the session and returns its [`RunReport`].
     ///
     /// # Panics
@@ -175,7 +197,9 @@ impl<'a> Simulation<'a> {
     /// Panics if a `FictitiousEdges` / `LateReveal` behaviour names
     /// non-Byzantine accomplices.
     pub fn run(self) -> RunReport {
-        let Simulation { scenario, runtime, oracle, metrics_only, epochs, mut observer } = self;
+        let Simulation { scenario, runtime, oracle, metrics_only, epochs, mut observer, schedule } =
+            self;
+        let compiled = compile_schedule(schedule.as_ref(), scenario);
         let mut own_oracle = ConnectivityOracle::new();
         let oracle = match oracle {
             Some(shared) => shared,
@@ -198,7 +222,7 @@ impl<'a> Simulation<'a> {
                 working
             };
             let mut sink = EpochSink { observer: &mut observer, epoch };
-            let (participants, metrics) = sc.propagate(runtime, &mut sink);
+            let (participants, metrics) = sc.propagate(runtime, compiled.as_ref(), &mut sink);
             let (decisions, oracle_stats) = if metrics_only {
                 (BTreeMap::new(), OracleStats::default())
             } else {
@@ -228,6 +252,13 @@ impl<'a> Simulation<'a> {
             // invisible next to the run itself even on the 50 000-node
             // bench tiers.
             topology: scenario.topology().clone(),
+            schedule: schedule.as_ref().zip(compiled.as_ref()).map(|(s, c)| ScheduleRecord {
+                script: s.to_script(),
+                transitions: c
+                    .transition_rounds()
+                    .flat_map(|r| c.transitions_at(r).iter().map(move |&(u, v, up)| (r, u, v, up)))
+                    .collect(),
+            }),
             epochs: epoch_outcomes,
         }
     }
@@ -244,10 +275,25 @@ impl<'a> Simulation<'a> {
     /// Panics if a `FictitiousEdges` / `LateReveal` behaviour names
     /// non-Byzantine accomplices.
     pub fn participants(self) -> Vec<Participant> {
+        let compiled = compile_schedule(self.schedule.as_ref(), self.scenario);
         let mut observer = self.observer;
         let mut sink = EpochSink { observer: &mut observer, epoch: 0 };
-        self.scenario.propagate(self.runtime, &mut sink).0
+        self.scenario.propagate(self.runtime, compiled.as_ref(), &mut sink).0
     }
+}
+
+/// Compiles the session schedule against the scenario topology, panicking
+/// with the validation message on an inconsistent schedule (the documented
+/// behaviour of [`Simulation::schedule`]).
+fn compile_schedule(
+    schedule: Option<&TopologySchedule>,
+    scenario: &Scenario,
+) -> Option<Arc<CompiledSchedule>> {
+    schedule.map(|s| {
+        Arc::new(
+            s.compile(scenario.topology()).unwrap_or_else(|e| panic!("schedule rejected: {e}")),
+        )
+    })
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@ use std::fmt::Write as _;
 
 use nectar_graph::{connectivity, gen, traversal, Graph};
 use nectar_protocol::{
-    ByzantineBehavior, Decision, EpochOutcome, RunObserver, Runtime, Scenario, Verdict,
+    ByzantineBehavior, Decision, EpochOutcome, RunObserver, Runtime, Scenario, TopologySchedule,
+    Verdict,
 };
 
 /// A parsed CLI invocation.
@@ -62,6 +63,9 @@ pub struct DetectArgs {
     pub per_node: bool,
     /// Persist the full `RunReport` as JSON to this path.
     pub report: Option<String>,
+    /// Topology schedule (`--schedule`): a path to a schedule script, or
+    /// the script itself inline with `;` separating lines.
+    pub schedule: Option<String>,
 }
 
 /// Usage text.
@@ -72,7 +76,7 @@ USAGE:
   nectar-cli detect --topology <family> --n <N> [--k <K>] [--t <T>]
              [--byz <node>:<behavior> ...] [--runtime <R>] [--workers <W>]
              [--seed <S>] [--epochs <E>] [--per-node] [--report <path>]
-             [--json | --csv]
+             [--schedule <path-or-script>] [--json | --csv]
   nectar-cli families --k <K> --n <N> [--csv]
   nectar-cli help
 
@@ -89,6 +93,18 @@ RUNTIME (--runtime, default sync):
             many cores; size the pool with --workers <W> (default:
             match the machine; only wall-clock depends on it)
   All four produce bit-identical outcomes (docs/DETERMINISM.md).
+
+SCHEDULE (--schedule):
+  Runs detection on a dynamic network: a schedule scripts deterministic
+  topology faults — `drop R U V` / `heal R U V` (edge down/up before
+  round R's sends), `crash R NODE` / `rejoin R NODE` (node churn),
+  `partition R a b c` / `heal-partition R a b c` (cut/restore every edge
+  crossing {a,b,c}), `loss U V A..B P` and `delay U V A..B D` (per-link
+  loss probability / fixed delay over rounds A..B; append `-one-way` for
+  asymmetric links), `seed S` (loss-roll seed), `#` comments. The value
+  is a file path, or the script itself inline with `;` separating lines
+  (e.g. --schedule 'drop 1 0 1; heal 3 0 1'). Applied identically on
+  every runtime at any worker count, and recorded in --report output.
 
 OUTPUT:
   --json emits one machine-readable document with the per-epoch verdicts
@@ -123,6 +139,7 @@ EXAMPLES:
   nectar-cli detect --topology cliques --n 10000 --t 2 --runtime event
   nectar-cli detect --topology cliques --n 10000 --t 2 --runtime parallel --workers 4
   nectar-cli detect --topology star --n 8 --t 1 --byz 0:silent --per-node --csv
+  nectar-cli detect --topology cycle --n 6 --t 1 --schedule 'drop 1 0 1; drop 1 3 4'
   nectar-cli families --k 4 --n 24 --csv
 ";
 
@@ -163,6 +180,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 epochs: 1,
                 per_node: false,
                 report: None,
+                schedule: None,
             };
             let mut workers: Option<usize> = None;
             let rest: Vec<String> = it.cloned().collect();
@@ -173,6 +191,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     ("--csv", _) => out.csv = true,
                     ("--per-node", _) => out.per_node = true,
                     ("--report", Some(v)) => out.report = Some(v.into()),
+                    ("--schedule", Some(v)) => out.schedule = Some(v.into()),
                     ("--topology", Some(v)) => out.topology = v.into(),
                     ("--n", Some(v)) => set_usize(&mut out.n, v, "--n")?,
                     ("--k", Some(v)) => set_usize(&mut out.k, v, "--k")?,
@@ -387,6 +406,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     return Err(format!("byzantine node {node} out of range (n = {})", args.n));
                 }
             }
+            let schedule = match &args.schedule {
+                Some(spec) => Some(load_schedule(spec, &graph)?),
+                None => None,
+            };
             let mut scenario = Scenario::new(graph, args.t).with_key_seed(args.seed);
             for (node, behavior) in &args.byzantine {
                 scenario = scenario.with_byzantine(*node, behavior.clone());
@@ -397,6 +420,9 @@ pub fn run(cmd: Command) -> Result<String, String> {
             // report — they stream live through the observer hooks.
             let mut stream = PerNodeStream::default();
             let mut sim = scenario.sim().runtime(args.runtime).epochs(args.epochs);
+            if let Some(schedule) = schedule {
+                sim = sim.schedule(schedule);
+            }
             if args.per_node {
                 sim = sim.observe(&mut stream);
             }
@@ -415,6 +441,21 @@ pub fn run(cmd: Command) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Resolves a `--schedule` value into a validated [`TopologySchedule`]:
+/// the value is read as a file when one exists at that path, otherwise it
+/// is the script itself with `;` accepted as a line separator. The script
+/// is compiled against the topology here so an inconsistent schedule is a
+/// CLI error, not a panic inside the simulation.
+fn load_schedule(spec: &str, graph: &Graph) -> Result<TopologySchedule, String> {
+    let text = match std::fs::read_to_string(spec) {
+        Ok(contents) => contents,
+        Err(_) => spec.replace(';', "\n"),
+    };
+    let schedule = TopologySchedule::parse(&text).map_err(|e| format!("--schedule: {e}"))?;
+    schedule.compile(graph).map_err(|e| format!("--schedule: {e}"))?;
+    Ok(schedule)
 }
 
 /// Collects the per-node verdict stream from the run's observer hooks —
@@ -788,6 +829,91 @@ mod tests {
         assert_eq!(report.epochs.len(), 2);
         assert_eq!(report.unanimous_verdict(), Some(Verdict::NotPartitionable));
         assert_eq!(report.topology.edge_count(), 6);
+    }
+
+    #[test]
+    fn schedule_flag_runs_detection_on_a_dynamic_network() {
+        // Cutting (0,1) and (3,4) from round 1 splits cycle-6 into two
+        // 3-node arcs; with t = 1 both sides must report PARTITIONABLE.
+        let cmd = parse(&strs(&[
+            "detect",
+            "--topology",
+            "cycle",
+            "--n",
+            "6",
+            "--t",
+            "1",
+            "--schedule",
+            "drop 1 0 1; drop 1 3 4",
+        ]))
+        .unwrap();
+        match &cmd {
+            Command::Detect(args) => {
+                assert_eq!(args.schedule.as_deref(), Some("drop 1 0 1; drop 1 3 4"));
+            }
+            other => panic!("expected detect, got {other:?}"),
+        }
+        let out = run(cmd).unwrap();
+        assert!(out.contains("verdict:  PARTITIONABLE (confirmed partition: true)"), "{out}");
+        // The same script healed before the decision round leaves the
+        // static verdict intact.
+        let healed = run(parse(&strs(&[
+            "detect",
+            "--topology",
+            "cycle",
+            "--n",
+            "6",
+            "--t",
+            "1",
+            "--schedule",
+            "drop 1 0 1; drop 1 3 4; heal 2 0 1; heal 2 3 4",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(healed.contains("NOT_PARTITIONABLE"), "{healed}");
+    }
+
+    #[test]
+    fn schedule_flag_reads_a_file_and_lands_in_the_report() {
+        let dir = std::env::temp_dir();
+        let sched_path = dir.join("nectar-cli-schedule-test.txt");
+        let report_path = dir.join("nectar-cli-schedule-report-test.json");
+        std::fs::write(&sched_path, "# split the ring\ndrop 1 0 1\ndrop 1 3 4\n").unwrap();
+        let cmd = parse(&strs(&[
+            "detect",
+            "--topology",
+            "cycle",
+            "--n",
+            "6",
+            "--t",
+            "1",
+            "--schedule",
+            sched_path.to_str().unwrap(),
+            "--report",
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("PARTITIONABLE"), "{out}");
+        let report = nectar_protocol::RunReport::load_json(&report_path).unwrap();
+        std::fs::remove_file(&sched_path).ok();
+        std::fs::remove_file(&report_path).ok();
+        let record = report.schedule.expect("report records the applied schedule");
+        assert!(record.script.contains("drop 1 0 1"), "{}", record.script);
+        assert_eq!(record.transitions, vec![(1, 0, 1, false), (1, 3, 4, false)]);
+    }
+
+    #[test]
+    fn bad_schedules_are_cli_errors_not_panics() {
+        let run_sched = |script: &str| {
+            run(parse(&strs(&["detect", "--topology", "cycle", "--n", "6", "--schedule", script]))
+                .unwrap())
+        };
+        // Malformed syntax, an edge the topology does not have, and a heal
+        // without a matching drop all surface as messages.
+        assert!(run_sched("drop one zero").unwrap_err().contains("--schedule"));
+        assert!(run_sched("drop 1 0 3").unwrap_err().contains("--schedule"));
+        assert!(run_sched("heal 2 0 1").unwrap_err().contains("--schedule"));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod prelude {
     pub use nectar_graph::{connectivity, gen, traversal, Graph};
     pub use nectar_protocol::{
         ByzantineBehavior, Decision, EpochMonitor, EpochOutcome, NectarConfig, NectarNode, Outcome,
-        RunObserver, RunReport, Runtime, Scenario, Simulation, Verdict,
+        RunObserver, RunReport, Runtime, Scenario, ScheduleError, Simulation, TopologySchedule,
+        Verdict,
     };
 }

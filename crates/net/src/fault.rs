@@ -71,6 +71,12 @@ impl<P: Process> Process for Faulty<P> {
             self.inner.receive(round, from, msg);
         }
     }
+
+    fn link_changed(&mut self, round: usize, peer: NodeId, up: bool) {
+        // Fault models shape traffic, not link awareness: the inner process
+        // hears about topology changes unfiltered.
+        self.inner.link_changed(round, peer, up);
+    }
 }
 
 /// Crash fault: sends nothing from `from_round` onwards (a node that crashed

@@ -72,6 +72,7 @@ pub mod fault;
 pub mod metrics;
 pub mod parallel;
 pub mod process;
+pub mod schedule;
 pub mod sync;
 pub mod threaded;
 
@@ -82,5 +83,8 @@ pub use parallel::{
     parallel_map, resolve_workers, run_parallel, run_parallel_with, ParallelNetwork,
 };
 pub use process::{NodeId, Outgoing, Process, RoundSink, WireSized};
+pub use schedule::{
+    CompiledSchedule, Fate, ScheduleError, ScheduleState, Scheduled, TopologySchedule,
+};
 pub use sync::SyncNetwork;
 pub use threaded::{run_threaded, run_threaded_with};

@@ -16,6 +16,7 @@ pub struct Metrics {
     msgs_received: Vec<u64>,
     bytes_per_round: Vec<u64>,
     illegal_sends: u64,
+    schedule_drops: u64,
 }
 
 impl Metrics {
@@ -28,6 +29,7 @@ impl Metrics {
             msgs_received: vec![0; n],
             bytes_per_round: Vec::new(),
             illegal_sends: 0,
+            schedule_drops: 0,
         }
     }
 
@@ -45,6 +47,7 @@ impl Metrics {
         msgs_received: Vec<u64>,
         bytes_per_round: Vec<u64>,
         illegal_sends: u64,
+        schedule_drops: u64,
     ) -> Self {
         assert!(
             bytes_sent.len() == msgs_sent.len()
@@ -59,6 +62,7 @@ impl Metrics {
             msgs_received,
             bytes_per_round,
             illegal_sends,
+            schedule_drops,
         }
     }
 
@@ -78,6 +82,14 @@ impl Metrics {
     /// Records an attempted send along a non-existent channel.
     pub fn record_illegal_send(&mut self) {
         self.illegal_sends += 1;
+    }
+
+    /// Records `n` messages suppressed by a topology schedule (down edges
+    /// and loss windows). Unlike illegal sends these are legitimate
+    /// protocol traffic the *network* refused to carry, so they are counted
+    /// apart from both the sent and the violation counters.
+    pub fn record_schedule_drops(&mut self, n: u64) {
+        self.schedule_drops += n;
     }
 
     /// Bytes sent, per node.
@@ -108,6 +120,11 @@ impl Metrics {
     /// Number of sends attempted along non-existent channels.
     pub fn illegal_sends(&self) -> u64 {
         self.illegal_sends
+    }
+
+    /// Number of messages a topology schedule dropped.
+    pub fn schedule_drops(&self) -> u64 {
+        self.schedule_drops
     }
 
     /// Total bytes sent across all nodes.
@@ -158,6 +175,7 @@ impl Metrics {
             *a += b;
         }
         self.illegal_sends += other.illegal_sends;
+        self.schedule_drops += other.schedule_drops;
     }
 }
 

@@ -61,6 +61,10 @@ where
     fn quiescent(&self) -> bool {
         (**self).quiescent()
     }
+
+    fn link_changed(&mut self, round: usize, peer: NodeId, up: bool) {
+        (**self).link_changed(round, peer, up)
+    }
 }
 
 /// Observes the round barrier of a runtime execution.
@@ -132,6 +136,28 @@ pub trait Process {
     /// dolev detector) override it with an "outbox empty" check.
     fn quiescent(&self) -> bool {
         false
+    }
+
+    /// Notifies the process that its channel to `peer` changed availability
+    /// at the start of `round` (1-based): `up = false` when a topology
+    /// schedule takes the link down, `up = true` when it heals.
+    ///
+    /// Only executions driven by a [`crate::schedule::TopologySchedule`]
+    /// ever call this; on a static topology it never fires. The call
+    /// arrives at the round-commit barrier — before the round's sends — in
+    /// ascending round order, and it is a legal *un-quiescing* point: a
+    /// process may react to a healed link by queueing new messages even if
+    /// it reported [`quiescent`](Process::quiescent) beforehand, extending
+    /// the hint's contract to "silent until the next `receive` *or*
+    /// `link_changed`" (the [`crate::schedule::Scheduled`] wrapper keeps
+    /// such nodes schedulable so no engine misses the wake-up). The default
+    /// ignores the notification, which is the correct behaviour for NECTAR
+    /// itself: mid-epoch re-announcement is cryptographically blocked by
+    /// the chain-length rule (a relay at round `r` needs `r` distinct
+    /// signatures), so healed links are only exploited by traffic that is
+    /// still flooding — or by the next epoch.
+    fn link_changed(&mut self, round: usize, peer: NodeId, up: bool) {
+        let _ = (round, peer, up);
     }
 }
 

@@ -1,0 +1,1266 @@
+//! Scripted topology schedules: deterministic network-level fault injection.
+//!
+//! The paper's system model (§II) fixes the communication graph for the
+//! duration of an epoch, and the four runtimes materialize that static
+//! topology up front. Real deployments flap: links drop and heal, nodes
+//! crash and rejoin, partitions open mid-epoch and close again. A
+//! [`TopologySchedule`] scripts exactly those events — seed-driven, round
+//! stamped, validated against the base graph — and a [`Scheduled`] wrapper
+//! enforces them around any [`Process`], on any runtime, without the
+//! engines knowing schedules exist.
+//!
+//! # Where the schedule is enforced
+//!
+//! Every scheduled effect is applied at the *sender's* edge of the wire,
+//! when the process is polled for a round's sends — which on every engine
+//! happens immediately after the previous round's commit barrier. Cutting
+//! a link at the sender is observationally identical to cutting it in the
+//! network (the message never arrives either way), and it keeps the
+//! determinism contract of `docs/DETERMINISM.md` intact for free: a
+//! message's fate is a pure function of `(round, from, to, k)` and the
+//! compiled schedule, so no engine, worker count or poll order can change
+//! it. A crashed node is modeled as all of its incident links being down
+//! for the crash window — it neither delivers nor is delivered to, exactly
+//! as if it were off.
+//!
+//! The schedule pipeline:
+//!
+//! 1. [`TopologySchedule`] — the builder/parser: raw round-stamped events
+//!    (drop/heal, crash/rejoin, partition/heal-partition) plus per-link
+//!    loss and delay windows, with a line-based text format for the CLI.
+//! 2. [`TopologySchedule::compile`] — validates against the base graph and
+//!    resolves overlapping causes (an edge is down while *any* cause holds:
+//!    an unhealed drop, a cut partition, a crashed endpoint) into one
+//!    per-round transition list, shared immutably by every node.
+//! 3. [`ScheduleState`] / [`Scheduled`] — the per-node cursor and process
+//!    wrapper: applies transitions at the round barrier, notifies the
+//!    wrapped process via [`Process::link_changed`], drops or delays
+//!    outgoing messages per the compiled fate, and keeps the node
+//!    schedulable (non-quiescent) until its last incident transition so
+//!    the event/parallel engines deliver wake-ups on time.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use nectar_graph::Graph;
+
+use crate::process::{NodeId, Outgoing, Process};
+
+/// Why a schedule failed to parse or compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A line of the text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The schedule is inconsistent with itself or the base graph.
+    Invalid {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Parse { line, reason } => {
+                write!(f, "schedule parse error at line {line}: {reason}")
+            }
+            ScheduleError::Invalid { reason } => write!(f, "invalid schedule: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A discrete, round-stamped schedule event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EdgeEvent {
+    Drop { round: usize, u: NodeId, v: NodeId },
+    Heal { round: usize, u: NodeId, v: NodeId },
+    Crash { round: usize, node: NodeId },
+    Rejoin { round: usize, node: NodeId },
+    Partition { round: usize, side: Vec<NodeId> },
+    HealPartition { round: usize, side: Vec<NodeId> },
+}
+
+impl EdgeEvent {
+    fn round(&self) -> usize {
+        match self {
+            EdgeEvent::Drop { round, .. }
+            | EdgeEvent::Heal { round, .. }
+            | EdgeEvent::Crash { round, .. }
+            | EdgeEvent::Rejoin { round, .. }
+            | EdgeEvent::Partition { round, .. }
+            | EdgeEvent::HealPartition { round, .. } => *round,
+        }
+    }
+}
+
+/// What a matching loss/delay window does to a message.
+#[derive(Debug, Clone, PartialEq)]
+enum WindowEffect {
+    /// Drop each message independently with probability `p` (seeded).
+    Loss { p: f64 },
+    /// Deliver each message `rounds` rounds late.
+    Delay { rounds: usize },
+}
+
+/// A per-link loss or delay window over a half-open round range.
+#[derive(Debug, Clone, PartialEq)]
+struct LinkWindow {
+    a: NodeId,
+    b: NodeId,
+    /// Symmetric windows match both directions; one-way windows only a→b.
+    symmetric: bool,
+    /// First affected round (1-based, inclusive).
+    start: usize,
+    /// First unaffected round (exclusive).
+    end: usize,
+    effect: WindowEffect,
+}
+
+impl LinkWindow {
+    fn matches(&self, round: usize, from: NodeId, to: NodeId) -> bool {
+        round >= self.start
+            && round < self.end
+            && ((from, to) == (self.a, self.b)
+                || (self.symmetric && (from, to) == (self.b, self.a)))
+    }
+}
+
+/// A scripted sequence of topology events, built programmatically or parsed
+/// from the text format (see [`parse`](TopologySchedule::parse)). Rounds
+/// are 1-based; an event at round `r` takes effect *before* the sends of
+/// round `r` (i.e. at the commit barrier between rounds `r − 1` and `r`).
+///
+/// Compile against a base graph with
+/// [`compile`](TopologySchedule::compile) before use.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopologySchedule {
+    seed: u64,
+    events: Vec<EdgeEvent>,
+    windows: Vec<LinkWindow>,
+}
+
+impl TopologySchedule {
+    /// An empty schedule (compiles to "nothing ever happens").
+    pub fn new() -> Self {
+        TopologySchedule::default()
+    }
+
+    /// Seeds the loss-window randomness (default 0). Runs with equal seeds
+    /// are bit-identical on every runtime.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The loss-window seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the schedule contains no events and no windows.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.windows.is_empty()
+    }
+
+    /// Drops edge `{u, v}` at the start of `round`.
+    pub fn drop_edge(mut self, round: usize, u: NodeId, v: NodeId) -> Self {
+        self.events.push(EdgeEvent::Drop { round, u, v });
+        self
+    }
+
+    /// Heals a previously dropped edge `{u, v}` at the start of `round`.
+    pub fn heal_edge(mut self, round: usize, u: NodeId, v: NodeId) -> Self {
+        self.events.push(EdgeEvent::Heal { round, u, v });
+        self
+    }
+
+    /// Crashes `node` at the start of `round`: all its incident links go
+    /// down until a matching [`rejoin`](Self::rejoin).
+    pub fn crash(mut self, round: usize, node: NodeId) -> Self {
+        self.events.push(EdgeEvent::Crash { round, node });
+        self
+    }
+
+    /// Rejoins a crashed `node` at the start of `round`.
+    pub fn rejoin(mut self, round: usize, node: NodeId) -> Self {
+        self.events.push(EdgeEvent::Rejoin { round, node });
+        self
+    }
+
+    /// Opens a partition at the start of `round`: every base edge crossing
+    /// between `side` and the rest of the graph is dropped.
+    pub fn partition(mut self, round: usize, side: impl IntoIterator<Item = NodeId>) -> Self {
+        self.events.push(EdgeEvent::Partition { round, side: side.into_iter().collect() });
+        self
+    }
+
+    /// Heals a partition previously opened over the same `side`.
+    pub fn heal_partition(mut self, round: usize, side: impl IntoIterator<Item = NodeId>) -> Self {
+        self.events.push(EdgeEvent::HealPartition { round, side: side.into_iter().collect() });
+        self
+    }
+
+    /// During rounds `start..end`, messages on `{u, v}` (both directions)
+    /// are each dropped with probability `p`.
+    pub fn loss(mut self, u: NodeId, v: NodeId, rounds: std::ops::Range<usize>, p: f64) -> Self {
+        self.windows.push(LinkWindow {
+            a: u,
+            b: v,
+            symmetric: true,
+            start: rounds.start,
+            end: rounds.end,
+            effect: WindowEffect::Loss { p },
+        });
+        self
+    }
+
+    /// [`loss`](Self::loss) applied to the `from → to` direction only —
+    /// asymmetric loss.
+    pub fn loss_one_way(
+        mut self,
+        from: NodeId,
+        to: NodeId,
+        rounds: std::ops::Range<usize>,
+        p: f64,
+    ) -> Self {
+        self.windows.push(LinkWindow {
+            a: from,
+            b: to,
+            symmetric: false,
+            start: rounds.start,
+            end: rounds.end,
+            effect: WindowEffect::Loss { p },
+        });
+        self
+    }
+
+    /// During rounds `start..end`, messages on `{u, v}` (both directions)
+    /// arrive `delay` rounds late. A message sent at round `r` is delivered
+    /// with round `r + delay`'s traffic; its fate is sealed at send time
+    /// (in-flight messages are immune to later drops), and messages still
+    /// in flight when the horizon ends are lost.
+    pub fn delay(
+        mut self,
+        u: NodeId,
+        v: NodeId,
+        rounds: std::ops::Range<usize>,
+        delay: usize,
+    ) -> Self {
+        self.windows.push(LinkWindow {
+            a: u,
+            b: v,
+            symmetric: true,
+            start: rounds.start,
+            end: rounds.end,
+            effect: WindowEffect::Delay { rounds: delay },
+        });
+        self
+    }
+
+    /// [`delay`](Self::delay) applied to the `from → to` direction only.
+    pub fn delay_one_way(
+        mut self,
+        from: NodeId,
+        to: NodeId,
+        rounds: std::ops::Range<usize>,
+        delay: usize,
+    ) -> Self {
+        self.windows.push(LinkWindow {
+            a: from,
+            b: to,
+            symmetric: false,
+            start: rounds.start,
+            end: rounds.end,
+            effect: WindowEffect::Delay { rounds: delay },
+        });
+        self
+    }
+
+    /// Parses the line-based text format (the CLI's `--schedule` payload).
+    ///
+    /// One directive per line; blank lines and `#` comments are ignored:
+    ///
+    /// ```text
+    /// seed 42                     # loss-window seed (optional)
+    /// drop 2 0 1                  # round u v
+    /// heal 4 0 1                  # round u v
+    /// crash 3 5                   # round node
+    /// rejoin 6 5                  # round node
+    /// partition 2 0 1 2           # round node...
+    /// heal-partition 5 0 1 2      # round node...
+    /// loss 0 1 1..4 0.5           # u v rounds p      (both directions)
+    /// loss-one-way 0 1 1..4 0.5   # from to rounds p
+    /// delay 2 3 1..6 2            # u v rounds delay  (both directions)
+    /// delay-one-way 2 3 1..6 2    # from to rounds delay
+    /// ```
+    ///
+    /// Malformed input returns a [`ScheduleError::Parse`] naming the line;
+    /// it never panics (a property test feeds this parser mutated
+    /// documents).
+    pub fn parse(text: &str) -> Result<Self, ScheduleError> {
+        let mut schedule = TopologySchedule::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let words: Vec<&str> = content.split_whitespace().collect();
+            let args = &words[1..];
+            schedule = match words[0] {
+                "seed" => {
+                    let [s] = expect_args::<1>(line, args)?;
+                    schedule.with_seed(parse_num::<u64>(line, s, "seed")?)
+                }
+                "drop" => {
+                    let [r, u, v] = expect_args::<3>(line, args)?;
+                    schedule.drop_edge(
+                        parse_round(line, r)?,
+                        parse_num(line, u, "node")?,
+                        parse_num(line, v, "node")?,
+                    )
+                }
+                "heal" => {
+                    let [r, u, v] = expect_args::<3>(line, args)?;
+                    schedule.heal_edge(
+                        parse_round(line, r)?,
+                        parse_num(line, u, "node")?,
+                        parse_num(line, v, "node")?,
+                    )
+                }
+                "crash" => {
+                    let [r, x] = expect_args::<2>(line, args)?;
+                    schedule.crash(parse_round(line, r)?, parse_num(line, x, "node")?)
+                }
+                "rejoin" => {
+                    let [r, x] = expect_args::<2>(line, args)?;
+                    schedule.rejoin(parse_round(line, r)?, parse_num(line, x, "node")?)
+                }
+                "partition" | "heal-partition" => {
+                    if args.len() < 2 {
+                        return Err(ScheduleError::Parse {
+                            line,
+                            reason: format!("{} needs a round and at least one node", words[0]),
+                        });
+                    }
+                    let round = parse_round(line, args[0])?;
+                    let side = args[1..]
+                        .iter()
+                        .map(|w| parse_num(line, w, "node"))
+                        .collect::<Result<Vec<NodeId>, _>>()?;
+                    if words[0] == "partition" {
+                        schedule.partition(round, side)
+                    } else {
+                        schedule.heal_partition(round, side)
+                    }
+                }
+                "loss" | "loss-one-way" => {
+                    let [u, v, range, p] = expect_args::<4>(line, args)?;
+                    let (start, end) = parse_range(line, range)?;
+                    let p = parse_num::<f64>(line, p, "probability")?;
+                    let (u, v) = (parse_num(line, u, "node")?, parse_num(line, v, "node")?);
+                    if words[0] == "loss" {
+                        schedule.loss(u, v, start..end, p)
+                    } else {
+                        schedule.loss_one_way(u, v, start..end, p)
+                    }
+                }
+                "delay" | "delay-one-way" => {
+                    let [u, v, range, d] = expect_args::<4>(line, args)?;
+                    let (start, end) = parse_range(line, range)?;
+                    let d = parse_num::<usize>(line, d, "delay")?;
+                    let (u, v) = (parse_num(line, u, "node")?, parse_num(line, v, "node")?);
+                    if words[0] == "delay" {
+                        schedule.delay(u, v, start..end, d)
+                    } else {
+                        schedule.delay_one_way(u, v, start..end, d)
+                    }
+                }
+                other => {
+                    return Err(ScheduleError::Parse {
+                        line,
+                        reason: format!("unknown directive `{other}`"),
+                    })
+                }
+            };
+        }
+        Ok(schedule)
+    }
+
+    /// Serializes back to the text format; `parse(to_script())` round-trips
+    /// to an equal schedule.
+    pub fn to_script(&self) -> String {
+        let mut out = String::new();
+        if self.seed != 0 {
+            out.push_str(&format!("seed {}\n", self.seed));
+        }
+        for event in &self.events {
+            match event {
+                EdgeEvent::Drop { round, u, v } => out.push_str(&format!("drop {round} {u} {v}\n")),
+                EdgeEvent::Heal { round, u, v } => out.push_str(&format!("heal {round} {u} {v}\n")),
+                EdgeEvent::Crash { round, node } => {
+                    out.push_str(&format!("crash {round} {node}\n"))
+                }
+                EdgeEvent::Rejoin { round, node } => {
+                    out.push_str(&format!("rejoin {round} {node}\n"))
+                }
+                EdgeEvent::Partition { round, side } => {
+                    out.push_str(&format!("partition {round}{}\n", join_ids(side)))
+                }
+                EdgeEvent::HealPartition { round, side } => {
+                    out.push_str(&format!("heal-partition {round}{}\n", join_ids(side)))
+                }
+            }
+        }
+        for w in &self.windows {
+            let name = match (&w.effect, w.symmetric) {
+                (WindowEffect::Loss { .. }, true) => "loss",
+                (WindowEffect::Loss { .. }, false) => "loss-one-way",
+                (WindowEffect::Delay { .. }, true) => "delay",
+                (WindowEffect::Delay { .. }, false) => "delay-one-way",
+            };
+            let tail = match &w.effect {
+                WindowEffect::Loss { p } => format!("{p}"),
+                WindowEffect::Delay { rounds } => format!("{rounds}"),
+            };
+            out.push_str(&format!("{name} {} {} {}..{} {tail}\n", w.a, w.b, w.start, w.end));
+        }
+        out
+    }
+
+    /// Validates the schedule against `base` and resolves its events into
+    /// per-round edge transitions.
+    ///
+    /// An edge is *down* while any cause holds: an unhealed `drop`, a
+    /// partition that cut it, or a crashed endpoint. Heals are
+    /// reference-counted against drops (healing an edge that was never
+    /// dropped — or healing a partition twice — is an error), and a heal
+    /// does not resurrect an edge that another cause still holds down: a
+    /// dropped edge whose endpoint is also crashed stays down until the
+    /// rejoin.
+    pub fn compile(&self, base: &Graph) -> Result<CompiledSchedule, ScheduleError> {
+        let n = base.node_count();
+        let invalid = |reason: String| ScheduleError::Invalid { reason };
+        let check_node = |x: NodeId| {
+            (x < n).then_some(()).ok_or_else(|| invalid(format!("node {x} out of range (n = {n})")))
+        };
+        for w in &self.windows {
+            check_node(w.a)?;
+            check_node(w.b)?;
+            if !base.has_edge(w.a, w.b) {
+                return Err(invalid(format!("window names non-edge ({}, {})", w.a, w.b)));
+            }
+            if w.start == 0 || w.start >= w.end {
+                return Err(invalid(format!(
+                    "window rounds {}..{} must satisfy 1 <= start < end",
+                    w.start, w.end
+                )));
+            }
+            match w.effect {
+                WindowEffect::Loss { p } => {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(invalid(format!("loss probability {p} outside [0, 1]")));
+                    }
+                }
+                WindowEffect::Delay { rounds } => {
+                    if rounds == 0 {
+                        return Err(invalid("delay of 0 rounds is a no-op".into()));
+                    }
+                }
+            }
+        }
+
+        // Group events by round (stable within a round), then walk rounds
+        // in order tracking every cause of edge downness.
+        let mut by_round: BTreeMap<usize, Vec<&EdgeEvent>> = BTreeMap::new();
+        for event in &self.events {
+            if event.round() == 0 {
+                return Err(invalid("rounds are 1-based; round 0 never executes".into()));
+            }
+            by_round.entry(event.round()).or_default().push(event);
+        }
+
+        let norm = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
+        let mut drop_refs: BTreeMap<(NodeId, NodeId), usize> = BTreeMap::new();
+        let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
+        let edge_up = |e: &(NodeId, NodeId),
+                       drop_refs: &BTreeMap<(NodeId, NodeId), usize>,
+                       crashed: &BTreeSet<NodeId>| {
+            drop_refs.get(e).copied().unwrap_or(0) == 0
+                && !crashed.contains(&e.0)
+                && !crashed.contains(&e.1)
+        };
+        let mut transitions: BTreeMap<usize, Vec<(NodeId, NodeId, bool)>> = BTreeMap::new();
+        for (&round, events) in &by_round {
+            // Edges an event of this round touches, with their state before
+            // the round; diffed after all of the round's events applied.
+            let mut touched: BTreeMap<(NodeId, NodeId), bool> = BTreeMap::new();
+            let touch = |e: (NodeId, NodeId),
+                         drop_refs: &BTreeMap<(NodeId, NodeId), usize>,
+                         crashed: &BTreeSet<NodeId>,
+                         touched: &mut BTreeMap<(NodeId, NodeId), bool>| {
+                touched.entry(e).or_insert_with(|| edge_up(&e, drop_refs, crashed));
+            };
+            for event in events {
+                match event {
+                    EdgeEvent::Drop { u, v, .. } | EdgeEvent::Heal { u, v, .. } => {
+                        check_node(*u)?;
+                        check_node(*v)?;
+                        if !base.has_edge(*u, *v) {
+                            return Err(invalid(format!("({u}, {v}) is not a base-graph edge")));
+                        }
+                        let e = norm(*u, *v);
+                        touch(e, &drop_refs, &crashed, &mut touched);
+                        if matches!(event, EdgeEvent::Drop { .. }) {
+                            *drop_refs.entry(e).or_insert(0) += 1;
+                        } else {
+                            let refs = drop_refs.entry(e).or_insert(0);
+                            if *refs == 0 {
+                                return Err(invalid(format!(
+                                    "heal of ({u}, {v}) at round {round} without a matching drop"
+                                )));
+                            }
+                            *refs -= 1;
+                        }
+                    }
+                    EdgeEvent::Crash { node, .. } => {
+                        check_node(*node)?;
+                        // Snapshot incident-edge state *before* the crash.
+                        for nbr in base.neighbors(*node) {
+                            touch(norm(*node, nbr), &drop_refs, &crashed, &mut touched);
+                        }
+                        if !crashed.insert(*node) {
+                            return Err(invalid(format!(
+                                "node {node} crashed twice without a rejoin"
+                            )));
+                        }
+                    }
+                    EdgeEvent::Rejoin { node, .. } => {
+                        check_node(*node)?;
+                        for nbr in base.neighbors(*node) {
+                            touch(norm(*node, nbr), &drop_refs, &crashed, &mut touched);
+                        }
+                        if !crashed.remove(node) {
+                            return Err(invalid(format!(
+                                "rejoin of node {node} at round {round} without a crash"
+                            )));
+                        }
+                    }
+                    EdgeEvent::Partition { side, .. } | EdgeEvent::HealPartition { side, .. } => {
+                        let side: BTreeSet<NodeId> = side.iter().copied().collect();
+                        for &x in &side {
+                            check_node(x)?;
+                        }
+                        if side.is_empty() || side.len() == n {
+                            return Err(invalid(
+                                "a partition side must be a non-empty proper subset".into(),
+                            ));
+                        }
+                        let healing = matches!(event, EdgeEvent::HealPartition { .. });
+                        for &u in &side {
+                            for v in base.neighbors(u) {
+                                if side.contains(&v) {
+                                    continue;
+                                }
+                                let e = norm(u, v);
+                                touch(e, &drop_refs, &crashed, &mut touched);
+                                let refs = drop_refs.entry(e).or_insert(0);
+                                if healing {
+                                    if *refs == 0 {
+                                        return Err(invalid(format!(
+                                            "heal-partition at round {round} heals ({}, {}) \
+                                             which is not down",
+                                            e.0, e.1
+                                        )));
+                                    }
+                                    *refs -= 1;
+                                } else {
+                                    *refs += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let mut flips: Vec<(NodeId, NodeId, bool)> = touched
+                .into_iter()
+                .filter_map(|(e, was_up)| {
+                    let now_up = edge_up(&e, &drop_refs, &crashed);
+                    (now_up != was_up).then_some((e.0, e.1, now_up))
+                })
+                .collect();
+            flips.sort_unstable();
+            if !flips.is_empty() {
+                transitions.insert(round, flips);
+            }
+        }
+
+        let last_transition_round = transitions.keys().next_back().copied().unwrap_or(0);
+        Ok(CompiledSchedule {
+            n,
+            seed: self.seed,
+            base: base.clone(),
+            transitions,
+            windows: self.windows.clone(),
+            last_transition_round,
+        })
+    }
+}
+
+fn join_ids(ids: &[NodeId]) -> String {
+    ids.iter().map(|x| format!(" {x}")).collect()
+}
+
+fn expect_args<'a, const K: usize>(
+    line: usize,
+    args: &[&'a str],
+) -> Result<[&'a str; K], ScheduleError> {
+    <[&str; K]>::try_from(args).map_err(|_| ScheduleError::Parse {
+        line,
+        reason: format!("expected {K} argument(s), found {}", args.len()),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(
+    line: usize,
+    word: &str,
+    what: &str,
+) -> Result<T, ScheduleError> {
+    word.parse::<T>()
+        .map_err(|_| ScheduleError::Parse { line, reason: format!("invalid {what} `{word}`") })
+}
+
+fn parse_round(line: usize, word: &str) -> Result<usize, ScheduleError> {
+    parse_num::<usize>(line, word, "round")
+}
+
+fn parse_range(line: usize, word: &str) -> Result<(usize, usize), ScheduleError> {
+    let (a, b) = word.split_once("..").ok_or_else(|| ScheduleError::Parse {
+        line,
+        reason: format!("invalid round range `{word}` (expected `start..end`)"),
+    })?;
+    Ok((parse_num(line, a, "round")?, parse_num(line, b, "round")?))
+}
+
+/// A validated schedule resolved against one base graph: the single source
+/// of truth every node's [`ScheduleState`] reads, shared via `Arc`.
+#[derive(Debug, Clone)]
+pub struct CompiledSchedule {
+    n: usize,
+    seed: u64,
+    base: Graph,
+    /// Round → edge flips `(u, v, up)` with `u < v`, sorted, taking effect
+    /// before that round's sends.
+    transitions: BTreeMap<usize, Vec<(NodeId, NodeId, bool)>>,
+    windows: Vec<LinkWindow>,
+    last_transition_round: usize,
+}
+
+impl CompiledSchedule {
+    /// The base graph the schedule was compiled against.
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// The rounds at which at least one edge changes state, ascending.
+    pub fn transition_rounds(&self) -> impl Iterator<Item = usize> + '_ {
+        self.transitions.keys().copied()
+    }
+
+    /// The edge flips taking effect at the start of `round` (`(u, v, up)`
+    /// with `u < v`, sorted), if any.
+    pub fn transitions_at(&self, round: usize) -> &[(NodeId, NodeId, bool)] {
+        self.transitions.get(&round).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The last round at which any edge changes state (0 when none do).
+    pub fn last_transition_round(&self) -> usize {
+        self.last_transition_round
+    }
+
+    /// Ground truth: the live graph during `round` — the base graph with
+    /// every transition up to and including `round` applied. Rebuilt by
+    /// replay; callers walking many rounds should iterate
+    /// [`transition_rounds`](Self::transition_rounds) and apply
+    /// [`transitions_at`](Self::transitions_at) incrementally (the
+    /// `ConnectivityOracle`'s XOR fingerprint absorbs exactly such
+    /// incremental updates via `Fingerprint::toggle_edge`).
+    pub fn graph_at(&self, round: usize) -> Graph {
+        let mut g = self.base.clone();
+        for (&r, flips) in &self.transitions {
+            if r > round {
+                break;
+            }
+            for &(u, v, up) in flips {
+                if up {
+                    g.add_edge(u, v).expect("compiled transitions stay in range");
+                } else {
+                    g.remove_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Starts a per-node cursor over this schedule.
+    pub fn state(self: &Arc<Self>) -> ScheduleState {
+        ScheduleState { compiled: Arc::clone(self), down: BTreeSet::new(), round: 0 }
+    }
+}
+
+/// What the schedule decides for one outgoing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver normally this round.
+    Deliver,
+    /// Silently drop (down edge, or a loss window fired).
+    Drop,
+    /// Deliver this many rounds late.
+    Delay(usize),
+}
+
+/// A cursor over a [`CompiledSchedule`]: the set of currently-down edges,
+/// advanced monotonically round by round. Cloneable — every node holds its
+/// own cursor over the shared compiled schedule, so no engine needs
+/// cross-node coordination to consult it.
+#[derive(Debug, Clone)]
+pub struct ScheduleState {
+    compiled: Arc<CompiledSchedule>,
+    down: BTreeSet<(NodeId, NodeId)>,
+    round: usize,
+}
+
+impl ScheduleState {
+    /// Applies every transition up to and including `round`. Monotone and
+    /// idempotent; called by [`Scheduled`] at each round's first poll.
+    pub fn advance_to(&mut self, round: usize) {
+        while self.round < round {
+            self.round += 1;
+            for &(u, v, up) in self.compiled.transitions_at(self.round) {
+                if up {
+                    self.down.remove(&(u, v));
+                } else {
+                    self.down.insert((u, v));
+                }
+            }
+        }
+    }
+
+    /// Whether edge `{u, v}` is currently up (at the round last advanced
+    /// to). Edges outside the base graph are never up.
+    pub fn edge_up(&self, u: NodeId, v: NodeId) -> bool {
+        let e = (u.min(v), u.max(v));
+        self.compiled.base.has_edge(u, v) && !self.down.contains(&e)
+    }
+
+    /// The fate of the `k`-th message from `from` to `to` during `round`
+    /// (which must be the round last advanced to). Pure in
+    /// `(round, from, to, k)` and the compiled schedule — no engine, worker
+    /// count or poll order can change the answer.
+    pub fn message_fate(&self, round: usize, from: NodeId, to: NodeId, k: u64) -> Fate {
+        debug_assert_eq!(round, self.round, "fate consulted without advancing the cursor");
+        if !self.edge_up(from, to) {
+            return Fate::Drop;
+        }
+        for w in &self.compiled.windows {
+            if !w.matches(round, from, to) {
+                continue;
+            }
+            match w.effect {
+                WindowEffect::Loss { p } => {
+                    if loss_roll(self.compiled.seed, round, from, to, k) < p {
+                        return Fate::Drop;
+                    }
+                }
+                WindowEffect::Delay { rounds } => return Fate::Delay(rounds),
+            }
+        }
+        Fate::Deliver
+    }
+
+    fn compiled(&self) -> &CompiledSchedule {
+        &self.compiled
+    }
+}
+
+/// Deterministic per-message loss roll in `[0, 1)`: a SplitMix64 finalize
+/// over the seed and message coordinates. Stateless on purpose — a stateful
+/// RNG would couple the outcome to poll order, which differs across
+/// engines.
+fn loss_roll(seed: u64, round: usize, from: NodeId, to: NodeId, k: u64) -> f64 {
+    let mut x = seed
+        ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (from as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (to as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
+        ^ k.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Wraps a [`Process`] so a [`CompiledSchedule`] governs its connectivity.
+///
+/// At each round's first poll the wrapper advances its cursor, notifies the
+/// inner process of incident link transitions ([`Process::link_changed`]),
+/// releases any delayed messages that matured, and filters the inner
+/// process's fresh sends through [`ScheduleState::message_fate`]. Messages
+/// to non-neighbors of the *base* graph pass through untouched so the
+/// engine's illegal-send accounting is unchanged.
+///
+/// The wrapper reports non-quiescent until its last incident transition has
+/// been delivered and its delay buffer is empty — that is what re-wakes a
+/// quiescent node on the event/parallel engines when an edge heals.
+#[derive(Debug)]
+pub struct Scheduled<P: Process> {
+    inner: P,
+    state: ScheduleState,
+    /// Incident `(round, peer, up)` notifications, ascending round.
+    notices: Vec<(usize, NodeId, bool)>,
+    notice_cursor: usize,
+    /// Delayed messages keyed by delivery round, in emission order.
+    delayed: BTreeMap<usize, Vec<Outgoing<P::Msg>>>,
+    drops: u64,
+}
+
+impl<P: Process> Scheduled<P> {
+    /// Wraps `inner` with its cursor over `compiled`.
+    pub fn new(inner: P, compiled: &Arc<CompiledSchedule>) -> Self {
+        let id = inner.id();
+        let notices = compiled
+            .transitions
+            .iter()
+            .flat_map(|(&round, flips)| {
+                flips.iter().filter_map(move |&(u, v, up)| {
+                    if u == id {
+                        Some((round, v, up))
+                    } else if v == id {
+                        Some((round, u, up))
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        Scheduled {
+            inner,
+            state: compiled.state(),
+            notices,
+            notice_cursor: 0,
+            delayed: BTreeMap::new(),
+            drops: 0,
+        }
+    }
+
+    /// Wraps a whole fleet (node order preserved).
+    pub fn wrap_all(procs: Vec<P>, compiled: &Arc<CompiledSchedule>) -> Vec<Scheduled<P>> {
+        procs.into_iter().map(|p| Scheduled::new(p, compiled)).collect()
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Messages this node's schedule dropped (down edges + loss windows).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Messages still in the delay buffer (sent, never matured — lost to
+    /// the horizon).
+    pub fn in_flight(&self) -> usize {
+        self.delayed.values().map(Vec::len).sum()
+    }
+
+    /// Unwraps the inner process.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Process> Process for Scheduled<P> {
+    type Msg = P::Msg;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<Self::Msg>> {
+        self.state.advance_to(round);
+        while let Some(&(r, peer, up)) = self.notices.get(self.notice_cursor) {
+            if r > round {
+                break;
+            }
+            self.notice_cursor += 1;
+            self.inner.link_changed(r, peer, up);
+        }
+        // Matured delayed messages go out first (oldest first); because the
+        // wrapper stays non-quiescent while the buffer is non-empty, it is
+        // polled every round and nothing matures unobserved.
+        let mut out: Vec<Outgoing<Self::Msg>> = Vec::new();
+        while let Some((&r, _)) = self.delayed.first_key_value() {
+            if r > round {
+                break;
+            }
+            debug_assert_eq!(r, round, "a delayed message matured unobserved");
+            out.extend(self.delayed.remove(&r).expect("key just observed"));
+        }
+        let id = self.inner.id();
+        let n = self.state.compiled().n;
+        let mut per_link: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for o in self.inner.send(round) {
+            if o.to >= n || !self.state.compiled().base.has_edge(id, o.to) {
+                // Not a channel at all: let the engine count the violation.
+                out.push(o);
+                continue;
+            }
+            let k = per_link.entry(o.to).or_insert(0);
+            let fate = self.state.message_fate(round, id, o.to, *k);
+            *k += 1;
+            match fate {
+                Fate::Deliver => out.push(o),
+                Fate::Drop => self.drops += 1,
+                Fate::Delay(d) => self.delayed.entry(round + d).or_default().push(o),
+            }
+        }
+        out
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: Self::Msg) {
+        self.inner.receive(round, from, msg);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.notice_cursor == self.notices.len()
+            && self.delayed.is_empty()
+            && self.inner.quiescent()
+    }
+
+    fn link_changed(&mut self, round: usize, peer: NodeId, up: bool) {
+        self.inner.link_changed(round, peer, up);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::WireSized;
+    use crate::sync::SyncNetwork;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Token(u32);
+
+    impl WireSized for Token {
+        fn wire_bytes(&self) -> usize {
+            4
+        }
+    }
+
+    /// Reactive flooder: relays every newly learned token to all peers, and
+    /// re-announces everything it knows when a link comes up — the behaviour
+    /// a healed edge must re-wake.
+    #[derive(Debug)]
+    struct Flood {
+        id: usize,
+        peers: Vec<usize>,
+        known: BTreeSet<u32>,
+        outbox: Vec<u32>,
+    }
+
+    impl Flood {
+        fn new(id: usize, peers: Vec<usize>) -> Self {
+            Flood { id, peers, known: [id as u32].into(), outbox: vec![id as u32] }
+        }
+    }
+
+    impl Process for Flood {
+        type Msg = Token;
+
+        fn id(&self) -> usize {
+            self.id
+        }
+
+        fn send(&mut self, _round: usize) -> Vec<Outgoing<Token>> {
+            let outbox = std::mem::take(&mut self.outbox);
+            self.peers
+                .iter()
+                .flat_map(|&to| outbox.iter().map(move |&t| Outgoing::new(to, Token(t))))
+                .collect()
+        }
+
+        fn receive(&mut self, _round: usize, _from: usize, msg: Token) {
+            if self.known.insert(msg.0) {
+                self.outbox.push(msg.0);
+            }
+        }
+
+        fn quiescent(&self) -> bool {
+            self.outbox.is_empty()
+        }
+
+        fn link_changed(&mut self, _round: usize, _peer: usize, up: bool) {
+            if up {
+                let mut known: Vec<u32> = self.known.iter().copied().collect();
+                self.outbox.append(&mut known);
+            }
+        }
+    }
+
+    fn flood_fleet(g: &Graph, compiled: &Arc<CompiledSchedule>) -> Vec<Scheduled<Flood>> {
+        let procs =
+            (0..g.node_count()).map(|i| Flood::new(i, g.neighborhood(i))).collect::<Vec<_>>();
+        Scheduled::wrap_all(procs, compiled)
+    }
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn script_round_trips_through_parse() {
+        let schedule = TopologySchedule::new()
+            .with_seed(9)
+            .drop_edge(2, 0, 1)
+            .crash(3, 2)
+            .rejoin(5, 2)
+            .heal_edge(4, 0, 1)
+            .partition(2, [0, 1])
+            .heal_partition(6, [0, 1])
+            .loss(0, 1, 1..4, 0.25)
+            .loss_one_way(1, 2, 2..3, 1.0)
+            .delay(2, 3, 1..6, 2)
+            .delay_one_way(3, 2, 1..2, 1);
+        let script = schedule.to_script();
+        assert_eq!(TopologySchedule::parse(&script).unwrap(), schedule);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines_with_line_numbers() {
+        for (text, line) in [
+            ("warp 1 2", 1),
+            ("drop 1 2", 1),
+            ("\n\ndrop one 2 3", 3),
+            ("seed 1\nloss 0 1 1-4 0.5", 2),
+            ("crash 1 2 3", 1),
+            ("partition 4", 1),
+            ("delay 0 1 3..5 x", 1),
+        ] {
+            match TopologySchedule::parse(text) {
+                Err(ScheduleError::Parse { line: l, .. }) => assert_eq!(l, line, "{text:?}"),
+                other => panic!("{text:?} parsed as {other:?}"),
+            }
+        }
+        // Comments and blank lines are fine.
+        assert!(TopologySchedule::parse("# nothing\n\n  # here\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn compile_validates_against_the_base_graph() {
+        let g = path4();
+        let bad = [
+            TopologySchedule::new().drop_edge(1, 0, 3),
+            TopologySchedule::new().drop_edge(1, 0, 9),
+            TopologySchedule::new().drop_edge(0, 0, 1),
+            TopologySchedule::new().heal_edge(2, 0, 1),
+            TopologySchedule::new().crash(1, 2).crash(2, 2),
+            TopologySchedule::new().rejoin(3, 1),
+            TopologySchedule::new().partition(1, []),
+            TopologySchedule::new().partition(1, [0, 1, 2, 3]),
+            TopologySchedule::new().heal_partition(2, [0]),
+            TopologySchedule::new().loss(0, 1, 1..4, 1.5),
+            TopologySchedule::new().loss(0, 1, 4..4, 0.5),
+            TopologySchedule::new().delay(0, 1, 1..4, 0),
+        ];
+        for schedule in bad {
+            assert!(
+                matches!(schedule.compile(&g), Err(ScheduleError::Invalid { .. })),
+                "{schedule:?} compiled"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_causes_keep_an_edge_down_until_all_lift() {
+        // Edge (1,2) is both dropped and crashed-at-2: the heal at round 4
+        // must not resurrect it; only the rejoin at round 6 does.
+        let g = path4();
+        let compiled = TopologySchedule::new()
+            .drop_edge(2, 1, 2)
+            .crash(3, 2)
+            .heal_edge(4, 1, 2)
+            .rejoin(6, 2)
+            .compile(&g)
+            .unwrap();
+        assert!(compiled.graph_at(1).has_edge(1, 2));
+        assert!(!compiled.graph_at(2).has_edge(1, 2));
+        assert!(!compiled.graph_at(3).has_edge(2, 3), "crash cuts all incident edges");
+        assert!(!compiled.graph_at(4).has_edge(1, 2), "healed but endpoint still crashed");
+        assert!(!compiled.graph_at(5).has_edge(1, 2));
+        assert!(compiled.graph_at(6).has_edge(1, 2));
+        assert!(compiled.graph_at(6).has_edge(2, 3));
+        assert_eq!(compiled.last_transition_round(), 6);
+        // Round 4's heal changes nothing observable: no transition emitted.
+        assert_eq!(compiled.transition_rounds().collect::<Vec<_>>(), vec![2, 3, 6]);
+    }
+
+    #[test]
+    fn partitions_cut_exactly_the_crossing_edges() {
+        let g = nectar_graph::gen::cycle(6);
+        let compiled = TopologySchedule::new()
+            .partition(2, [0, 1, 2])
+            .heal_partition(4, [0, 1, 2])
+            .compile(&g)
+            .unwrap();
+        let during = compiled.graph_at(2);
+        assert!(!during.has_edge(2, 3));
+        assert!(!during.has_edge(5, 0));
+        assert!(during.has_edge(0, 1));
+        assert!(during.has_edge(3, 4));
+        assert_eq!(compiled.graph_at(4), g, "heal restores the base graph");
+    }
+
+    #[test]
+    fn scheduled_wrapper_drops_and_counts_messages_on_down_edges() {
+        let g = path4();
+        let compiled = Arc::new(TopologySchedule::new().drop_edge(1, 1, 2).compile(&g).unwrap());
+        let mut net = SyncNetwork::new(flood_fleet(&g, &compiled), g.clone());
+        net.run_rounds(3);
+        let (procs, metrics) = net.into_parts();
+        // The split is permanent: tokens never cross (1,2).
+        assert_eq!(procs[0].inner().known, [0, 1].into());
+        assert_eq!(procs[3].inner().known, [2, 3].into());
+        assert_eq!(metrics.illegal_sends(), 0, "schedule drops are not protocol violations");
+        let drops: u64 = procs.iter().map(|p| p.drops()).sum();
+        assert!(drops > 0);
+    }
+
+    #[test]
+    fn healed_link_re_floods_via_link_changed() {
+        let g = path4();
+        let compiled = Arc::new(
+            TopologySchedule::new().drop_edge(1, 1, 2).heal_edge(4, 1, 2).compile(&g).unwrap(),
+        );
+        let mut net = SyncNetwork::new(flood_fleet(&g, &compiled), g.clone());
+        net.run_rounds(7);
+        let (procs, _) = net.into_parts();
+        for p in &procs {
+            assert_eq!(p.inner().known, [0, 1, 2, 3].into(), "node {}", p.inner().id);
+        }
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_and_in_flight_ones_die_at_the_horizon() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let compiled = Arc::new(TopologySchedule::new().delay(0, 1, 1..2, 2).compile(&g).unwrap());
+        let mut net = SyncNetwork::new(flood_fleet(&g, &compiled), g.clone());
+        net.run_rounds(2);
+        {
+            let procs = net.processes();
+            assert_eq!(procs[0].inner().known, [0].into(), "round-1 tokens still in flight");
+            assert_eq!(procs[1].inner().known, [1].into(), "round-1 tokens still in flight");
+            assert_eq!(procs[0].in_flight() + procs[1].in_flight(), 2);
+        }
+        net.run_rounds(1);
+        let (procs, metrics) = net.into_parts();
+        assert_eq!(procs[0].inner().known, [0, 1].into(), "delayed token landed at round 3");
+        assert_eq!(procs[1].inner().known, [0, 1].into(), "delayed token landed at round 3");
+        // The delayed sends are charged to their delivery round.
+        assert_eq!(metrics.bytes_per_round()[0], 0);
+        assert!(metrics.bytes_per_round()[2] > 0);
+    }
+
+    #[test]
+    fn loss_windows_are_deterministic_and_probability_extremes_are_exact() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let run = |p: f64, seed: u64| {
+            let compiled = Arc::new(
+                TopologySchedule::new().with_seed(seed).loss(0, 1, 1..100, p).compile(&g).unwrap(),
+            );
+            let mut net = SyncNetwork::new(flood_fleet(&g, &compiled), g.clone());
+            net.run_rounds(4);
+            let (procs, metrics) = net.into_parts();
+            (procs.iter().map(|p| p.drops()).sum::<u64>(), metrics.total_bytes_sent())
+        };
+        assert_eq!(run(1.0, 7).1, 0, "p = 1 drops everything");
+        assert_eq!(run(0.0, 7).0, 0, "p = 0 drops nothing");
+        assert_eq!(run(0.5, 7), run(0.5, 7), "same seed, same fate");
+    }
+
+    #[test]
+    fn cross_engine_outcomes_are_identical_under_a_busy_schedule() {
+        // Flap + churn + loss + delay on a cycle, run on all four engines:
+        // final protocol state, metrics and drop counters must match bit
+        // for bit. This is the in-crate seed of the schedule-equivalence
+        // suite in tests/schedules.rs.
+        let g = nectar_graph::gen::cycle(6);
+        let schedule = TopologySchedule::new()
+            .with_seed(11)
+            .drop_edge(1, 0, 1)
+            .heal_edge(3, 0, 1)
+            .crash(2, 4)
+            .rejoin(4, 4)
+            .partition(5, [0, 1])
+            .heal_partition(6, [0, 1])
+            .loss(2, 3, 1..5, 0.5)
+            .delay(1, 2, 2..4, 1);
+        let compiled = Arc::new(schedule.compile(&g).unwrap());
+        let rounds = 8;
+        // Observable outcome only: a quiescent node's schedule cursor may
+        // lag on the engines that stop polling it, and that is fine.
+        let snapshot = |procs: &[Scheduled<Flood>], m: &crate::metrics::Metrics| {
+            let states: Vec<(String, u64, usize)> = procs
+                .iter()
+                .map(|p| (format!("{:?}", p.inner()), p.drops(), p.in_flight()))
+                .collect();
+            (states, m.clone())
+        };
+        let mut sync_net = SyncNetwork::new(flood_fleet(&g, &compiled), g.clone());
+        sync_net.run_rounds(rounds);
+        let (sync_procs, sync_metrics) = sync_net.into_parts();
+        let reference = snapshot(&sync_procs, &sync_metrics);
+        assert!(sync_procs.iter().map(|p| p.drops()).sum::<u64>() > 0, "schedule must bite");
+
+        let (procs, metrics) =
+            crate::threaded::run_threaded(flood_fleet(&g, &compiled), &g, rounds);
+        assert_eq!(snapshot(&procs, &metrics), reference, "threaded drifted");
+
+        let (procs, metrics) =
+            crate::event::run_event_driven(flood_fleet(&g, &compiled), &g, rounds);
+        assert_eq!(snapshot(&procs, &metrics), reference, "event drifted");
+
+        for workers in [0, 2, 3, 7] {
+            let (procs, metrics) =
+                crate::parallel::run_parallel(flood_fleet(&g, &compiled), &g, rounds, workers);
+            assert_eq!(snapshot(&procs, &metrics), reference, "parallel/{workers} drifted");
+        }
+    }
+
+    #[test]
+    fn wrapper_keeps_nodes_schedulable_until_their_last_transition() {
+        let g = path4();
+        let compiled = Arc::new(
+            TopologySchedule::new().drop_edge(2, 0, 1).heal_edge(5, 0, 1).compile(&g).unwrap(),
+        );
+        let mut node = Scheduled::new(Flood::new(0, vec![1]), &compiled);
+        let _ = node.send(1);
+        assert!(!node.quiescent(), "transitions pending at rounds 2 and 5");
+        let _ = node.send(2);
+        assert!(!node.quiescent(), "heal still pending");
+        let _ = node.send(3);
+        let _ = node.send(4);
+        assert!(!node.quiescent());
+        let out = node.send(5);
+        assert!(!out.is_empty(), "link-up re-announce fires at the heal round");
+        let _ = node.send(6);
+        assert!(node.quiescent(), "schedule exhausted, outbox drained");
+    }
+}

@@ -3,13 +3,21 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking.** A failing case reports its deterministic case
+//! * **Naive shrinking.** A failing case reports its deterministic case
 //!   index, the assertion message *and the generated input values*
 //!   (`Debug`-formatted, so every strategy value type must implement
 //!   `Debug` — all std and workspace types do); re-running the test
 //!   replays the identical stream, so failures are reproducible without
-//!   persistence files, and the offending inputs are visible without
-//!   instrumenting the property body.
+//!   persistence files. When the input tuple implements
+//!   [`shrink::NaiveShrink`] (std scalars, `Vec`s, sets, tuples of
+//!   those), the runner additionally greedily re-runs the body on
+//!   simpler inputs — drop-element and halve-scalar passes, bounded to
+//!   [`shrink::MAX_SHRINK_EVALS`] evaluations — and appends the reduced
+//!   case to the panic message. Real proptest shrinks through the
+//!   strategy tree; the shim shrinks the values directly, which is
+//!   weaker (a shrunk value may be outside the strategy's range) but
+//!   needs no strategy plumbing, and the original failing input is
+//!   always printed too.
 //! * **Deterministic generation.** Case `i` of every test derives its RNG
 //!   from `i` via SplitMix64, so CI and local runs see the same inputs.
 //!
@@ -455,6 +463,274 @@ pub mod num {
     num_any_mod!(u8: core::primitive::u8, u16: core::primitive::u16, u32: core::primitive::u32, u64: core::primitive::u64, usize: core::primitive::usize);
 }
 
+pub mod shrink {
+    //! Naive value-level shrinking for failing property cases.
+    //!
+    //! The runner cannot shrink through strategies (the shim's strategies
+    //! are generate-only), so it shrinks the generated *values*: a
+    //! [`NaiveShrink`] type proposes strictly-simpler candidates, and the
+    //! runner greedily adopts any candidate that still fails the
+    //! property, restarting its passes until no candidate fails or the
+    //! evaluation budget runs out. Types without an impl — workspace
+    //! graphs, schedules, behaviour enums — simply don't shrink: the
+    //! [`ShrinkProbe`] dispatch makes that a silent no-op instead of a
+    //! compile error, so the `proptest!` macro can probe every input
+    //! tuple unconditionally.
+
+    use std::collections::BTreeSet;
+
+    /// Evaluation budget per failing case: the greedy loop re-runs the
+    /// property body at most this many times while shrinking.
+    pub const MAX_SHRINK_EVALS: usize = 256;
+
+    /// At most this many drop-one-element candidates are proposed per
+    /// collection, so huge collections don't eat the whole budget on one
+    /// pass.
+    const MAX_DROP_CANDIDATES: usize = 24;
+
+    /// Proposes strictly-simpler candidate values, most aggressive first
+    /// (the greedy runner adopts the first candidate that still fails).
+    pub trait NaiveShrink: Clone {
+        /// Candidate simplifications of `self`; empty when minimal.
+        fn shrink_candidates(&self) -> Vec<Self>;
+    }
+
+    macro_rules! impl_unsigned_shrink {
+        ($($t:ty),*) => {$(
+            impl NaiveShrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let v = *self;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0, v / 2, v - 1];
+                    out.dedup();
+                    out.retain(|c| *c != v);
+                    out
+                }
+            }
+        )*};
+    }
+
+    impl_unsigned_shrink!(u8, u16, u32, u64, u128, usize);
+
+    macro_rules! impl_signed_shrink {
+        ($($t:ty),*) => {$(
+            impl NaiveShrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let v = *self;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0, v / 2, v - v.signum()];
+                    out.dedup();
+                    out.retain(|c| *c != v);
+                    out
+                }
+            }
+        )*};
+    }
+
+    impl_signed_shrink!(i8, i16, i32, i64, i128, isize);
+
+    impl NaiveShrink for f64 {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self == 0.0 || !self.is_finite() {
+                return Vec::new();
+            }
+            vec![0.0, self / 2.0]
+        }
+    }
+
+    impl NaiveShrink for bool {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    impl NaiveShrink for char {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self == 'a' {
+                Vec::new()
+            } else {
+                vec!['a']
+            }
+        }
+    }
+
+    impl NaiveShrink for String {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            let n = self.chars().count();
+            if n == 0 {
+                return Vec::new();
+            }
+            let mut out = vec![String::new()];
+            if n >= 2 {
+                out.push(self.chars().take(n / 2).collect());
+                out.push(self.chars().skip(n / 2).collect());
+            }
+            out
+        }
+    }
+
+    /// Drop-element passes only: element values are left alone, so the
+    /// impl applies to vectors of *any* clonable element — including
+    /// workspace types that don't shrink themselves.
+    impl<T: Clone> NaiveShrink for Vec<T> {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            let n = self.len();
+            if n == 0 {
+                return Vec::new();
+            }
+            let mut out = vec![Vec::new()];
+            if n >= 2 {
+                out.push(self[..n / 2].to_vec());
+                out.push(self[n / 2..].to_vec());
+            }
+            for i in 0..n.min(MAX_DROP_CANDIDATES) {
+                let mut dropped = self.clone();
+                dropped.remove(i);
+                out.push(dropped);
+            }
+            out
+        }
+    }
+
+    impl<T: Clone + Ord> NaiveShrink for BTreeSet<T> {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if self.is_empty() {
+                return Vec::new();
+            }
+            let mut out = vec![BTreeSet::new()];
+            for drop in self.iter().take(MAX_DROP_CANDIDATES) {
+                let mut smaller = self.clone();
+                smaller.remove(drop);
+                out.push(smaller);
+            }
+            out
+        }
+    }
+
+    impl<T: NaiveShrink> NaiveShrink for Option<T> {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            match self {
+                None => Vec::new(),
+                Some(v) => {
+                    let mut out = vec![None];
+                    out.extend(v.shrink_candidates().into_iter().map(Some));
+                    out
+                }
+            }
+        }
+    }
+
+    macro_rules! impl_tuple_shrink {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: NaiveShrink),+> NaiveShrink for ($($name,)+) {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink_candidates() {
+                            let mut next = self.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_shrink! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Dispatch shim: `ShrinkProbe(&value).maybe_candidates()` resolves to
+    /// the inherent method below when the value implements
+    /// [`NaiveShrink`], and falls back to the [`NoShrink`] trait method
+    /// (returning `None`) otherwise — inherent methods win over trait
+    /// methods, and the fallback is reached by auto-ref. The `proptest!`
+    /// macro can therefore probe any input type without bounds.
+    pub struct ShrinkProbe<'a, T>(pub &'a T);
+
+    impl<'a, T: NaiveShrink> ShrinkProbe<'a, T> {
+        /// Candidates for a shrinkable value.
+        pub fn maybe_candidates(&self) -> Option<Vec<T>> {
+            Some(self.0.shrink_candidates())
+        }
+
+        /// Greedy shrink starting from the probed (failing) value: `check`
+        /// returns `true` when a candidate *still fails* the property.
+        /// Returns `Some((shrunk, passes, evals))`; `passes == 0` means
+        /// the value was already minimal.
+        pub fn shrink_with(&self, check: impl FnMut(T) -> bool) -> Option<(T, usize, usize)> {
+            Some(shrink_failing(self.0.clone(), check))
+        }
+    }
+
+    /// Fallback for values that don't implement [`NaiveShrink`].
+    pub trait NoShrink<T> {
+        /// Always `None`: the value cannot be shrunk.
+        fn maybe_candidates(&self) -> Option<Vec<T>>;
+        /// Always `None`: the value cannot be shrunk.
+        fn shrink_with(&self, check: impl FnMut(T) -> bool) -> Option<(T, usize, usize)>;
+    }
+
+    impl<'a, T> NoShrink<T> for &ShrinkProbe<'a, T> {
+        fn maybe_candidates(&self) -> Option<Vec<T>> {
+            None
+        }
+        fn shrink_with(&self, _check: impl FnMut(T) -> bool) -> Option<(T, usize, usize)> {
+            None
+        }
+    }
+
+    /// The greedy shrink loop used by the `proptest!` runner: starting
+    /// from a failing input, repeatedly adopt the first candidate that
+    /// still fails (`check` returns `true` for *still failing*), until a
+    /// whole pass produces no failing candidate or the evaluation budget
+    /// is spent. The default panic hook is silenced for the duration so
+    /// candidates that fail by panicking don't spray backtraces over the
+    /// one report that matters. Returns `(shrunk, passes, evals)`;
+    /// `passes == 0` means the input was already minimal.
+    pub fn shrink_failing<T: NaiveShrink>(
+        start: T,
+        mut check: impl FnMut(T) -> bool,
+    ) -> (T, usize, usize) {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut current = start;
+        let mut passes = 0;
+        let mut evals = 0;
+        'passes: while evals < MAX_SHRINK_EVALS {
+            for candidate in current.shrink_candidates() {
+                if evals >= MAX_SHRINK_EVALS {
+                    break 'passes;
+                }
+                evals += 1;
+                if check(candidate.clone()) {
+                    current = candidate;
+                    passes += 1;
+                    continue 'passes;
+                }
+            }
+            break;
+        }
+        std::panic::set_hook(prev_hook);
+        (current, passes, evals)
+    }
+}
+
 pub mod prelude {
     //! The glob import every property-test module uses.
 
@@ -462,6 +738,18 @@ pub mod prelude {
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
         ProptestConfig, Strategy, TestCaseError, Union,
     };
+}
+
+/// Ties a property body's input type to its strategy's `Value` so the
+/// closure parameter needs no written type annotation in the macro
+/// expansion. Internal to [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+pub fn __case_body<S, F>(_strategy: &S, body: F) -> F
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    body
 }
 
 /// Defines property tests: each `fn name(pat in strategy, ...) { body }`
@@ -490,12 +778,13 @@ macro_rules! __proptest_impl {
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
             let strategy = ( $($strategy,)+ );
+            let __body = $crate::__case_body(&strategy, |( $($pat,)+ )| {
+                $body ::std::result::Result::Ok(())
+            });
             for case in 0..config.cases {
                 let mut rng =
                     $crate::test_runner::TestRng::for_case(stringify!($name), case as u64);
-                let ( $($pat,)+ ) = $crate::Strategy::generate(&strategy, &mut rng);
-                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                    (|| { $body ::std::result::Result::Ok(()) })();
+                let outcome = __body($crate::Strategy::generate(&strategy, &mut rng));
                 if let ::std::result::Result::Err(err) = outcome {
                     // Generation is deterministic, so the failing inputs can
                     // be regenerated here (the body consumed the originals)
@@ -503,10 +792,33 @@ macro_rules! __proptest_impl {
                     let mut replay =
                         $crate::test_runner::TestRng::for_case(stringify!($name), case as u64);
                     let __inputs = $crate::Strategy::generate(&strategy, &mut replay);
-                    panic!(
+                    let mut __msg = format!(
                         "property `{}` failed at deterministic case {}/{}: {}\n  inputs: {:?}",
                         stringify!($name), case, config.cases, err, __inputs
                     );
+                    // Naive greedy shrink: a no-op (None) when the input
+                    // tuple has no NaiveShrink impl. A candidate "still
+                    // fails" when the body returns Err or panics.
+                    let __shrunk = {
+                        #[allow(unused_imports)]
+                        use $crate::shrink::NoShrink as _;
+                        (&$crate::shrink::ShrinkProbe(&__inputs)).shrink_with(|__cand| {
+                            ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                                || __body(__cand),
+                            ))
+                            .map(|r| r.is_err())
+                            .unwrap_or(true)
+                        })
+                    };
+                    if let ::std::option::Option::Some((__reduced, __passes, __evals)) = __shrunk {
+                        if __passes > 0 {
+                            __msg.push_str(&format!(
+                                "\n  shrunk ({} passes, {} evals): {:?}",
+                                __passes, __evals, __reduced
+                            ));
+                        }
+                    }
+                    panic!("{}", __msg);
                 }
             }
         }
@@ -649,9 +961,9 @@ mod tests {
     #[test]
     fn failing_case_reports_index_and_inputs() {
         // A property failing on every case must panic with the case index
-        // AND the Debug rendering of the generated inputs — the shim's
-        // stand-in for shrinking: the offending values are printed, not
-        // just a replay handle.
+        // AND the Debug rendering of the generated inputs — the original
+        // values are always printed, with any shrunk reduction appended
+        // after them, never replacing them.
         let result = std::panic::catch_unwind(|| {
             proptest! {
                 #![proptest_config(ProptestConfig::with_cases(4))]
@@ -671,5 +983,87 @@ mod tests {
         // And it names the actual failing value from the message.
         let x: usize = msg.split("x was ").nth(1).unwrap().lines().next().unwrap().parse().unwrap();
         assert!(inputs.contains(&format!("({x}, ")), "x value {x} appears in {inputs}");
+        // This property fails for every input, so the naive shrinker must
+        // reduce it all the way to the minimal tuple.
+        assert!(msg.contains("shrunk ("), "shrink report appended: {msg}");
+        assert!(msg.trim_end().ends_with("(0, [])"), "minimal case reached: {msg}");
+    }
+
+    #[test]
+    fn shrink_candidates_simplify_values() {
+        use crate::shrink::NaiveShrink;
+        assert_eq!(8u64.shrink_candidates(), vec![0, 4, 7]);
+        assert_eq!(1u64.shrink_candidates(), vec![0]);
+        assert!(0u64.shrink_candidates().is_empty());
+        assert_eq!((-4i32).shrink_candidates(), vec![0, -2, -3]);
+        assert_eq!(true.shrink_candidates(), vec![false]);
+        let v = vec![1u8, 2, 3];
+        let candidates = v.shrink_candidates();
+        assert!(candidates.contains(&vec![]), "empty pass");
+        assert!(candidates.contains(&vec![1]), "first-half pass");
+        assert!(candidates.contains(&vec![2, 3]), "second-half pass");
+        assert!(candidates.contains(&vec![1, 3]), "drop-element pass");
+        // Tuples shrink one component at a time.
+        let t = (2u64, vec![5u8]);
+        assert!(t.shrink_candidates().contains(&(1, vec![5u8])));
+        assert!(t.shrink_candidates().contains(&(2, vec![])));
+    }
+
+    #[test]
+    fn probe_is_a_no_op_for_unshrinkable_types() {
+        // Workspace types (graphs, schedules) have no NaiveShrink impl;
+        // the probe must silently decline rather than fail to compile.
+        use crate::shrink::NoShrink as _;
+        #[derive(Debug)]
+        struct Opaque;
+        assert!((&crate::shrink::ShrinkProbe(&Opaque)).maybe_candidates().is_none());
+        assert!((&crate::shrink::ShrinkProbe(&Opaque)).shrink_with(|_| true).is_none());
+        // And a tuple of std types resolves to the real shrinker.
+        assert!((&crate::shrink::ShrinkProbe(&(3usize, vec![1u8]))).maybe_candidates().is_some());
+    }
+
+    #[test]
+    fn scalar_failures_shrink_toward_the_boundary() {
+        // Fails for every x in 7..1000; halving passes must land exactly on
+        // the smallest failing value.
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(1))]
+                #[allow(unused)]
+                fn too_big(x in 7usize..1000) {
+                    prop_assert!(x < 7, "over the line");
+                }
+            }
+            too_big();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.trim_end().ends_with("(7,)"), "boundary found: {msg}");
+    }
+
+    #[test]
+    fn vector_failures_shrink_by_dropping_elements() {
+        // Any non-empty vector fails (elements are >= 1), so the shrinker
+        // must reach a single-element witness — and keep the original
+        // inputs visible above the reduction.
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(1))]
+                #[allow(unused)]
+                fn sum_not_zero(v in crate::collection::vec(1u64..100, 3..6)) {
+                    prop_assert!(v.iter().sum::<u64>() == 0, "nonzero sum");
+                }
+            }
+            sum_not_zero();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("inputs: ([") && msg.contains("shrunk ("), "got: {msg}");
+        let reduced = msg.split("shrunk (").nth(1).unwrap().split("): ").nth(1).unwrap().trim();
+        let witness: u64 = reduced
+            .strip_prefix("([")
+            .and_then(|r| r.strip_suffix("],)"))
+            .unwrap_or_else(|| panic!("single-element witness, got {reduced}"))
+            .parse()
+            .unwrap();
+        assert!(witness >= 1, "witness from the generated range");
     }
 }

@@ -1,0 +1,200 @@
+//! Negative-input hardening for the hand-rolled parsers: a malformed
+//! `RunReport` JSON document or topology-schedule script must come back as
+//! an `Err`, never a panic — persisted reports and `--schedule` arguments
+//! are exactly the inputs that arrive damaged (truncated copies, editor
+//! mangling, wrong file entirely). The property tests mutate *valid*
+//! documents at random positions, which probes the parser states a
+//! hand-written grammar actually reaches, unlike purely random bytes.
+
+use proptest::prelude::*;
+
+use nectar::prelude::*;
+
+fn sample_report_json(with_schedule: bool) -> String {
+    let scenario = Scenario::new(gen::cycle(6), 1).with_key_seed(9);
+    let sim = scenario.sim();
+    let sim = if with_schedule {
+        sim.schedule(
+            TopologySchedule::new()
+                .drop_edge(1, 0, 1)
+                .drop_edge(1, 3, 4)
+                .heal_edge(3, 0, 1)
+                .heal_edge(3, 3, 4),
+        )
+    } else {
+        sim
+    };
+    sim.run().to_json()
+}
+
+const SAMPLE_SCRIPT: &str = "\
+# a busy but valid script
+seed 42
+drop 1 0 1
+heal 3 0 1
+crash 2 4
+rejoin 4 4
+partition 2 0 1 2
+heal-partition 3 0 1 2
+loss 1 2 1..4 0.25
+loss-one-way 2 3 2..3 1.0
+delay 0 1 1..5 2
+delay-one-way 4 5 1..2 1
+";
+
+/// One mutation of a text document, chosen by `(kind, pos, payload)`.
+/// Everything stays valid UTF-8 so the parsers see a `&str`, as they
+/// would from `fs::read_to_string`.
+fn mutate(doc: &str, kind: usize, pos: usize, payload: u8) -> String {
+    let bytes = doc.as_bytes();
+    let at = pos % doc.len().max(1);
+    // Steer to a char boundary so slicing stays valid UTF-8 (these
+    // documents are ASCII, but stay robust).
+    let mut at = at.min(bytes.len());
+    while at > 0 && !doc.is_char_boundary(at) {
+        at -= 1;
+    }
+    let printable = char::from(b' ' + payload % 95);
+    match kind % 5 {
+        // Truncate.
+        0 => doc[..at].to_string(),
+        // Delete one character.
+        1 => {
+            let mut s = String::with_capacity(doc.len());
+            s.push_str(&doc[..at]);
+            let rest = &doc[at..];
+            let mut chars = rest.chars();
+            chars.next();
+            s.push_str(chars.as_str());
+            s
+        }
+        // Insert a printable character.
+        2 => format!("{}{printable}{}", &doc[..at], &doc[at..]),
+        // Replace one character.
+        3 => {
+            let rest = &doc[at..];
+            let mut chars = rest.chars();
+            chars.next();
+            format!("{}{printable}{}", &doc[..at], chars.as_str())
+        }
+        // Duplicate a slice (unbalances brackets/quotes wholesale).
+        _ => {
+            let end = (at + 1 + payload as usize).min(doc.len());
+            let mut end = end;
+            while end > at && !doc.is_char_boundary(end) {
+                end -= 1;
+            }
+            format!("{}{}{}", &doc[..at], &doc[at..end], &doc[at..])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `RunReport::from_json` on a damaged report: `Ok` (the damage was
+    /// cosmetic) or `Err` with a message — any panic fails this test.
+    #[test]
+    fn mutated_report_json_never_panics(
+        with_schedule in proptest::bool::ANY,
+        muts in proptest::collection::vec((0usize..5, 0usize..100_000, 0u8..255), 1..4),
+    ) {
+        let mut doc = sample_report_json(with_schedule);
+        for (kind, pos, payload) in muts {
+            doc = mutate(&doc, kind, pos, payload);
+        }
+        if let Err(e) = RunReport::from_json(&doc) {
+            prop_assert!(!e.is_empty(), "error message must say something");
+        }
+    }
+
+    /// `TopologySchedule::parse` (and, when parsing survives, `compile`
+    /// against the base graph) on a damaged script: error or success,
+    /// never a panic.
+    #[test]
+    fn mutated_schedule_scripts_never_panic(
+        muts in proptest::collection::vec((0usize..5, 0usize..10_000, 0u8..255), 1..4),
+    ) {
+        let mut doc = SAMPLE_SCRIPT.to_string();
+        for (kind, pos, payload) in muts {
+            doc = mutate(&doc, kind, pos, payload);
+        }
+        if let Ok(schedule) = TopologySchedule::parse(&doc) {
+            // A mutated-but-parseable script may still be inconsistent
+            // with the topology; compile must reject it gracefully.
+            let _ = schedule.compile(&gen::cycle(6));
+        } else {
+            let err = TopologySchedule::parse(&doc).unwrap_err();
+            prop_assert!(!err.to_string().is_empty());
+        }
+    }
+}
+
+/// Targeted malformed reports: each of these must be a parse *error* —
+/// not a panic, and not a silent `Ok`.
+#[test]
+fn malformed_reports_error_out() {
+    let valid = sample_report_json(true);
+    let half = &valid[..valid.len() / 2];
+    let cases: Vec<String> = vec![
+        String::new(),
+        "{".into(),
+        "null".into(),
+        "[1, 2, 3]".into(),
+        half.to_string(),
+        valid.replace("\"version\": 2", "\"version\": 99"),
+        valid.replace("\"n\":", "\"m\":"),
+        valid.replace("\"transitions\"", "\"transitiuns\""),
+        // A transition quad that is not a quad.
+        valid.replace("[1, 0, 1, false]", "[1, 0, 1]"),
+        // Type confusion inside the schedule record.
+        valid.replace("\"script\": \"", "\"script\": 3, \"x\": \""),
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        let got = RunReport::from_json(case);
+        assert!(got.is_err(), "case {i} parsed as {:?}", got.map(|r| r.n));
+    }
+}
+
+/// Targeted malformed schedule scripts: rejected with a line-numbered
+/// parse error or a validation error, never accepted and never a panic.
+#[test]
+fn malformed_schedule_scripts_error_out() {
+    let parse_errors = [
+        "drop",              // missing arguments
+        "drop 1 0",          // not enough arguments
+        "drop 1 0 1 9",      // too many arguments
+        "warp 1 0 1",        // unknown directive
+        "drop one 0 1",      // non-numeric round
+        "loss 0 1 5 0.5",    // range without `..`
+        "loss 0 1 1..x 0.5", // bad range end
+        "delay 0 1 3..2 1",  // empty-by-inversion range caught later
+        "seed",              // seed without a value
+        "partition 1",       // partition with no side
+    ];
+    for script in parse_errors {
+        let got = TopologySchedule::parse(script);
+        match got {
+            Ok(s) => {
+                // Range inversions and the like surface at compile time.
+                assert!(s.compile(&gen::cycle(6)).is_err(), "{script:?} was accepted");
+            }
+            Err(e) => assert!(!e.to_string().is_empty(), "{script:?}: empty error"),
+        }
+    }
+    let compile_errors = [
+        "drop 0 0 1",              // rounds are 1-based
+        "drop 1 0 3",              // not a base edge of cycle-6
+        "drop 1 0 99",             // node out of range
+        "heal 1 0 1",              // heal without a drop
+        "rejoin 2 3",              // rejoin without a crash
+        "crash 1 2\ncrash 2 2",    // double crash
+        "loss 0 1 1..2 1.5",       // probability out of range
+        "delay 0 1 1..2 0",        // zero delay is a no-op
+        "partition 1 0 1 2 3 4 5", // side is the whole graph
+    ];
+    for script in compile_errors {
+        let schedule = TopologySchedule::parse(script).expect(script);
+        assert!(schedule.compile(&gen::cycle(6)).is_err(), "{script:?} compiled");
+    }
+}

@@ -20,7 +20,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
 
-use nectar::net::{NodeId, Outgoing, Process, SyncNetwork};
+use nectar::net::{
+    run_event_driven, run_parallel, NodeId, Outgoing, Process, Scheduled, SyncNetwork, WireSized,
+};
 use nectar::prelude::*;
 
 /// Wraps a process and asserts the quiescence contract at every poll:
@@ -77,6 +79,14 @@ impl<P: Process> Process for QuiescenceAuditor<P> {
     fn quiescent(&self) -> bool {
         self.inner.quiescent()
     }
+
+    fn link_changed(&mut self, round: usize, peer: NodeId, up: bool) {
+        // The other legal un-quiesce point: a topology notice may wake the
+        // process (contract: silent until the next receive *or*
+        // link_changed), so the latch clears just as it does on receive.
+        self.claimed_quiescent = false;
+        self.inner.link_changed(round, peer, up);
+    }
 }
 
 /// Runs the scenario's participants under audit on the sync engine, which
@@ -88,6 +98,33 @@ fn audit(scenario: &Scenario) {
         scenario.build_participants().into_iter().map(QuiescenceAuditor::new).collect();
     let mut net = SyncNetwork::new(audited, scenario.topology().clone());
     net.run_rounds(rounds);
+}
+
+/// Audits the scenario under an active [`TopologySchedule`], on the
+/// polling sync engine and on the two engines that trust the hint (event
+/// and parallel). The stack is `Scheduled<QuiescenceAuditor<Participant>>`:
+/// the schedule wrapper filters traffic and delivers `link_changed`
+/// notices *into* the auditor, so the audited contract is exactly the one
+/// inner processes live under on a dynamic network. Metrics must agree
+/// across all three engines — a node skipped while a notice was pending
+/// would show up as lost traffic.
+fn audit_scheduled(scenario: &Scenario, schedule: &TopologySchedule) {
+    let rounds = scenario.config().effective_rounds();
+    let compiled =
+        std::sync::Arc::new(schedule.compile(scenario.topology()).expect("valid schedule"));
+    let stack = || {
+        Scheduled::wrap_all(
+            scenario.build_participants().into_iter().map(QuiescenceAuditor::new).collect(),
+            &compiled,
+        )
+    };
+    let mut net = SyncNetwork::new(stack(), scenario.topology().clone());
+    net.run_rounds(rounds);
+    let (_, sync_metrics) = net.into_parts();
+    let (_, event_metrics) = run_event_driven(stack(), scenario.topology(), rounds);
+    let (_, parallel_metrics) = run_parallel(stack(), scenario.topology(), rounds, 3);
+    assert_eq!(sync_metrics, event_metrics, "sync vs event under schedule");
+    assert_eq!(sync_metrics, parallel_metrics, "sync vs parallel under schedule");
 }
 
 /// One graph from each family of the §V-B generator zoo (sizes kept small:
@@ -156,6 +193,180 @@ proptest! {
         }
         audit(&scenario);
     }
+}
+
+/// A compact schedule for the scheduled audit: per-edge flap chains,
+/// node churn and an optional partition window over the given graph.
+fn arb_audit_schedule(
+    n: usize,
+    edges: Vec<(usize, usize)>,
+) -> impl Strategy<Value = TopologySchedule> {
+    let m = edges.len();
+    let horizon = n.saturating_sub(1).max(2);
+    let flaps = proptest::collection::btree_set(0..m.max(1), 0..3).prop_flat_map(move |idxs| {
+        let idxs: Vec<usize> = idxs.into_iter().filter(|&e| e < m).collect();
+        let len = idxs.len();
+        proptest::collection::vec(1..horizon, len)
+            .prop_map(move |starts| idxs.iter().copied().zip(starts).collect::<Vec<_>>())
+    });
+    let churn = proptest::collection::btree_set(0..n, 0..2).prop_flat_map(move |nodes| {
+        let nodes: Vec<usize> = nodes.into_iter().collect();
+        let len = nodes.len();
+        proptest::collection::vec((1..horizon, 1..3usize), len)
+            .prop_map(move |w| nodes.iter().copied().zip(w).collect::<Vec<_>>())
+    });
+    let split = (proptest::collection::btree_set(0..n, 1..3), 1..horizon, 0..3usize);
+    (flaps, churn, split).prop_map(move |(flaps, churn, (side, round, heal_after))| {
+        let mut s = TopologySchedule::new();
+        for (e, start) in flaps {
+            let (u, v) = edges[e];
+            s = s.drop_edge(start, u, v).heal_edge(start + 1, u, v);
+        }
+        for (node, (r, gap)) in churn {
+            s = s.crash(r, node).rejoin(r + gap, node);
+        }
+        if !side.is_empty() && side.len() < n {
+            s = s.partition(round, side.iter().copied());
+            if heal_after > 0 {
+                s = s.heal_partition(round + heal_after, side.iter().copied());
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The quiescence contract holds on *dynamic* networks too: under
+    /// flapping edges, churning nodes and partition windows, no zoo
+    /// participant ever sends from a round it claimed quiescent in, and
+    /// un-quiescing is only ever caused by a receive or a link notice.
+    /// Runs on sync, event and parallel engines; their metrics must agree.
+    #[test]
+    fn quiescent_hints_stay_sound_under_active_schedules(
+        (g, t, cast, sched) in arb_zoo_graph().prop_flat_map(|g| {
+            let n = g.node_count();
+            let t = 2.min(n / 3);
+            let edges: Vec<(usize, usize)> = g.edges().collect();
+            (arb_cast(n, t), arb_audit_schedule(n, edges))
+                .prop_map(move |(cast, sched)| (g.clone(), t, cast, sched))
+        }),
+        seed in 0u64..1000,
+    ) {
+        let mut scenario = Scenario::new(g, t).with_key_seed(seed);
+        for (node, behavior) in cast {
+            scenario = scenario.with_byzantine(node, behavior);
+        }
+        audit_scheduled(&scenario, &sched);
+    }
+}
+
+/// A flooding process that re-announces everything it knows when a link
+/// comes back up — the canonical client of the `link_changed` hook.
+#[derive(Debug, Clone)]
+struct Token(usize);
+impl WireSized for Token {
+    fn wire_bytes(&self) -> usize {
+        8
+    }
+}
+
+#[derive(Debug)]
+struct Flood {
+    id: usize,
+    neighbors: Vec<usize>,
+    known: BTreeSet<usize>,
+    fresh: Vec<usize>,
+}
+
+impl Flood {
+    fn fleet(g: &Graph) -> Vec<Flood> {
+        (0..g.node_count())
+            .map(|id| Flood {
+                id,
+                neighbors: g.neighbors(id).collect(),
+                known: [id].into(),
+                fresh: vec![id],
+            })
+            .collect()
+    }
+}
+
+impl Process for Flood {
+    type Msg = Token;
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn send(&mut self, _round: usize) -> Vec<Outgoing<Token>> {
+        let neighbors = self.neighbors.clone();
+        self.fresh
+            .drain(..)
+            .flat_map(|v| neighbors.iter().map(move |&n| Outgoing::new(n, Token(v))))
+            .collect()
+    }
+    fn receive(&mut self, _round: usize, _from: usize, Token(v): Token) {
+        if self.known.insert(v) {
+            self.fresh.push(v);
+        }
+    }
+    fn quiescent(&self) -> bool {
+        self.fresh.is_empty()
+    }
+    fn link_changed(&mut self, _round: usize, _peer: usize, up: bool) {
+        if up {
+            self.fresh = self.known.iter().copied().collect();
+        }
+    }
+}
+
+/// The heal-re-wake guarantee on the engines that skip quiescent nodes:
+/// cutting the middle edge of a path splits the flood, both sides quiesce,
+/// and the healed edge must *re-wake* them via `link_changed` — the
+/// schedule wrapper keeps a node schedulable until its last pending
+/// notice, so neither the event loop nor the parallel active set may drop
+/// it early. Every engine must converge to complete knowledge.
+#[test]
+fn a_healed_edge_rewakes_quiescent_nodes_on_event_and_parallel_engines() {
+    let g = gen::path(4);
+    let sched = TopologySchedule::new().drop_edge(1, 1, 2).heal_edge(4, 1, 2);
+    let compiled = std::sync::Arc::new(sched.compile(&g).expect("valid schedule"));
+    let rounds = 8;
+    let full: BTreeSet<usize> = (0..4).collect();
+    let stack = || {
+        Scheduled::wrap_all(
+            Flood::fleet(&g).into_iter().map(QuiescenceAuditor::new).collect(),
+            &compiled,
+        )
+    };
+
+    let mut net = SyncNetwork::new(stack(), g.clone());
+    net.run_rounds(rounds);
+    let (sync_procs, sync_metrics) = net.into_parts();
+    let (event_procs, event_metrics) = run_event_driven(stack(), &g, rounds);
+    let (par_procs, par_metrics) = run_parallel(stack(), &g, rounds, 2);
+    for procs in [&sync_procs, &event_procs, &par_procs] {
+        for p in procs.iter() {
+            assert_eq!(p.inner().inner.known, full, "node {} never re-flooded", p.inner().inner.id);
+        }
+    }
+    assert_eq!(sync_metrics, event_metrics, "sync vs event");
+    assert_eq!(sync_metrics, par_metrics, "sync vs parallel");
+
+    // Negative control: without the heal the flood must stay split — the
+    // re-wake above really is the healed link's doing.
+    let cut_only = TopologySchedule::new().drop_edge(1, 1, 2);
+    let cut = std::sync::Arc::new(cut_only.compile(&g).expect("valid schedule"));
+    let (procs, _) = run_event_driven(
+        Scheduled::wrap_all(
+            Flood::fleet(&g).into_iter().map(QuiescenceAuditor::new).collect(),
+            &cut,
+        ),
+        &g,
+        rounds,
+    );
+    assert_eq!(procs[0].inner().inner.known, [0, 1].into());
+    assert_eq!(procs[3].inner().inner.known, [2, 3].into());
 }
 
 /// The colluding behaviours the random cast cannot produce. LateReveal is
