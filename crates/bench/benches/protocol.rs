@@ -14,8 +14,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use nectar_baselines::{run_mtg, run_mtg_v2, MtgConfig};
+use nectar_crypto::{KeyStore, NeighborhoodProof};
 use nectar_graph::gen;
-use nectar_protocol::{Runtime, Scenario, TopologySchedule};
+use nectar_protocol::{
+    ConnectivityOracle, NectarNode, Participant, Runtime, Scenario, TopologySchedule,
+};
 
 fn bench_nectar_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("nectar_run");
@@ -130,6 +133,68 @@ fn bench_runtime_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// A fleet in the *converged dense-view* state: `n / 16` cliques of 16,
+/// every member holding its clique's full 120-edge discovered view. The
+/// state is synthesized directly — each clique's proofs are signed once and
+/// announced into every member — so the group prices the decision phase
+/// alone instead of paying a 50 000-node dissemination as setup.
+fn dense_view_fleet(n: usize) -> (Scenario, Vec<Participant>) {
+    const K: usize = 16;
+    let scenario = Scenario::new(gen::disjoint_cliques(n / K, K), 2).with_key_seed(17);
+    let ks = KeyStore::generate(n, 17);
+    let verifier = ks.verifier();
+    let config = scenario.config().clone();
+    let mut participants = Vec::with_capacity(n);
+    for c in 0..n / K {
+        let base = c * K;
+        let clique: Vec<((usize, usize), NeighborhoodProof)> = (0..K)
+            .flat_map(|i| (i + 1..K).map(move |j| (base + i, base + j)))
+            .map(|(u, v)| {
+                ((u, v), NeighborhoodProof::new(&ks.signer(u as u16), &ks.signer(v as u16)))
+            })
+            .collect();
+        for i in 0..K {
+            let id = base + i;
+            let own: BTreeMap<usize, NeighborhoodProof> = clique
+                .iter()
+                .filter(|((u, v), _)| *u == id || *v == id)
+                .map(|((u, v), p)| (if *u == id { *v } else { *u }, p.clone()))
+                .collect();
+            let mut node =
+                NectarNode::new(id, config.clone(), ks.signer(id as u16), verifier.clone(), own);
+            for ((u, v), p) in &clique {
+                if *u != id && *v != id {
+                    node.announce_extra_proof(p.clone());
+                }
+            }
+            participants.push(Participant::Correct(node));
+        }
+    }
+    (scenario, participants)
+}
+
+/// The steady-state decision phase at fleet scale: n ∈ {1k, 10k, 50k}
+/// dense-view fleets (16-cliques, 120-edge views — the worst case for the
+/// per-node O(m_view) edge-key walks) re-decided against one warm shared
+/// oracle, the epoch-monitoring workload where dissemination has already
+/// converged. Like every committed median, the numbers are from a
+/// single-core box (docs/BENCHMARKS.md); `workers = 1` keeps the fan-out
+/// honest there.
+fn bench_collect_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect_scaling");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 50_000] {
+        let (scenario, participants) = dense_view_fleet(n);
+        let mut oracle = ConnectivityOracle::with_capacity(16 * 1024);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(scenario.collect_decisions(black_box(&participants), &mut oracle, 1))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_baselines(c: &mut Criterion) {
     let g = gen::harary(4, 50).expect("valid parameters");
     let n = g.node_count();
@@ -149,6 +214,7 @@ criterion_group!(
     bench_nectar_with_decisions,
     bench_runtimes,
     bench_runtime_scaling,
+    bench_collect_scaling,
     bench_baselines
 );
 criterion_main!(benches);

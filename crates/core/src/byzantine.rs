@@ -220,7 +220,7 @@ impl LateRevealNode {
         LateRevealNode {
             inner,
             reveal_round,
-            payload: RelayedEdge { proof, chain },
+            payload: RelayedEdge::new(proof, chain),
             revealed: false,
         }
     }

@@ -49,7 +49,9 @@ impl Decode for RelayedEdge {
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
         let proof = NeighborhoodProof::decode(buf)?;
         let chain = SignatureChain::decode(buf)?;
-        Ok(RelayedEdge { proof, chain })
+        // A decoded edge starts a fresh sharing group: interning is an
+        // in-process optimization, never a wire-visible property.
+        Ok(RelayedEdge::new(proof, chain))
     }
 }
 
@@ -111,7 +113,7 @@ mod tests {
                 let chain = SignatureChain::new()
                     .extend(&ks.signer(a), &digest)
                     .extend(&ks.signer(4), &digest);
-                RelayedEdge { proof, chain }
+                RelayedEdge::new(proof, chain)
             })
             .collect();
         (ks, NectarMsg { edges, format })
@@ -215,7 +217,7 @@ mod proptests {
                     for h in 0..hops {
                         chain = chain.extend(&ks.signer(h as u16), &digest);
                     }
-                    RelayedEdge { proof, chain }
+                    RelayedEdge::new(proof, chain)
                 })
                 .collect();
             let msg = NectarMsg { edges, format: WireFormat::PerEdgeChains };

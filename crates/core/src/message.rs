@@ -6,6 +6,8 @@
 //! the message travels (Alg. 1 ll. 5–15). A node batches everything due to
 //! one neighbor in one [`NectarMsg`] per round.
 
+use std::sync::Arc;
+
 use nectar_crypto::wire;
 use nectar_crypto::{NeighborhoodProof, SignatureChain};
 use nectar_net::WireSized;
@@ -26,16 +28,31 @@ pub enum WireFormat {
 }
 
 /// One discovered edge in transit: the proof plus its relay chain.
+///
+/// Both payloads sit behind shared ownership: a node fanning one edge out
+/// to its whole neighborhood copies two pointers per copy, not a signature
+/// buffer, and a proof relayed along k paths is one allocation process-wide
+/// on the in-memory runtimes. The wire codec still serializes full
+/// contents, so the interning is invisible at the codec boundary — a
+/// deserialized edge simply starts a fresh sharing group. `Arc` (not `Rc`)
+/// because messages cross engine worker threads. Equality and `Debug` see
+/// through the pointers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelayedEdge {
     /// The both-endpoint-signed edge declaration.
-    pub proof: NeighborhoodProof,
+    pub proof: Arc<NeighborhoodProof>,
     /// The signature chain accumulated along the relay path; its length is
     /// the paper's `lengthSign(msg)`.
-    pub chain: SignatureChain,
+    pub chain: Arc<SignatureChain>,
 }
 
 impl RelayedEdge {
+    /// Wraps freshly built payloads in the shared-ownership envelope the
+    /// relay fan-out copies by pointer.
+    pub fn new(proof: NeighborhoodProof, chain: SignatureChain) -> Self {
+        RelayedEdge { proof: Arc::new(proof), chain: Arc::new(chain) }
+    }
+
     /// Wire size of this edge under the given format (chain excluded in
     /// batched mode — it is charged once per message).
     fn wire_bytes(&self, format: WireFormat) -> usize {
@@ -85,7 +102,7 @@ mod tests {
         for &h in hops {
             chain = chain.extend(&ks.signer(h), &digest);
         }
-        RelayedEdge { proof, chain }
+        RelayedEdge::new(proof, chain)
     }
 
     #[test]

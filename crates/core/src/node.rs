@@ -17,9 +17,10 @@
 //!    `k > t ∧ r = n`, PARTITIONABLE otherwise, with `confirmed = (r ≠ n)`.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use nectar_crypto::{NeighborhoodProof, SignatureChain, Signer, Verifier};
-use nectar_graph::{connectivity, traversal, ConnectivityOracle, Graph};
+use nectar_graph::{connectivity, traversal, ConnectivityOracle, Fingerprint, Graph};
 use nectar_net::{NodeId, Outgoing, Process};
 
 use crate::config::{Decision, NectarConfig};
@@ -51,19 +52,53 @@ pub struct NectarNode {
     verifier: Verifier,
     neighbors: Vec<NodeId>,
     /// `G_i`: every proof discovered so far, keyed by normalized endpoints.
-    discovered: BTreeMap<(u16, u16), NeighborhoodProof>,
+    /// Values are the shared-ownership payloads the relay fan-out copies by
+    /// pointer — a proof relayed along k paths is one allocation, not k.
+    discovered: BTreeMap<(u16, u16), Arc<NeighborhoodProof>>,
+    /// Rolling digest of [`discovered_graph`](Self::discovered_graph),
+    /// toggled on every view mutation so the decision phase reads view
+    /// identity in O(1) instead of walking O(m_view) edge keys.
+    view_fingerprint: Fingerprint,
     /// Edges accepted in the previous round, to relay this round
     /// (`to_be_sent_R`), with the neighbors to skip.
     pending: Vec<PendingRelay>,
+    /// Digests of proofs whose signatures already verified — a proof
+    /// re-delivered along another path (or re-presented after its chain was
+    /// rejected) skips the two signature checks. Sound because
+    /// [`NeighborhoodProof::digest`] covers the full proof content
+    /// (statement, signer ids, signature tags), so equal digests mean equal
+    /// proofs up to a SHA-256 collision; only *successes* are memoized, so
+    /// a hit can never flip a verdict.
+    verified_proofs: BTreeSet<[u8; 32]>,
+    /// `(proof digest, chain content key)` pairs whose chain signatures
+    /// already verified — the chain-side analogue of `verified_proofs`,
+    /// for chains replayed verbatim (same payload, same links).
+    verified_chains: BTreeSet<([u8; 32], u64)>,
     /// Rejected-message diagnostics.
     rejections: BTreeMap<RejectReason, u64>,
 }
 
 #[derive(Debug, Clone)]
 struct PendingRelay {
-    proof: NeighborhoodProof,
-    chain: SignatureChain,
+    proof: Arc<NeighborhoodProof>,
+    chain: Arc<SignatureChain>,
     exclude: BTreeSet<NodeId>,
+}
+
+/// A 64-bit content key for a signature chain: an FNV-1a fold of every
+/// link's signer id and tag. Distinct chains collide with probability
+/// ~2⁻⁶⁴ — the same class as the view [`Fingerprint`] — and the key only
+/// memoizes *successful* verifications, so a collision could at worst skip
+/// a re-verification that would also have succeeded on the colliding
+/// chain's first delivery.
+fn chain_content_key(chain: &SignatureChain) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for link in chain.links() {
+        for b in link.signer().to_be_bytes().into_iter().chain(link.tag().iter().copied()) {
+            acc = (acc ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    acc
 }
 
 impl NectarNode {
@@ -82,6 +117,7 @@ impl NectarNode {
         neighbor_proofs: BTreeMap<NodeId, NeighborhoodProof>,
     ) -> Self {
         assert_eq!(signer.id() as usize, id, "signer identity must match node id");
+        let n = config.n;
         let mut node = NectarNode {
             id,
             config,
@@ -89,25 +125,43 @@ impl NectarNode {
             verifier,
             neighbors: neighbor_proofs.keys().copied().collect(),
             discovered: BTreeMap::new(),
+            view_fingerprint: Fingerprint::empty(n),
             pending: Vec::new(),
+            verified_proofs: BTreeSet::new(),
+            verified_chains: BTreeSet::new(),
             rejections: BTreeMap::new(),
         };
-        for (&nbr, proof) in &neighbor_proofs {
+        for (nbr, proof) in neighbor_proofs {
             let (a, b) = proof.endpoints();
             assert!(
                 (a as usize == id && b as usize == nbr) || (b as usize == id && a as usize == nbr),
                 "proof endpoints ({a},{b}) must join node {id} and neighbor {nbr}"
             );
-            node.discovered.insert(proof.endpoints(), proof.clone());
+            let proof = Arc::new(proof);
+            if node.discovered.insert(proof.endpoints(), proof.clone()).is_none() {
+                node.toggle_view_edge(proof.endpoints());
+            }
             // Own edges are announced in round 1 with an empty exclusion set
             // (Alg. 1 ll. 6–8 send the full neighborhood to every neighbor).
             node.pending.push(PendingRelay {
-                proof: proof.clone(),
-                chain: SignatureChain::new(),
+                proof,
+                chain: Arc::new(SignatureChain::new()),
                 exclude: BTreeSet::new(),
             });
         }
         node
+    }
+
+    /// Folds `key` into the rolling view digest iff
+    /// [`discovered_graph`](Self::discovered_graph) keeps the edge
+    /// (in-range, non-loop), preserving the invariant
+    /// `self.view_fingerprint == Fingerprint::of(&self.discovered_graph())`
+    /// across every view mutation (a property test pins it).
+    fn toggle_view_edge(&mut self, key: (u16, u16)) {
+        let (u, v) = (key.0 as usize, key.1 as usize);
+        if u < self.config.n && v < self.config.n && u != v {
+            self.view_fingerprint.toggle_edge(u, v);
+        }
     }
 
     /// Adds an extra proof to announce in round 1 *as if* it were a real
@@ -115,10 +169,15 @@ impl NectarNode {
     /// Byzantine fictitious-edge behaviour (§IV, "pairs of Byzantine nodes
     /// that declare fictitious edges").
     pub fn announce_extra_proof(&mut self, proof: NeighborhoodProof) {
-        self.discovered.insert(proof.endpoints(), proof.clone());
+        let proof = Arc::new(proof);
+        // Re-announcing known endpoints replaces the stored proof without
+        // changing the edge set, so the digest only moves on a fresh key.
+        if self.discovered.insert(proof.endpoints(), proof.clone()).is_none() {
+            self.toggle_view_edge(proof.endpoints());
+        }
         self.pending.push(PendingRelay {
             proof,
-            chain: SignatureChain::new(),
+            chain: Arc::new(SignatureChain::new()),
             exclude: BTreeSet::new(),
         });
     }
@@ -130,7 +189,9 @@ impl NectarNode {
         let id = self.id as u16;
         let nbr = neighbor as u16;
         let key = (id.min(nbr), id.max(nbr));
-        self.discovered.remove(&key);
+        if self.discovered.remove(&key).is_some() {
+            self.toggle_view_edge(key);
+        }
         self.pending.retain(|p| p.proof.endpoints() != key);
     }
 
@@ -219,13 +280,28 @@ impl NectarNode {
         self.discovered.keys().copied().collect()
     }
 
+    /// The rolling digest of [`discovered_graph`](Self::discovered_graph),
+    /// maintained incrementally in O(1) per view mutation and always equal
+    /// to `Fingerprint::of(&self.discovered_graph())`. The decision phase
+    /// groups identical views (Lemma 2) by this digest without walking any
+    /// edge key.
+    pub fn view_fingerprint(&self) -> Fingerprint {
+        self.view_fingerprint
+    }
+
     fn reject(&mut self, reason: RejectReason) {
         *self.rejections.entry(reason).or_insert(0) += 1;
     }
 
     /// Validates a relayed edge per Alg. 1 l. 14 plus the signature rules of
     /// §II. Returns `None` if the edge passes, `Some(reason)` otherwise.
-    fn validate(&self, round: usize, from: NodeId, edge: &RelayedEdge) -> Option<RejectReason> {
+    ///
+    /// The two signature checks run behind the node's verification memos: a
+    /// proof (or verbatim chain) this node already verified successfully is
+    /// admitted without re-running the crypto. Failures are never memoized,
+    /// so the rejection behaviour — and every counter derived from it — is
+    /// bit-identical to always re-verifying.
+    fn validate(&mut self, round: usize, from: NodeId, edge: &RelayedEdge) -> Option<RejectReason> {
         let chain = &edge.chain;
         if self.config.check_chain_length && chain.len() != round {
             return Some(RejectReason::WrongChainLength);
@@ -241,11 +317,19 @@ impl NectarNode {
         if self.config.require_distinct_signers && !chain.signers_distinct() {
             return Some(RejectReason::DuplicateSigner);
         }
-        if !edge.proof.verify(&self.verifier) {
-            return Some(RejectReason::BadProof);
+        let digest = edge.proof.digest();
+        if !self.verified_proofs.contains(&digest) {
+            if !edge.proof.verify(&self.verifier) {
+                return Some(RejectReason::BadProof);
+            }
+            self.verified_proofs.insert(digest);
         }
-        if !chain.verify(&self.verifier, &edge.proof.digest()) {
-            return Some(RejectReason::BadChain);
+        let chain_key = (digest, chain_content_key(chain));
+        if !self.verified_chains.contains(&chain_key) {
+            if !chain.verify(&self.verifier, &digest) {
+                return Some(RejectReason::BadChain);
+            }
+            self.verified_chains.insert(chain_key);
         }
         None
     }
@@ -264,10 +348,12 @@ impl Process for NectarNode {
             return Vec::new();
         }
         // Extend each chain once with our signature (σ_i(msg)), then fan the
-        // edge out to every neighbor not excluded.
+        // edge out to every neighbor not excluded — each copy is two pointer
+        // bumps (shared proof, shared extended chain), not a signature
+        // buffer.
         let mut per_dest: BTreeMap<NodeId, Vec<RelayedEdge>> = BTreeMap::new();
         for item in pending {
-            let chain = item.chain.extend(&self.signer, &item.proof.digest());
+            let chain = Arc::new(item.chain.extend(&self.signer, &item.proof.digest()));
             for &nbr in &self.neighbors {
                 if item.exclude.contains(&nbr) {
                     continue;
@@ -298,6 +384,7 @@ impl Process for NectarNode {
                 Some(reason) => self.reject(reason),
                 None => {
                     self.discovered.insert(key, edge.proof.clone());
+                    self.toggle_view_edge(key);
                     self.pending.push(PendingRelay {
                         proof: edge.proof,
                         chain: edge.chain,
@@ -433,7 +520,7 @@ mod tests {
         // Use an edge unknown to node 2: (0,1) is not adjacent to node 2's
         // initial knowledge.
         let msg = NectarMsg {
-            edges: vec![RelayedEdge { proof, chain }],
+            edges: vec![RelayedEdge::new(proof, chain)],
             format: WireFormat::PerEdgeChains,
         };
         nodes[2].receive(2, 1, msg);
@@ -450,7 +537,7 @@ mod tests {
         let chain = SignatureChain::new().extend(&ks.signer(0), &proof.digest());
         // Node 2 receives from node 1 a chain whose outermost signer is 0.
         let msg = NectarMsg {
-            edges: vec![RelayedEdge { proof, chain }],
+            edges: vec![RelayedEdge::new(proof, chain)],
             format: WireFormat::PerEdgeChains,
         };
         nodes[2].receive(1, 1, msg);
@@ -466,7 +553,7 @@ mod tests {
         let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(2));
         let chain = SignatureChain::new().extend(&ks.signer(1), &proof.digest());
         let msg = NectarMsg {
-            edges: vec![RelayedEdge { proof, chain }],
+            edges: vec![RelayedEdge::new(proof, chain)],
             format: WireFormat::PerEdgeChains,
         };
         nodes[2].receive(1, 1, msg);
@@ -491,7 +578,7 @@ mod tests {
         );
         let chain = SignatureChain::new().extend(&ks.signer(2), &forged.digest());
         let msg = NectarMsg {
-            edges: vec![RelayedEdge { proof: forged, chain }],
+            edges: vec![RelayedEdge::new(forged, chain)],
             format: WireFormat::PerEdgeChains,
         };
         nodes[1].receive(1, 2, msg);
@@ -508,7 +595,7 @@ mod tests {
         let chain =
             SignatureChain::new().extend(&ks.signer(2), &digest).extend(&ks.signer(2), &digest);
         let msg = NectarMsg {
-            edges: vec![RelayedEdge { proof, chain }],
+            edges: vec![RelayedEdge::new(proof, chain)],
             format: WireFormat::PerEdgeChains,
         };
         nodes[1].receive(2, 2, msg);
@@ -629,7 +716,7 @@ mod config_knob_tests {
         let proof = NeighborhoodProof::new(&ks.signer(0), &ks.signer(1));
         let chain = SignatureChain::new().extend(&ks.signer(1), &proof.digest());
         let msg = NectarMsg {
-            edges: vec![RelayedEdge { proof, chain }],
+            edges: vec![RelayedEdge::new(proof, chain)],
             format: crate::message::WireFormat::PerEdgeChains,
         };
         node.receive(2, 1, msg);

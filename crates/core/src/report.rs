@@ -28,15 +28,16 @@ use bytes::{Buf, BufMut, BytesMut};
 
 use nectar_crypto::codec::{CodecError, Decode, Encode};
 use nectar_graph::{connectivity, traversal, Graph, OracleStats};
-use nectar_net::{Metrics, NodeId};
+use nectar_net::{Metrics, NodeId, PhaseProfile};
 
 use crate::config::{Decision, Verdict};
 use crate::runner::{Outcome, Runtime};
 
 /// Version tag of the persisted report formats (bumped on incompatible
 /// changes; both the binary and JSON forms carry it). Version 2 added the
-/// applied topology schedule and the `schedule_drops` metrics counter.
-pub const REPORT_CODEC_VERSION: u16 = 2;
+/// applied topology schedule and the `schedule_drops` metrics counter;
+/// version 3 added the optional per-phase wall-clock profile.
+pub const REPORT_CODEC_VERSION: u16 = 3;
 
 /// Sanity cap on decoded collection lengths (nodes, edges, rounds): far
 /// above any supported system size, low enough that corrupt length
@@ -82,6 +83,11 @@ pub struct EpochOutcome {
     pub metrics: Metrics,
     /// Connectivity-oracle counters for this epoch's decision phase.
     pub oracle: OracleStats,
+    /// Per-phase wall-clock breakdown, present only when the session opted
+    /// in (`Simulation::profile()` / CLI `--profile`). Wall clock is
+    /// nondeterministic, so profiled epochs are never compared bit-for-bit
+    /// across runtimes; everything else in the outcome stays canonical.
+    pub profile: Option<PhaseProfile>,
 }
 
 impl EpochOutcome {
@@ -333,7 +339,7 @@ impl RunReport {
                 w,
                 "     \"oracle\": {{\"queries\": {}, \"cache_hits\": {}, \
                  \"structure_shortcuts\": {}, \"min_degree_shortcuts\": {}, \
-                 \"bounded_flows\": {}, \"early_exits\": {}}}}}{sep}",
+                 \"bounded_flows\": {}, \"early_exits\": {}}},",
                 s.queries,
                 s.cache_hits,
                 s.structure_shortcuts,
@@ -342,6 +348,21 @@ impl RunReport {
                 s.early_exits
             )
             .expect("infallible");
+            match &e.profile {
+                None => writeln!(w, "     \"profile\": null}}{sep}").expect("infallible"),
+                Some(p) => writeln!(
+                    w,
+                    "     \"profile\": {{\"disseminate_micros\": {}, \
+                     \"classify_micros\": {}, \"derive_micros\": {}, \
+                     \"materialize_micros\": {}, \"decide_micros\": {}}}}}{sep}",
+                    p.disseminate_micros,
+                    p.classify_micros,
+                    p.derive_micros,
+                    p.materialize_micros,
+                    p.decide_micros
+                )
+                .expect("infallible"),
+            }
         }
         writeln!(w, "  ]").expect("infallible");
         writeln!(w, "}}").expect("infallible");
@@ -441,6 +462,20 @@ impl RunReport {
             );
             let o = e.field("oracle")?.as_obj("oracle")?;
             let stat = |key: &str| -> Result<u64, String> { o.field(key)?.as_u64(key) };
+            let profile = match e.field("profile")? {
+                json::Value::Null => None,
+                value => {
+                    let p = value.as_obj("profile")?;
+                    let micros = |key: &str| -> Result<u64, String> { p.field(key)?.as_u64(key) };
+                    Some(PhaseProfile {
+                        disseminate_micros: micros("disseminate_micros")?,
+                        classify_micros: micros("classify_micros")?,
+                        derive_micros: micros("derive_micros")?,
+                        materialize_micros: micros("materialize_micros")?,
+                        decide_micros: micros("decide_micros")?,
+                    })
+                }
+            };
             epochs.push(EpochOutcome {
                 epoch: e.field("epoch")?.as_u64("epoch")? as usize,
                 key_seed: e.field("key_seed")?.as_u64("key_seed")?,
@@ -454,6 +489,7 @@ impl RunReport {
                     bounded_flows: stat("bounded_flows")?,
                     early_exits: stat("early_exits")?,
                 },
+                profile,
             });
         }
         Ok(RunReport { runtime, n, t, key_seed, byzantine, topology, schedule, epochs })
@@ -681,6 +717,21 @@ impl Encode for RunReport {
             ] {
                 buf.put_u64(stat);
             }
+            match &e.profile {
+                None => buf.put_u8(0),
+                Some(p) => {
+                    buf.put_u8(1);
+                    for micros in [
+                        p.disseminate_micros,
+                        p.classify_micros,
+                        p.derive_micros,
+                        p.materialize_micros,
+                        p.decide_micros,
+                    ] {
+                        buf.put_u64(micros);
+                    }
+                }
+            }
         }
     }
 
@@ -706,6 +757,8 @@ impl Encode for RunReport {
                     + 8
                     + 8
                     + 6 * 8
+                    + 1
+                    + e.profile.map_or(0, |_| 5 * 8)
             })
             .sum();
         header + byzantine + topology + schedule + 4 + epochs
@@ -830,7 +883,33 @@ impl Decode for RunReport {
                 bounded_flows: tail.get_u64(),
                 early_exits: tail.get_u64(),
             };
-            epochs.push(EpochOutcome { epoch, key_seed: epoch_seed, decisions, metrics, oracle });
+            let profile = match take(buf, 1, "profile flag")?[0] {
+                0 => None,
+                1 => {
+                    let mut head = take(buf, 5 * 8, "phase profile")?;
+                    Some(PhaseProfile {
+                        disseminate_micros: head.get_u64(),
+                        classify_micros: head.get_u64(),
+                        derive_micros: head.get_u64(),
+                        materialize_micros: head.get_u64(),
+                        decide_micros: head.get_u64(),
+                    })
+                }
+                other => {
+                    return Err(CodecError::LengthOutOfBounds {
+                        decoding: "profile flag",
+                        len: other as usize,
+                    })
+                }
+            };
+            epochs.push(EpochOutcome {
+                epoch,
+                key_seed: epoch_seed,
+                decisions,
+                metrics,
+                oracle,
+                profile,
+            });
         }
         Ok(RunReport { runtime, n, t, key_seed, byzantine, topology, schedule, epochs })
     }
@@ -1100,11 +1179,38 @@ mod tests {
     #[test]
     fn json_rejects_version_skew_and_garbage() {
         let report = sample_report();
-        let skewed = report.to_json().replace("\"version\": 2", "\"version\": 99");
+        let skewed = report.to_json().replace("\"version\": 3", "\"version\": 99");
         assert!(RunReport::from_json(&skewed).is_err());
         assert!(RunReport::from_json("").is_err());
-        assert!(RunReport::from_json("{\"version\": 2}").is_err());
+        assert!(RunReport::from_json("{\"version\": 3}").is_err());
         assert!(RunReport::from_json("nonsense").is_err());
+    }
+
+    #[test]
+    fn profiled_reports_round_trip_on_both_codecs() {
+        let report = Scenario::new(gen::cycle(8), 1).sim().epochs(2).profile().run();
+        for e in &report.epochs {
+            let p = e.profile.expect("profiled run records a breakdown per epoch");
+            // Every phase actually executed; the non-trivial ones take
+            // measurable time, and the totals are self-consistent.
+            assert_eq!(
+                p.total_micros(),
+                p.disseminate_micros + p.collect_micros(),
+                "phase totals must add up"
+            );
+        }
+        let parsed = RunReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+        let bytes = report.to_wire_bytes();
+        assert_eq!(bytes.len(), report.encoded_len());
+        let mut slice = bytes.as_slice();
+        let decoded = RunReport::decode(&mut slice).expect("decodes");
+        assert!(slice.is_empty());
+        assert_eq!(decoded, report);
+        // Unprofiled runs keep the field absent in both forms.
+        let plain = sample_report();
+        assert!(plain.epochs.iter().all(|e| e.profile.is_none()));
+        assert!(plain.to_json().contains("\"profile\": null"));
     }
 
     #[test]

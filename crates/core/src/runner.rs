@@ -17,13 +17,15 @@
 //! `#[deprecated]` shims over the builder, returning the legacy
 //! [`Outcome`] shape.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 use nectar_crypto::{KeyStore, NeighborhoodProof, Verifier};
 use nectar_graph::{connectivity, traversal, ConnectivityOracle, Fingerprint, Graph, OracleStats};
 use nectar_net::{
-    parallel_map, CompiledSchedule, Metrics, NodeId, Process, RoundSink, Scheduled, SyncNetwork,
+    parallel_map, CompiledSchedule, Metrics, NodeId, PhaseProfile, Process, RoundSink, Scheduled,
+    SyncNetwork,
 };
 
 use crate::byzantine::{
@@ -400,19 +402,50 @@ impl Scenario {
         self.sim().runtime(Runtime::Event).oracle(oracle).run().into_outcome()
     }
 
+    /// The decision phase as a standalone, repeatable pass over borrowed
+    /// participants: groups their views into classes, answers each class's
+    /// `κ ≤ t` question through `oracle`, and returns every correct node's
+    /// decision plus this pass's share of the oracle counters — identical
+    /// decisions and counters to the decision phase of a full
+    /// [`Simulation::run`](crate::sim::Simulation::run) over the same
+    /// participants. Public so steady-state consumers — epoch monitors
+    /// re-deciding an unchanged fleet, the `collect_scaling` bench — can
+    /// re-run decisions without re-running dissemination. `workers` fans
+    /// the per-class stages over that many work-stealing workers (`1` =
+    /// inline, the non-parallel runtimes' setting).
+    pub fn collect_decisions(
+        &self,
+        participants: &[Participant],
+        oracle: &mut ConnectivityOracle,
+        workers: usize,
+    ) -> (BTreeMap<NodeId, Decision>, OracleStats) {
+        self.collect(participants, oracle, workers, None, |_, _| {})
+    }
+
     /// The decision phase: groups the surviving participants' views into
     /// classes (Lemma 2), answers each class's `κ ≤ t` question through the
     /// oracle, and emits every correct node's decision — in ascending node
     /// order, reporting each to `on_decided` as it commits (the per-node
     /// stream behind [`RunObserver::node_decided`](crate::sim::RunObserver)).
     /// Returns the decisions plus this run's share of the oracle counters.
+    /// When `profile` is supplied, the four stage timings are written into
+    /// it (wall clock — nondeterministic, never part of the canonical
+    /// outputs).
     pub(crate) fn collect(
         &self,
-        participants: Vec<Participant>,
+        participants: &[Participant],
         oracle: &mut ConnectivityOracle,
         workers: usize,
+        mut profile: Option<&mut PhaseProfile>,
         mut on_decided: impl FnMut(NodeId, &Decision),
     ) -> (BTreeMap<NodeId, Decision>, OracleStats) {
+        let mut stage_start = Instant::now();
+        let lap = |stage_start: &mut Instant| -> u64 {
+            let now = Instant::now();
+            let micros = now.duration_since(*stage_start).as_micros() as u64;
+            *stage_start = now;
+            micros
+        };
         let byzantine = self.byzantine_nodes();
         let before = *oracle.stats();
         let n = self.config.n;
@@ -444,35 +477,42 @@ impl Scenario {
             .filter(|p| !byzantine.contains(&p.nectar().node_id()))
             .map(|p| p.nectar())
             .collect();
-        // Stages 1+2 (parallel per chunk, dedup streaming): every correct
-        // node's canonical edge key, grouped into classes in first-seen
-        // order. Keys are computed a bounded chunk at a time and duplicates
-        // dropped immediately — on a converged fleet (Lemma 2: every
-        // correct node holds the full m-edge view) materializing all n keys
-        // at once would transiently cost O(n · m) memory, which at
-        // n = 50 000 is gigabytes; chunking caps the peak at
-        // O(chunk · m + classes · m) while still fanning the O(m) key
-        // walks across the pool.
-        const KEY_CHUNK: usize = 256;
-        let mut class_index: BTreeMap<Vec<(u16, u16)>, usize> = BTreeMap::new();
-        let mut class_keys: Vec<Vec<(u16, u16)>> = Vec::new();
+        // Stages 1+2 (sequential, O(n) total): group nodes into view
+        // classes by their *incrementally maintained* fingerprints
+        // ([`NectarNode::view_fingerprint`], kept current by every view
+        // mutation), in first-seen node order. This is the read that used
+        // to dominate the phase: previously every node materialized its
+        // O(m_view) canonical edge key just so identical views could be
+        // deduplicated, an O(n · m) sweep on a converged fleet. Now
+        // classification reads one 8-byte digest per node. Grouping by
+        // fingerprint rather than exact edge key folds in two extra
+        // equivalences, both observationally pure: views differing only in
+        // filtered-out edges (out-of-range endpoints, self-loops) share a
+        // class — every decision input (component sizes, the oracle's
+        // fingerprint-keyed answer) already ignored those edges — and a
+        // 2⁻⁶⁴ XOR collision could merge distinct views, the same accepted
+        // failure class the fingerprint-keyed oracle cache has always had
+        // (see `Fingerprint`'s docs and docs/DETERMINISM.md §7).
+        let mut class_index: HashMap<Fingerprint, usize> = HashMap::new();
+        let mut class_reps: Vec<&crate::node::NectarNode> = Vec::new();
         let mut node_class: Vec<usize> = Vec::with_capacity(correct.len());
-        for chunk in correct.chunks(KEY_CHUNK) {
-            let keys = parallel_map(chunk.to_vec(), workers, |node| node.discovered_edge_key());
-            for key in keys {
-                let idx = match class_index.get(&key) {
-                    Some(&idx) => idx,
-                    None => {
-                        let idx = class_keys.len();
-                        class_keys.push(key.clone());
-                        class_index.insert(key, idx);
-                        idx
-                    }
-                };
-                node_class.push(idx);
-            }
+        for node in &correct {
+            let idx = *class_index.entry(node.view_fingerprint()).or_insert_with(|| {
+                class_reps.push(node);
+                class_reps.len() - 1
+            });
+            node_class.push(idx);
         }
-        // Stage 3 (parallel): per-class fingerprint + component sizes.
+        if let Some(p) = profile.as_deref_mut() {
+            p.classify_micros = lap(&mut stage_start);
+        }
+        // Stage 3 (parallel): per-class edge key + component sizes, derived
+        // once from each class's *representative* (its first member in node
+        // order — any member works, they share the view). The edge key is
+        // retained so any later materialization planning is per class by
+        // construction: stage 4 and the stage-5 fallback both read
+        // `class_keys[c]`, so a class's view graph is built at most once no
+        // matter how many members or retries touch it.
         struct ViewClass {
             fingerprint: Fingerprint,
             /// Materialized only for oracle cache misses (stage 4).
@@ -481,16 +521,19 @@ impl Scenario {
             /// unnamed vertices are implicit singletons.
             component_size: BTreeMap<NodeId, usize>,
         }
-        let mut classes: Vec<ViewClass> =
-            parallel_map(class_keys.iter().collect(), workers, |key: &Vec<(u16, u16)>| {
-                let mut fingerprint = Fingerprint::empty(n);
-                // Same filter as `NectarNode::discovered_graph`, so the
-                // digest matches `Fingerprint::of` of that graph.
-                for (u, v) in view_edges(key, n) {
-                    fingerprint.toggle_edge(u, v);
-                }
-                ViewClass { fingerprint, graph: None, component_size: view_component_sizes(key, n) }
-            });
+        let (class_keys, mut classes): (Vec<Vec<(u16, u16)>>, Vec<ViewClass>) =
+            parallel_map(class_reps, workers, |node| {
+                let key = node.discovered_edge_key();
+                let component_size = view_component_sizes(&key, n);
+                let class =
+                    ViewClass { fingerprint: node.view_fingerprint(), graph: None, component_size };
+                (key, class)
+            })
+            .into_iter()
+            .unzip();
+        if let Some(p) = profile.as_deref_mut() {
+            p.derive_micros = lap(&mut stage_start);
+        }
         // Stage 4 (parallel): pre-materialize the view graphs the oracle
         // cannot answer from cache. `peek` records nothing — the counted
         // queries replay per node in stage 5.
@@ -504,6 +547,9 @@ impl Scenario {
         );
         for (&c, graph) in misses.iter().zip(graphs) {
             classes[c].graph = Some(graph);
+        }
+        if let Some(p) = profile.as_deref_mut() {
+            p.materialize_micros = lap(&mut stage_start);
         }
         // Stage 5 (sequential): per-node decisions in node order, each
         // issuing its own oracle query. The lazy fallback covers the rare
@@ -524,6 +570,9 @@ impl Scenario {
             let decision = Decision::from_view(n, t, reachable, answer.kappa.report());
             on_decided(node.node_id(), &decision);
             decisions.insert(node.node_id(), decision);
+        }
+        if let Some(p) = profile.as_deref_mut() {
+            p.decide_micros = lap(&mut stage_start);
         }
         (decisions, oracle.stats().since(&before))
     }

@@ -27,9 +27,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use nectar_graph::{ConnectivityOracle, OracleStats};
-use nectar_net::{CompiledSchedule, NodeId, RoundSink, TopologySchedule};
+use nectar_net::{CompiledSchedule, NodeId, PhaseProfile, RoundSink, TopologySchedule};
 
 use crate::byzantine::Participant;
 use crate::config::Decision;
@@ -96,11 +97,12 @@ pub struct Simulation<'a> {
     epochs: usize,
     observer: Option<&'a mut dyn RunObserver>,
     schedule: Option<TopologySchedule>,
+    profile: bool,
 }
 
 impl Scenario {
     /// Starts a [`Simulation`] over this scenario: sync runtime, private
-    /// oracle, one epoch, full decision phase, no observer.
+    /// oracle, one epoch, full decision phase, no observer, no profiling.
     pub fn sim(&self) -> Simulation<'_> {
         Simulation {
             scenario: self,
@@ -110,6 +112,7 @@ impl Scenario {
             epochs: 1,
             observer: None,
             schedule: None,
+            profile: false,
         }
     }
 }
@@ -190,6 +193,18 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Records a per-phase wall-clock breakdown
+    /// ([`PhaseProfile`]: dissemination, then the four decision stages)
+    /// into each epoch's [`EpochOutcome::profile`]. Off by default — the
+    /// timings are wall clock and therefore nondeterministic, so profiled
+    /// reports are excluded from bit-identical cross-runtime comparison;
+    /// everything else in the report (decisions, metrics, oracle counters)
+    /// stays canonical. The CLI exposes this as `--profile`.
+    pub fn profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
     /// Executes the session and returns its [`RunReport`].
     ///
     /// # Panics
@@ -197,8 +212,16 @@ impl<'a> Simulation<'a> {
     /// Panics if a `FictitiousEdges` / `LateReveal` behaviour names
     /// non-Byzantine accomplices.
     pub fn run(self) -> RunReport {
-        let Simulation { scenario, runtime, oracle, metrics_only, epochs, mut observer, schedule } =
-            self;
+        let Simulation {
+            scenario,
+            runtime,
+            oracle,
+            metrics_only,
+            epochs,
+            mut observer,
+            schedule,
+            profile,
+        } = self;
         let compiled = compile_schedule(schedule.as_ref(), scenario);
         let mut own_oracle = ConnectivityOracle::new();
         let oracle = match oracle {
@@ -222,19 +245,36 @@ impl<'a> Simulation<'a> {
                 working
             };
             let mut sink = EpochSink { observer: &mut observer, epoch };
+            let mut phase_profile = profile.then(PhaseProfile::default);
+            let disseminate_start = Instant::now();
             let (participants, metrics) = sc.propagate(runtime, compiled.as_ref(), &mut sink);
+            if let Some(p) = phase_profile.as_mut() {
+                p.disseminate_micros = disseminate_start.elapsed().as_micros() as u64;
+            }
             let (decisions, oracle_stats) = if metrics_only {
                 (BTreeMap::new(), OracleStats::default())
             } else {
                 let decided = &mut observer;
-                sc.collect(participants, oracle, runtime.decision_workers(), |node, decision| {
-                    if let Some(observer) = decided.as_deref_mut() {
-                        observer.node_decided(epoch, node, decision);
-                    }
-                })
+                sc.collect(
+                    &participants,
+                    oracle,
+                    runtime.decision_workers(),
+                    phase_profile.as_mut(),
+                    |node, decision| {
+                        if let Some(observer) = decided.as_deref_mut() {
+                            observer.node_decided(epoch, node, decision);
+                        }
+                    },
+                )
             };
-            let outcome =
-                EpochOutcome { epoch, key_seed, decisions, metrics, oracle: oracle_stats };
+            let outcome = EpochOutcome {
+                epoch,
+                key_seed,
+                decisions,
+                metrics,
+                oracle: oracle_stats,
+                profile: phase_profile,
+            };
             if let Some(observer) = observer.as_deref_mut() {
                 observer.epoch_closed(epoch, &outcome);
             }

@@ -59,8 +59,18 @@ fn mix64(mut x: u64) -> u64 {
 impl Fingerprint {
     /// Digests `g` in O(n + m).
     pub fn of(g: &Graph) -> Self {
-        let mut fp = Fingerprint { n: g.node_count(), acc: 0 };
-        for (u, v) in g.edges() {
+        Self::of_edges(g.node_count(), g.edges())
+    }
+
+    /// Digests an explicit edge list over an `n`-node universe, in O(m)
+    /// with no graph in hand — [`empty`](Self::empty) plus one
+    /// [`toggle_edge`](Self::toggle_edge) per edge, equal to
+    /// [`Fingerprint::of`] of the graph those edges span. The one home for
+    /// the fold every edge-list consumer (view classes, incremental
+    /// per-node digests, equivalence tests) used to spell out by hand.
+    pub fn of_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut fp = Fingerprint { n, acc: 0 };
+        for (u, v) in edges {
             fp.toggle_edge(u, v);
         }
         fp

@@ -66,6 +66,10 @@ pub struct DetectArgs {
     /// Topology schedule (`--schedule`): a path to a schedule script, or
     /// the script itself inline with `;` separating lines.
     pub schedule: Option<String>,
+    /// Record a per-phase wall-clock breakdown (dissemination plus the four
+    /// decision stages) into each epoch's outcome, printed with the text
+    /// output and persisted in `--report` JSON.
+    pub profile: bool,
 }
 
 /// Usage text.
@@ -76,7 +80,7 @@ USAGE:
   nectar-cli detect --topology <family> --n <N> [--k <K>] [--t <T>]
              [--byz <node>:<behavior> ...] [--runtime <R>] [--workers <W>]
              [--seed <S>] [--epochs <E>] [--per-node] [--report <path>]
-             [--schedule <path-or-script>] [--json | --csv]
+             [--schedule <path-or-script>] [--profile] [--json | --csv]
   nectar-cli families --k <K> --n <N> [--csv]
   nectar-cli help
 
@@ -119,9 +123,13 @@ confirmed,reachable,connectivity`. --report <path> additionally persists
   traffic and oracle counters) as JSON to <path>. For `families`, --csv
   emits `family,nodes,edges,kappa,diameter`. --epochs E re-runs detection
   E times on the same topology with fresh keys, sharing one oracle so
-  unchanged graphs decide from cache. (The experiment runners emit CSV
-  too: `cargo run -p nectar-bench --bin figures` writes results/<id>.csv
-  for every figure.)
+  unchanged graphs decide from cache. --profile records a per-phase
+  wall-clock breakdown (dissemination, then the decision phase's classify /
+  derive / materialize / decide stages) per epoch: printed with the text
+  output and persisted in --report JSON. The timings are wall clock —
+  nondeterministic across runs and runtimes; all other outputs stay
+  bit-identical. (The experiment runners emit CSV too: `cargo run -p
+  nectar-bench --bin figures` writes results/<id>.csv for every figure.)
 
 FAMILIES:
   harary | random-regular | pasted-tree | diamond | wheel |
@@ -181,36 +189,42 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 per_node: false,
                 report: None,
                 schedule: None,
+                profile: false,
             };
             let mut workers: Option<usize> = None;
             let rest: Vec<String> = it.cloned().collect();
-            parse_flags(&rest, &["--threaded", "--json", "--csv", "--per-node"], |flag, value| {
-                match (flag, value) {
-                    ("--threaded", _) => out.runtime = Runtime::Threaded,
-                    ("--json", _) => out.json = true,
-                    ("--csv", _) => out.csv = true,
-                    ("--per-node", _) => out.per_node = true,
-                    ("--report", Some(v)) => out.report = Some(v.into()),
-                    ("--schedule", Some(v)) => out.schedule = Some(v.into()),
-                    ("--topology", Some(v)) => out.topology = v.into(),
-                    ("--n", Some(v)) => set_usize(&mut out.n, v, "--n")?,
-                    ("--k", Some(v)) => set_usize(&mut out.k, v, "--k")?,
-                    ("--t", Some(v)) => set_usize(&mut out.t, v, "--t")?,
-                    ("--epochs", Some(v)) => set_usize(&mut out.epochs, v, "--epochs")?,
-                    ("--runtime", Some(v)) => out.runtime = v.parse()?,
-                    ("--workers", Some(v)) => {
-                        let mut w = 0;
-                        set_usize(&mut w, v, "--workers")?;
-                        workers = Some(w);
+            parse_flags(
+                &rest,
+                &["--threaded", "--json", "--csv", "--per-node", "--profile"],
+                |flag, value| {
+                    match (flag, value) {
+                        ("--threaded", _) => out.runtime = Runtime::Threaded,
+                        ("--json", _) => out.json = true,
+                        ("--csv", _) => out.csv = true,
+                        ("--per-node", _) => out.per_node = true,
+                        ("--profile", _) => out.profile = true,
+                        ("--report", Some(v)) => out.report = Some(v.into()),
+                        ("--schedule", Some(v)) => out.schedule = Some(v.into()),
+                        ("--topology", Some(v)) => out.topology = v.into(),
+                        ("--n", Some(v)) => set_usize(&mut out.n, v, "--n")?,
+                        ("--k", Some(v)) => set_usize(&mut out.k, v, "--k")?,
+                        ("--t", Some(v)) => set_usize(&mut out.t, v, "--t")?,
+                        ("--epochs", Some(v)) => set_usize(&mut out.epochs, v, "--epochs")?,
+                        ("--runtime", Some(v)) => out.runtime = v.parse()?,
+                        ("--workers", Some(v)) => {
+                            let mut w = 0;
+                            set_usize(&mut w, v, "--workers")?;
+                            workers = Some(w);
+                        }
+                        ("--seed", Some(v)) => {
+                            out.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
+                        }
+                        ("--byz", Some(v)) => out.byzantine.push(parse_byz(v)?),
+                        (other, _) => return Err(format!("unknown flag {other}")),
                     }
-                    ("--seed", Some(v)) => {
-                        out.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
-                    }
-                    ("--byz", Some(v)) => out.byzantine.push(parse_byz(v)?),
-                    (other, _) => return Err(format!("unknown flag {other}")),
-                }
-                Ok(())
-            })?;
+                    Ok(())
+                },
+            )?;
             if let Some(w) = workers {
                 match out.runtime {
                     Runtime::Parallel { .. } => out.runtime = Runtime::Parallel { workers: w },
@@ -423,6 +437,9 @@ pub fn run(cmd: Command) -> Result<String, String> {
             if let Some(schedule) = schedule {
                 sim = sim.schedule(schedule);
             }
+            if args.profile {
+                sim = sim.profile();
+            }
             if args.per_node {
                 sim = sim.observe(&mut stream);
             }
@@ -572,6 +589,19 @@ fn render_detect_text(args: &DetectArgs, kappa: usize, outcomes: &[EpochOutcome]
         let queries: u64 = outcomes.iter().map(|o| o.oracle.queries).sum();
         writeln!(out, "oracle:   {hits}/{queries} decisions served from cache")
             .expect("writing to String cannot fail");
+    }
+    if let Some(p) = outcome.profile {
+        writeln!(
+            out,
+            "profile:  disseminate {}µs | classify {}µs | derive {}µs | \
+             materialize {}µs | decide {}µs (last epoch, wall clock)",
+            p.disseminate_micros,
+            p.classify_micros,
+            p.derive_micros,
+            p.materialize_micros,
+            p.decide_micros
+        )
+        .expect("writing to String cannot fail");
     }
     out
 }
@@ -988,6 +1018,37 @@ mod tests {
         // visible as queries == cache_hits == n in the second epoch object.
         let epoch1 = out.lines().find(|l| l.contains("\"epoch\": 1")).unwrap();
         assert!(epoch1.contains("\"queries\": 8, \"cache_hits\": 8"), "{epoch1}");
+    }
+
+    #[test]
+    fn profile_flag_prints_the_phase_breakdown_and_persists_it() {
+        let path = std::env::temp_dir().join("nectar-cli-profile-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let cmd = parse(&strs(&[
+            "detect",
+            "--topology",
+            "cycle",
+            "--n",
+            "8",
+            "--profile",
+            "--report",
+            &path_str,
+        ]))
+        .unwrap();
+        match &cmd {
+            Command::Detect(args) => assert!(args.profile),
+            other => panic!("expected detect, got {other:?}"),
+        }
+        let out = run(cmd).unwrap();
+        assert!(out.contains("profile:  disseminate"), "{out}");
+        assert!(out.contains("decide"), "{out}");
+        let report = nectar_protocol::RunReport::load_json(&path).expect("persisted report loads");
+        std::fs::remove_file(&path).ok();
+        assert!(report.epochs[0].profile.is_some(), "profile lands in the RunReport JSON");
+        // Without the flag nothing is recorded.
+        let plain =
+            run(parse(&strs(&["detect", "--topology", "cycle", "--n", "8"])).unwrap()).unwrap();
+        assert!(!plain.contains("profile:"), "{plain}");
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub mod threaded;
 
 pub use event::{run_event_driven, run_event_driven_with, EventNetwork};
 pub use fault::{ClosureFault, Crash, DropRandom, FaultModel, Faulty, TwoFaced};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, PhaseProfile};
 pub use parallel::{
     parallel_map, resolve_workers, run_parallel, run_parallel_with, ParallelNetwork,
 };

@@ -179,9 +179,69 @@ impl Metrics {
     }
 }
 
+/// Wall-clock breakdown of one epoch's phases, in microseconds: the
+/// dissemination rounds, then the four decision-phase stages (classify
+/// views, derive per-class keys/components, materialize oracle-miss graphs,
+/// and the sequential oracle-decide walk).
+///
+/// Deliberately *not* part of [`Metrics`]: metrics are compared bit-for-bit
+/// across runtimes by the determinism suite, while wall-clock readings are
+/// inherently nondeterministic. Profiles therefore ride next to the metrics
+/// as an opt-in `Option` (`Simulation::profile()` in `nectar_protocol`) and
+/// are excluded from every cross-runtime equivalence check; two profiled
+/// runs of the same scenario will not agree on these numbers, only on
+/// everything else.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// The propagation rounds (Alg. 1 ll. 5–15), all of them.
+    pub disseminate_micros: u64,
+    /// Decision stages 1+2: grouping nodes into view classes by their
+    /// incremental fingerprints.
+    pub classify_micros: u64,
+    /// Decision stage 3: per-class canonical edge key + component sizes.
+    pub derive_micros: u64,
+    /// Decision stage 4: pre-materializing view graphs the oracle cannot
+    /// answer from cache.
+    pub materialize_micros: u64,
+    /// Decision stage 5: the sequential per-node oracle queries and
+    /// decision commits.
+    pub decide_micros: u64,
+}
+
+impl PhaseProfile {
+    /// Sum of all phase timings.
+    pub fn total_micros(&self) -> u64 {
+        self.disseminate_micros
+            + self.classify_micros
+            + self.derive_micros
+            + self.materialize_micros
+            + self.decide_micros
+    }
+
+    /// Total time spent in the decision phase (stages 1–5, everything but
+    /// dissemination).
+    pub fn collect_micros(&self) -> u64 {
+        self.total_micros() - self.disseminate_micros
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_profile_totals_add_up() {
+        let profile = PhaseProfile {
+            disseminate_micros: 100,
+            classify_micros: 20,
+            derive_micros: 30,
+            materialize_micros: 5,
+            decide_micros: 45,
+        };
+        assert_eq!(profile.total_micros(), 200);
+        assert_eq!(profile.collect_micros(), 100);
+        assert_eq!(PhaseProfile::default().total_micros(), 0);
+    }
 
     #[test]
     fn record_send_updates_all_counters() {

@@ -10,6 +10,13 @@
 //! printed to stdout. That keeps `cargo bench` orders of magnitude faster
 //! than real criterion while still producing comparable numbers; swap in
 //! the real crate via the manifest once a registry is reachable.
+//!
+//! Real criterion filters benchmarks by a CLI substring; the shim's `main`
+//! ignores harness arguments, so the equivalent knob is the
+//! `NECTAR_BENCH_FILTER` environment variable: when set (and non-empty),
+//! only benchmarks whose full id contains the substring run, and skipped
+//! benchmarks record nothing (the `NECTAR_BENCH_JSON` merge leaves their
+//! committed medians untouched).
 
 #![forbid(unsafe_code)]
 
@@ -94,6 +101,9 @@ impl Criterion {
 
     /// Runs a single stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        if !filter_allows(name) {
+            return self;
+        }
         let median = run_one(name, None, f);
         self.results.push((name.to_string(), median));
         self
@@ -138,6 +148,15 @@ impl Criterion {
                 println!("bench medians written to {path}");
             }
         }
+    }
+}
+
+/// Whether `label` passes the `NECTAR_BENCH_FILTER` substring filter (an
+/// unset or empty variable admits everything).
+fn filter_allows(label: &str) -> bool {
+    match std::env::var("NECTAR_BENCH_FILTER") {
+        Ok(filter) if !filter.is_empty() => label.contains(&filter),
+        _ => true,
     }
 }
 
@@ -193,6 +212,9 @@ impl BenchmarkGroup<'_> {
     /// Runs a benchmark identified by a name within this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         let label = format!("{}/{}", self.name, id);
+        if !filter_allows(&label) {
+            return self;
+        }
         let median = run_one(&label, self.throughput, f);
         self.parent.results.push((label, median));
         self
@@ -209,6 +231,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.id);
+        if !filter_allows(&label) {
+            return self;
+        }
         let median = run_one(&label, self.throughput, |b| f(b, input));
         self.parent.results.push((label, median));
         self

@@ -1,0 +1,236 @@
+//! Hot-path cache equivalence: the decision-phase fast paths — incremental
+//! view fingerprints, per-node verification memos, and `Arc`-interned relay
+//! payloads — must be *observationally pure* (docs/DETERMINISM.md §4). Two
+//! kinds of pins, matching the two ways a cache could leak:
+//!
+//! * **Fingerprint ground truth.** Every node's rolling
+//!   [`NectarNode::view_fingerprint`] must equal the from-scratch digest of
+//!   its discovered graph, after arbitrary behaviour-zoo runs and under
+//!   active [`TopologySchedule`]s — the schedules exercise edge drops and
+//!   heals mid-dissemination, i.e. views that grow through every relay
+//!   acceptance path.
+//! * **Whole-run bit-identity.** The verification memos and the interning
+//!   have no per-value oracle; their contract is that nothing downstream
+//!   can tell they exist. So the pin is the strongest observable: the full
+//!   `RunReport` (decisions, traffic metrics, oracle counters, rejection
+//!   tallies) must be bit-identical across all four runtimes and across
+//!   parallel worker counts {0, 2, 3, 7}.
+//!
+//! This suite is the named `hot-path-equivalence` CI step.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use nectar::graph::Fingerprint;
+use nectar::prelude::*;
+use nectar::protocol::Participant;
+
+/// A compact topology zoo: one representative per §V-B family plus a dense
+/// random mask, sized so every case also runs on the thread-per-node
+/// engine (mirrors `tests/sim_equivalence.rs`).
+fn arb_zoo_graph() -> impl Strategy<Value = Graph> {
+    let mask_graph = (4usize..9).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+        proptest::collection::vec(0.0f64..1.0, pairs.len()).prop_map(move |weights| {
+            let edges = pairs.iter().zip(&weights).filter_map(|(&e, &w)| (w < 0.5).then_some(e));
+            Graph::from_edges(n, edges).expect("edges in range")
+        })
+    });
+    prop_oneof![
+        (2usize..5, 0usize..6)
+            .prop_map(|(k, extra)| gen::harary(k, k + 2 + extra).expect("valid harary")),
+        (3usize..5, 0usize..5).prop_map(|(k, extra)| {
+            gen::generalized_wheel(k, (2 * k + 2 + extra).max(k + 3)).expect("valid wheel")
+        }),
+        (2usize..4, 0usize..5)
+            .prop_map(|(k, extra)| gen::k_pasted_tree(k, 2 * k + 4 + extra).expect("valid lhg")),
+        (3usize..9).prop_map(gen::cycle),
+        (4usize..9).prop_map(gen::star),
+        mask_graph,
+    ]
+}
+
+/// A Byzantine cast from the topology-independent behaviour zoo.
+fn arb_cast(n: usize, t: usize) -> impl Strategy<Value = Vec<(usize, ByzantineBehavior)>> {
+    let behavior = (0..4usize, proptest::collection::btree_set(0..n, 0..3), 1..4usize).prop_map(
+        move |(kind, others, round)| {
+            let others: BTreeSet<usize> = others;
+            match kind {
+                0 => ByzantineBehavior::Silent,
+                1 => ByzantineBehavior::CrashAfter { round },
+                2 => ByzantineBehavior::TwoFaced { silent_toward: others },
+                _ => ByzantineBehavior::HideEdges { toward: others },
+            }
+        },
+    );
+    proptest::collection::btree_set(0..n, 0..=t).prop_flat_map(move |nodes| {
+        let nodes: Vec<usize> = nodes.into_iter().collect();
+        proptest::collection::vec(behavior.clone(), nodes.len())
+            .prop_map(move |behaviors| nodes.iter().copied().zip(behaviors).collect())
+    })
+}
+
+fn arb_scenario() -> impl Strategy<Value = (Graph, usize, Vec<(usize, ByzantineBehavior)>)> {
+    arb_zoo_graph().prop_flat_map(|g| {
+        let n = g.node_count();
+        let t = 2.min(n / 3);
+        arb_cast(n, t).prop_map(move |cast| (g.clone(), t, cast))
+    })
+}
+
+fn build_scenario(g: &Graph, t: usize, cast: &[(usize, ByzantineBehavior)]) -> Scenario {
+    let mut scenario = Scenario::new(g.clone(), t).with_key_seed(55);
+    for (node, behavior) in cast {
+        scenario = scenario.with_byzantine(*node, behavior.clone());
+    }
+    scenario
+}
+
+/// Asserts that every participant's rolling fingerprint equals the
+/// from-scratch digest of its discovered graph, through both from-scratch
+/// entry points (`of` on the materialized graph, `of_edges` on the
+/// canonical edge key with the same endpoint filter the graph applies).
+fn assert_fingerprints_are_ground_truth(participants: &[Participant]) {
+    for p in participants {
+        let node = p.nectar();
+        let n = node.discovered_graph().node_count();
+        let from_graph = Fingerprint::of(&node.discovered_graph());
+        assert_eq!(
+            node.view_fingerprint(),
+            from_graph,
+            "node {}: rolling fingerprint drifted from Fingerprint::of",
+            node.node_id()
+        );
+        let in_range = node
+            .discovered_edge_key()
+            .into_iter()
+            .filter(|&(u, v)| (u as usize) < n && (v as usize) < n)
+            .map(|(u, v)| (u as usize, v as usize));
+        assert_eq!(
+            node.view_fingerprint(),
+            Fingerprint::of_edges(n, in_range),
+            "node {}: rolling fingerprint drifted from Fingerprint::of_edges",
+            node.node_id()
+        );
+    }
+}
+
+/// The non-`runtime` content of two reports must match bit for bit; the
+/// `runtime` tag is the one field that legitimately names the engine.
+fn assert_reports_bit_identical(report: &RunReport, reference: &RunReport, label: &str) {
+    assert_eq!(report.epochs, reference.epochs, "{label}: epoch outcomes drifted");
+    assert_eq!(report.byzantine, reference.byzantine, "{label}: casts differ");
+    assert_eq!(report.topology, reference.topology, "{label}: topologies differ");
+    assert_eq!(report.schedule, reference.schedule, "{label}: schedule records differ");
+    assert_eq!(
+        (report.n, report.t, report.key_seed),
+        (reference.n, reference.t, reference.key_seed)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental == from-scratch across the behaviour zoo: after a full
+    /// dissemination with arbitrary Byzantine casts, every node's rolling
+    /// fingerprint (including the Byzantine wrappers' inner protocol state)
+    /// equals a digest recomputed from nothing.
+    #[test]
+    fn incremental_fingerprints_match_from_scratch((g, t, cast) in arb_scenario()) {
+        let scenario = build_scenario(&g, t, &cast);
+        let participants = scenario.sim().participants();
+        assert_fingerprints_are_ground_truth(&participants);
+    }
+
+    /// The same ground truth under an active [`TopologySchedule`]: edges
+    /// picked from the base graph drop at round 1 and heal at round 2, so
+    /// views grow through interrupted-and-resumed relay paths rather than
+    /// a clean flood.
+    #[test]
+    fn incremental_fingerprints_survive_topology_schedules(
+        (g, t, cast) in arb_scenario(),
+        picks in proptest::collection::btree_set(0usize..64, 1..4),
+    ) {
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        prop_assume!(!edges.is_empty());
+        let chosen: BTreeSet<(usize, usize)> =
+            picks.iter().map(|p| edges[p % edges.len()]).collect();
+        let mut schedule = TopologySchedule::new();
+        for &(u, v) in &chosen {
+            schedule = schedule.drop_edge(1, u, v).heal_edge(2, u, v);
+        }
+        let scenario = build_scenario(&g, t, &cast);
+        let participants = scenario.sim().schedule(schedule).participants();
+        assert_fingerprints_are_ground_truth(&participants);
+    }
+
+    /// Verification-memo / interning purity, pinned at the whole-run level:
+    /// the full report content is bit-identical on every runtime and at
+    /// parallel worker counts {0, 2, 3, 7} (0 = auto-detect, so this also
+    /// sweeps whatever the host machine resolves to).
+    #[test]
+    fn reports_are_bit_identical_across_runtimes_and_worker_counts(
+        (g, t, cast) in arb_scenario(),
+    ) {
+        let scenario = build_scenario(&g, t, &cast);
+        let reference = scenario.sim().run();
+        for runtime in [
+            Runtime::Threaded,
+            Runtime::Event,
+            Runtime::Parallel { workers: 0 },
+            Runtime::Parallel { workers: 2 },
+            Runtime::Parallel { workers: 3 },
+            Runtime::Parallel { workers: 7 },
+        ] {
+            let report = scenario.sim().runtime(runtime).run();
+            assert_reports_bit_identical(&report, &reference, &format!("{runtime}"));
+        }
+    }
+}
+
+/// A fixed multi-epoch, scheduled, Byzantine scenario swept across every
+/// runtime and the {0, 2, 3, 7} worker grid — the deterministic anchor
+/// that fails loudly (no shrinking, stable name) if any cache ever leaks
+/// into decisions, metrics, oracle counters, or rejection tallies.
+#[test]
+fn scheduled_multi_epoch_runs_are_bit_identical_everywhere() {
+    let g = gen::harary(4, 12).expect("valid harary");
+    let scenario = Scenario::new(g, 2)
+        .with_key_seed(77)
+        .with_byzantine(2, ByzantineBehavior::Silent)
+        .with_byzantine(9, ByzantineBehavior::TwoFaced { silent_toward: [0, 4].into() });
+    let schedule = TopologySchedule::new()
+        .drop_edge(1, 0, 1)
+        .heal_edge(3, 0, 1)
+        .drop_edge(2, 4, 5)
+        .heal_edge(4, 4, 5);
+    let run = |runtime: Runtime| {
+        scenario.sim().runtime(runtime).schedule(schedule.clone()).epochs(2).run()
+    };
+    let reference = run(Runtime::Sync);
+    assert_eq!(reference.epochs.len(), 2);
+    assert!(!reference.decisions().is_empty());
+    for runtime in [
+        Runtime::Threaded,
+        Runtime::Event,
+        Runtime::Parallel { workers: 0 },
+        Runtime::Parallel { workers: 2 },
+        Runtime::Parallel { workers: 3 },
+        Runtime::Parallel { workers: 7 },
+    ] {
+        let report = run(runtime);
+        assert_reports_bit_identical(&report, &reference, &format!("{runtime}"));
+        // The JSON projection agrees too, once the legitimate runtime/
+        // workers header line is dropped — a codec-level restatement of
+        // the same pin.
+        let normalize = |r: &RunReport| {
+            r.to_json()
+                .lines()
+                .filter(|l| !l.contains("\"runtime\":"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(normalize(&report), normalize(&reference), "{runtime}: JSON drifted");
+    }
+}

@@ -142,7 +142,7 @@ fn malformed_reports_error_out() {
         "null".into(),
         "[1, 2, 3]".into(),
         half.to_string(),
-        valid.replace("\"version\": 2", "\"version\": 99"),
+        valid.replace("\"version\": 3", "\"version\": 99"),
         valid.replace("\"n\":", "\"m\":"),
         valid.replace("\"transitions\"", "\"transitiuns\""),
         // A transition quad that is not a quad.
