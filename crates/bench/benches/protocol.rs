@@ -195,6 +195,29 @@ fn bench_collect_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// One small experiment-matrix cell end to end (`nectar-cli matrix`'s
+/// engine): build the family per trial, place the cast, run the
+/// simulation, aggregate the cell — the overhead the sweep adds on top of
+/// the raw protocol runs it contains.
+fn bench_matrix_smoke(c: &mut Criterion) {
+    use nectar_experiments::matrix::{CastSpec, FamilySpec, MatrixSpec};
+    let spec = MatrixSpec {
+        families: vec![FamilySpec::Harary { k: 4 }],
+        sizes: vec![16],
+        casts: vec![CastSpec::SilentCut],
+        t: 2,
+        trials: 5,
+        base_seed: 3,
+        runtime: Runtime::Sync,
+    };
+    let mut group = c.benchmark_group("matrix");
+    group.sample_size(10);
+    group.bench_function("smoke_harary_k4_n16", |b| {
+        b.iter(|| black_box(&spec).run().expect("spec in domain"))
+    });
+    group.finish();
+}
+
 fn bench_baselines(c: &mut Criterion) {
     let g = gen::harary(4, 50).expect("valid parameters");
     let n = g.node_count();
@@ -215,6 +238,7 @@ criterion_group!(
     bench_runtimes,
     bench_runtime_scaling,
     bench_collect_scaling,
+    bench_matrix_smoke,
     bench_baselines
 );
 criterion_main!(benches);

@@ -67,6 +67,44 @@ pub enum ByzantineBehavior {
         /// Neighbors receiving the impoverished view.
         victims: BTreeSet<NodeId>,
     },
+    /// Byzantine *data falsification* in the sense of Kailkhura et al.
+    /// (distributed detection with falsified measurements): the node keeps
+    /// honest transport and relays but lies about its own neighborhood
+    /// measurement, behind its own perfectly valid signatures. Each real
+    /// incident edge is independently reported "down" (suppressed from the
+    /// round-1 announcement toward *every* neighbor — a consistent lie, not
+    /// an equivocation) with probability `flips_per_mille / 1000`, and each
+    /// absent edge toward a colluding `partner` is reported "up" with the
+    /// same probability (§II: only forgeable because the partner — which
+    /// the runner checks is Byzantine — co-signs the fictitious proof).
+    /// Flips are pure functions of `(seed, node, other)`, so a cast is
+    /// bit-identical across runtimes, worker counts and epochs.
+    FalsifyData {
+        /// Per-measurement flip probability in per-mille (0 ..= 1000).
+        flips_per_mille: u16,
+        /// Seed of the falsifier's private coin stream.
+        seed: u64,
+        /// Colluding partners for fabricated "up" measurements (may be
+        /// empty; every listed partner must be Byzantine).
+        partners: Vec<NodeId>,
+    },
+}
+
+/// One Bernoulli draw of the [`FalsifyData`](ByzantineBehavior::FalsifyData)
+/// coin stream: a splitmix64 finalizer over the `(seed, node, other)` key,
+/// so each measurement's flip is an independent pure function — no RNG
+/// state to order across nodes, which keeps parallel participant
+/// construction and the cross-runtime equivalence suite trivially
+/// deterministic.
+pub(crate) fn falsify_flips(seed: u64, node: NodeId, other: NodeId, per_mille: u16) -> bool {
+    let mut z = seed
+        ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (other as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % 1000) < per_mille as u64
 }
 
 /// A protocol participant: a correct node or one of the Byzantine variants.
@@ -84,6 +122,8 @@ pub enum Participant {
     LateReveal(LateRevealNode),
     /// The equivocating announcer.
     Equivocator(EquivocatorNode),
+    /// The measurement falsifier.
+    Falsifier(FalsifierNode),
 }
 
 impl Participant {
@@ -94,6 +134,7 @@ impl Participant {
             Participant::TrafficFault(f) => f.inner(),
             Participant::LateReveal(l) => &l.inner,
             Participant::Equivocator(e) => &e.inner,
+            Participant::Falsifier(d) => &d.inner,
         }
     }
 
@@ -112,6 +153,7 @@ impl Process for Participant {
             Participant::TrafficFault(f) => f.id(),
             Participant::LateReveal(l) => l.id(),
             Participant::Equivocator(e) => e.id(),
+            Participant::Falsifier(d) => d.id(),
         }
     }
 
@@ -121,6 +163,7 @@ impl Process for Participant {
             Participant::TrafficFault(f) => f.send(round),
             Participant::LateReveal(l) => l.send(round),
             Participant::Equivocator(e) => e.send(round),
+            Participant::Falsifier(d) => d.send(round),
         }
     }
 
@@ -130,6 +173,7 @@ impl Process for Participant {
             Participant::TrafficFault(f) => f.receive(round, from, msg),
             Participant::LateReveal(l) => l.receive(round, from, msg),
             Participant::Equivocator(e) => e.receive(round, from, msg),
+            Participant::Falsifier(d) => d.receive(round, from, msg),
         }
     }
 
@@ -140,6 +184,7 @@ impl Process for Participant {
             Participant::TrafficFault(f) => f.quiescent(),
             Participant::LateReveal(l) => l.quiescent(),
             Participant::Equivocator(e) => e.quiescent(),
+            Participant::Falsifier(d) => d.quiescent(),
         }
     }
 
@@ -152,6 +197,7 @@ impl Process for Participant {
             Participant::TrafficFault(f) => f.link_changed(round, peer, up),
             Participant::LateReveal(l) => l.inner.link_changed(round, peer, up),
             Participant::Equivocator(e) => e.inner.link_changed(round, peer, up),
+            Participant::Falsifier(d) => d.inner.link_changed(round, peer, up),
         }
     }
 }
@@ -313,6 +359,80 @@ impl Process for EquivocatorNode {
     }
 }
 
+/// The data-falsifying Byzantine node: announces a fabricated neighborhood
+/// measurement while *privately* keeping the true view — the Kailkhura-style
+/// sensor that lies in its reports, not in its state. Suppression happens at
+/// send time, so unlike [`ByzantineBehavior::HideEdges`] the falsifier still
+/// knows the suppressed edges (it never re-relays them as "news", and its
+/// own — irrelevant — verdict is computed over the truth). Fabricated "up"
+/// measurements toward colluding partners are injected at build time via
+/// [`NectarNode::announce_extra_proof`], exactly like
+/// [`ByzantineBehavior::FictitiousEdges`].
+#[derive(Debug)]
+pub struct FalsifierNode {
+    pub(crate) inner: NectarNode,
+    /// Normalized endpoint keys of real incident edges reported "down".
+    suppressed: BTreeSet<(u16, u16)>,
+}
+
+impl FalsifierNode {
+    /// Wraps `inner`, flipping each real incident edge to "down" with
+    /// probability `flips_per_mille / 1000` on the coin stream of `seed`
+    /// (one pure draw per `(seed, node, neighbor)` key). Fabricated partner
+    /// edges, if any, must already be announced on `inner`.
+    pub fn new(inner: NectarNode, flips_per_mille: u16, seed: u64) -> Self {
+        let me = inner.node_id();
+        let suppressed = inner
+            .neighbors()
+            .iter()
+            .filter(|&&nbr| falsify_flips(seed, me, nbr, flips_per_mille))
+            .map(|&nbr| {
+                let (a, b) = (me as u16, nbr as u16);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        FalsifierNode { inner, suppressed }
+    }
+
+    /// The edges this falsifier reports "down" (normalized endpoint pairs).
+    pub fn suppressed(&self) -> &BTreeSet<(u16, u16)> {
+        &self.suppressed
+    }
+}
+
+impl Process for FalsifierNode {
+    type Msg = NectarMsg;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn send(&mut self, round: usize) -> Vec<Outgoing<NectarMsg>> {
+        let mut out = self.inner.send(round);
+        // Round 1 carries exactly the node's own neighborhood announcement;
+        // the flipped-down edges are cut from every copy (a consistent lie).
+        // Later rounds relay other nodes' proofs and pass through honestly.
+        if round == 1 && !self.suppressed.is_empty() {
+            for o in &mut out {
+                o.msg.edges.retain(|e| !self.suppressed.contains(&e.proof.endpoints()));
+            }
+            out.retain(|o| !o.msg.edges.is_empty());
+        }
+        out
+    }
+
+    fn receive(&mut self, round: usize, from: NodeId, msg: NectarMsg) {
+        self.inner.receive(round, from, msg);
+    }
+
+    fn quiescent(&self) -> bool {
+        // Falsification only *removes* from round-1 announcements (always
+        // pending on the inner node at round 1); it never adds a
+        // spontaneous send, so the inner hint stays sound as-is.
+        self.inner.quiescent()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +551,117 @@ mod tests {
             .run();
         assert!(out.agreement());
         assert_eq!(out.unanimous_verdict(), Some(Verdict::NotPartitionable));
+    }
+
+    #[test]
+    fn falsifier_suppresses_the_same_edges_toward_every_neighbor() {
+        // flips_per_mille = 1000: every incident edge is reported "down".
+        let g = gen::complete(4);
+        let ks = KeyStore::generate(4, 5);
+        let inner = correct_node(0, &g, &ks, 1);
+        let mut node = FalsifierNode::new(inner, 1000, 7);
+        assert_eq!(node.suppressed().len(), 3, "all three incident edges flip at p = 1");
+        let out = node.send(1);
+        // Own edges are cut everywhere; empty messages are dropped whole.
+        for o in &out {
+            for e in &o.msg.edges {
+                let (u, v) = e.proof.endpoints();
+                assert!(u != 0 && v != 0, "own edge ({u}, {v}) leaked to {}", o.to);
+            }
+        }
+        assert!(out.is_empty(), "node 0 had only own edges to announce");
+    }
+
+    #[test]
+    fn falsifier_keeps_the_truth_in_its_private_view() {
+        let g = gen::cycle(5);
+        let ks = KeyStore::generate(5, 5);
+        let inner = correct_node(2, &g, &ks, 1);
+        let node = FalsifierNode::new(inner, 1000, 3);
+        // The lie is in the reports only: the discovered view still holds
+        // both real incident edges.
+        assert_eq!(node.inner.known_edge_count(), 2);
+    }
+
+    #[test]
+    fn falsifier_coin_stream_is_a_pure_function_of_the_key() {
+        for (seed, node, other) in [(0u64, 1usize, 2usize), (9, 4, 0), (1234, 7, 7)] {
+            assert_eq!(
+                falsify_flips(seed, node, other, 500),
+                falsify_flips(seed, node, other, 500),
+            );
+        }
+        // The per-mille bounds are sharp: 0 never flips, 1000 always does.
+        for other in 0..50 {
+            assert!(!falsify_flips(42, 3, other, 0));
+            assert!(falsify_flips(42, 3, other, 1000));
+        }
+        // A fair-ish coin actually varies across the key space.
+        let flips = (0..200).filter(|&other| falsify_flips(42, 3, other, 500)).count();
+        assert!((50..150).contains(&flips), "500‰ flipped {flips}/200 measurements");
+    }
+
+    #[test]
+    fn falsification_cannot_break_agreement_or_verification() {
+        // Correct endpoints re-announce every suppressed edge, so the view
+        // converges and all signatures verify (the falsifier's own chains
+        // are genuine).
+        let g = gen::harary(4, 10).unwrap();
+        let report = Scenario::new(g, 2)
+            .with_byzantine(
+                3,
+                ByzantineBehavior::FalsifyData {
+                    flips_per_mille: 1000,
+                    seed: 11,
+                    partners: vec![],
+                },
+            )
+            .sim()
+            .run();
+        assert!(report.agreement());
+        assert_eq!(report.unanimous_verdict(), Some(Verdict::NotPartitionable));
+    }
+
+    #[test]
+    fn falsifier_fabricates_edges_only_toward_byzantine_partners() {
+        // Nodes 0 and 2 collude on a cycle (no real 0-2 edge); at p = 1 the
+        // fabricated edge is announced and reaches every correct node.
+        let g = gen::cycle(6);
+        let participants = Scenario::new(g, 2)
+            .with_byzantine(
+                0,
+                ByzantineBehavior::FalsifyData {
+                    flips_per_mille: 1000,
+                    seed: 5,
+                    partners: vec![2],
+                },
+            )
+            .with_byzantine(2, ByzantineBehavior::Silent)
+            .sim()
+            .participants();
+        for p in participants.iter().filter(|p| p.is_correct()) {
+            let view = p.nectar().discovered_graph();
+            assert!(
+                view.has_edge(0, 2),
+                "node {} missed the fabricated edge",
+                p.nectar().node_id()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be Byzantine")]
+    fn falsifier_rejects_correct_partners() {
+        let _ = Scenario::new(gen::cycle(6), 1)
+            .with_byzantine(
+                0,
+                ByzantineBehavior::FalsifyData {
+                    flips_per_mille: 1000,
+                    seed: 5,
+                    partners: vec![3],
+                },
+            )
+            .build_participants();
     }
 
     #[test]

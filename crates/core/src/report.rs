@@ -920,8 +920,11 @@ impl Decode for RunReport {
 /// A tiny recursive-descent JSON reader covering exactly the grammar
 /// [`RunReport::to_json`] emits (objects, arrays, strings without exotic
 /// escapes, unsigned integers, booleans, null) — enough to round-trip
-/// persisted reports without a serde dependency.
-mod json {
+/// persisted reports without a serde dependency. Public so sibling crates
+/// persisting in the same idiom (the experiment matrix's `MatrixReport`)
+/// parse with the one shared grammar instead of a second hand-rolled
+/// reader.
+pub mod json {
     use std::collections::BTreeMap;
 
     #[derive(Debug, Clone, PartialEq)]

@@ -29,7 +29,8 @@ use nectar_net::{
 };
 
 use crate::byzantine::{
-    wrap_traffic_fault, ByzantineBehavior, EquivocatorNode, LateRevealNode, Participant,
+    falsify_flips, wrap_traffic_fault, ByzantineBehavior, EquivocatorNode, FalsifierNode,
+    LateRevealNode, Participant,
 };
 use crate::config::{Decision, NectarConfig, Verdict};
 use crate::node::NectarNode;
@@ -280,6 +281,27 @@ impl Scenario {
             }
             Some(ByzantineBehavior::Equivocate { victims }) => {
                 Participant::Equivocator(EquivocatorNode::new(node, victims.clone()))
+            }
+            Some(ByzantineBehavior::FalsifyData { flips_per_mille, seed, partners }) => {
+                // Fabricated "up" measurements first (they ride the normal
+                // announcement machinery), then the send-time "down" flips.
+                for &p in partners {
+                    assert!(
+                        self.byzantine.contains_key(&p),
+                        "falsified measurement partner {p} must be Byzantine (§II: proofs \
+                         involving a correct node cannot be forged)"
+                    );
+                    if p != i
+                        && !self.topology.has_edge(i, p)
+                        && falsify_flips(*seed, i, p, *flips_per_mille)
+                    {
+                        node.announce_extra_proof(NeighborhoodProof::new(
+                            &keys.signer(i as u16),
+                            &keys.signer(p as u16),
+                        ));
+                    }
+                }
+                Participant::Falsifier(FalsifierNode::new(node, *flips_per_mille, *seed))
             }
         }
     }

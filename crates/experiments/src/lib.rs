@@ -33,15 +33,21 @@
 pub mod ablation;
 pub mod chart;
 pub mod cost;
+pub mod matrix;
 pub mod resilience;
 pub mod scenarios;
 pub mod stats;
 pub mod table;
 pub mod unsigned;
 
+pub use matrix::{
+    CastSpec, CellStats, FamilySpec, MatrixCell, MatrixReport, MatrixSpec, MATRIX_CODEC_VERSION,
+    MATRIX_CSV_HEADER,
+};
 pub use scenarios::{
-    bridged_partition, cut_byzantine_placement, partitioned_with_insiders,
-    random_byzantine_placement, BridgeScenario, InsiderScenario,
+    articulation_byzantine_placement, articulation_falsifier_cast, bridged_partition,
+    cut_byzantine_placement, partitioned_with_insiders, random_byzantine_placement, BridgeScenario,
+    InsiderScenario,
 };
 pub use stats::{summarize, Summary};
 pub use table::{Point, Series, Table};

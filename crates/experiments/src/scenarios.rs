@@ -15,8 +15,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use nectar_graph::{gen, traversal, ConnectivityOracle, Graph};
+use nectar_graph::{connectivity, gen, traversal, ConnectivityOracle, Graph};
 use nectar_net::NodeId;
+use nectar_protocol::ByzantineBehavior;
 
 /// A partitioned drone graph with Byzantine insiders.
 #[derive(Debug, Clone)]
@@ -224,6 +225,74 @@ pub fn cut_byzantine_placement_with(
     cut
 }
 
+/// The tree/cut-aware Byzantine placement: liars sit on the graph's
+/// *articulation set*. Articulation points are the size-1 vertex cuts, so
+/// on tree-like, bridged and chained topologies (where the Kailkhura et al.
+/// data-falsification literature places its adversaries) they are exactly
+/// the positions from which a single liar controls every inter-component
+/// path. The placement takes the articulation points most damaging first —
+/// descending degree, then ascending id, both deterministic — and pads a
+/// short set with random extras from the largest remaining component (the
+/// same no-healing rule as [`cut_byzantine_placement`]). On a biconnected
+/// graph (no articulation points at all) it falls back to
+/// [`cut_byzantine_placement`] wholesale.
+pub fn articulation_byzantine_placement(g: &Graph, t: usize, seed: u64) -> Vec<NodeId> {
+    let mut points = connectivity::articulation_points(g);
+    if points.is_empty() {
+        return cut_byzantine_placement(g, t, seed);
+    }
+    points.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    points.truncate(t);
+    if points.len() < t {
+        // Pad from the most populous component left by the chosen points,
+        // so the extras can never swallow a separated side whole.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chosen: std::collections::BTreeSet<NodeId> = points.iter().copied().collect();
+        let without = g.without_nodes(&points);
+        let (ids, count) = traversal::connected_components(&without);
+        let mut sizes = vec![0usize; count];
+        for v in 0..g.node_count() {
+            if !chosen.contains(&v) {
+                sizes[ids[v]] += 1;
+            }
+        }
+        let largest = sizes.iter().enumerate().max_by_key(|&(_, s)| s).map(|(i, _)| i);
+        let mut pool: Vec<NodeId> = (0..g.node_count())
+            .filter(|v| !chosen.contains(v) && largest.is_some_and(|c| ids[*v] == c))
+            .collect();
+        pool.shuffle(&mut rng);
+        while points.len() < t {
+            match pool.pop() {
+                Some(extra) => points.push(extra),
+                None => break, // graph too small to pad further
+            }
+        }
+    }
+    points.sort_unstable();
+    points
+}
+
+/// A full data-falsification cast on the articulation placement: each
+/// placed liar runs [`ByzantineBehavior::FalsifyData`] with the given flip
+/// probability, a per-node seed derived from `seed`, and every *other* cast
+/// member as a colluding partner (fabricated "up" measurements are only
+/// forgeable among Byzantine nodes, §II — the scenario runner enforces it).
+pub fn articulation_falsifier_cast(
+    g: &Graph,
+    t: usize,
+    flips_per_mille: u16,
+    seed: u64,
+) -> Vec<(NodeId, ByzantineBehavior)> {
+    let placement = articulation_byzantine_placement(g, t, seed);
+    placement
+        .iter()
+        .map(|&node| {
+            let partners: Vec<NodeId> = placement.iter().copied().filter(|&p| p != node).collect();
+            (node, ByzantineBehavior::FalsifyData { flips_per_mille, seed, partners })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +368,67 @@ mod tests {
         let g = gen::cycle(8);
         let byz = cut_byzantine_placement(&g, 2, 2);
         assert!(traversal::is_partitioned_without(&g, &byz));
+    }
+
+    #[test]
+    fn articulation_placement_takes_the_cut_vertices_first() {
+        // A path's interior nodes are all articulation points; the highest
+        // degree ties break by ascending id, so t = 2 takes nodes 1 and 2.
+        let g = gen::path(6);
+        assert_eq!(articulation_byzantine_placement(&g, 2, 0), vec![1, 2]);
+        // The star's hub is the lone articulation point and a full cut.
+        let g = gen::star(9);
+        assert_eq!(articulation_byzantine_placement(&g, 1, 3), vec![0]);
+        // Two triangles bridged through node 2: the bowtie centre wins over
+        // the random fallback every time.
+        let bowtie =
+            Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]).unwrap();
+        let placement = articulation_byzantine_placement(&bowtie, 1, 9);
+        assert_eq!(placement, vec![2]);
+        assert!(traversal::is_partitioned_without(&bowtie, &placement));
+    }
+
+    #[test]
+    fn articulation_placement_pads_and_falls_back_deterministically() {
+        // A lollipop (4-clique with a 2-edge tail) has two articulation
+        // points; t = 3 pads the third from the largest remaining component
+        // (the clique side), never healing the split.
+        let g =
+            Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+                .unwrap();
+        let placement = articulation_byzantine_placement(&g, 3, 5);
+        assert_eq!(placement.len(), 3);
+        assert!(placement.contains(&3) && placement.contains(&4), "both cut vertices placed");
+        assert!(placement.iter().any(|v| [0, 1, 2].contains(v)), "padding from the clique side");
+        assert!(traversal::is_partitioned_without(&g, &placement));
+        // Biconnected graph: identical to the min-cut placement.
+        let ring = gen::cycle(8);
+        assert_eq!(
+            articulation_byzantine_placement(&ring, 2, 4),
+            cut_byzantine_placement(&ring, 2, 4),
+        );
+        // Seeded determinism.
+        assert_eq!(
+            articulation_byzantine_placement(&g, 3, 5),
+            articulation_byzantine_placement(&g, 3, 5),
+        );
+    }
+
+    #[test]
+    fn articulation_falsifier_cast_names_only_cast_partners() {
+        let g = gen::path(7);
+        let cast = articulation_falsifier_cast(&g, 3, 700, 11);
+        assert_eq!(cast.len(), 3);
+        let members: Vec<NodeId> = cast.iter().map(|(n, _)| *n).collect();
+        for (node, behavior) in &cast {
+            let ByzantineBehavior::FalsifyData { flips_per_mille, partners, .. } = behavior else {
+                panic!("articulation cast must be falsifiers, got {behavior:?}");
+            };
+            assert_eq!(*flips_per_mille, 700);
+            assert!(!partners.contains(node), "a falsifier cannot partner itself");
+            assert!(partners.iter().all(|p| members.contains(p)));
+            assert_eq!(partners.len(), 2);
+        }
     }
 
     #[test]

@@ -229,6 +229,65 @@ pub fn is_t_byzantine_partitionable(g: &Graph, t: usize) -> bool {
     vertex_connectivity(g) <= t
 }
 
+/// All articulation points (cut vertices) of `g`, in ascending order: the
+/// nodes whose removal increases the number of connected components.
+///
+/// These are exactly the size-1 vertex cuts, so on tree-like and bridged
+/// topologies they are the "key positions" a Byzantine placement strategy
+/// wants (a liar on an articulation point controls every path between the
+/// components it separates). Computed with Tarjan's low-link DFS, run
+/// iteratively so deep path-shaped graphs cannot overflow the stack;
+/// `O(n + m)`, deterministic (roots and neighbors are visited in ascending
+/// id order).
+pub fn articulation_points(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let adj: Vec<Vec<usize>> = (0..n).map(|v| g.neighbors(v).collect()).collect();
+    let mut disc = vec![usize::MAX; n]; // discovery time, MAX = unvisited
+    let mut low = vec![usize::MAX; n];
+    let mut is_cut = vec![false; n];
+    let mut time = 0usize;
+    // Explicit DFS frames: (node, parent, index into the node's adjacency).
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        disc[root] = time;
+        low[root] = time;
+        time += 1;
+        let mut root_children = 0usize;
+        stack.push((root, usize::MAX, 0));
+        while let Some(&mut (v, parent, ref mut next)) = stack.last_mut() {
+            if *next < adj[v].len() {
+                let w = adj[v][*next];
+                *next += 1;
+                if disc[w] == usize::MAX {
+                    disc[w] = time;
+                    low[w] = time;
+                    time += 1;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    stack.push((w, v, 0));
+                } else if w != parent {
+                    low[v] = low[v].min(disc[w]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                    if p != root && low[v] >= disc[p] {
+                        is_cut[p] = true;
+                    }
+                }
+            }
+        }
+        // The root is a cut vertex iff its DFS tree has several children.
+        is_cut[root] = root_children >= 2;
+    }
+    (0..n).filter(|&v| is_cut[v]).collect()
+}
+
 /// Brute-force vertex connectivity by exhaustive cut enumeration.
 ///
 /// Intended as a test oracle for small graphs (exponential in `n`).
@@ -431,6 +490,54 @@ mod tests {
         // Fig. 1b: the star is 1-Byzantine partitionable (hub placement).
         let star = gen::star(8);
         assert!(is_t_byzantine_partitionable(&star, 1));
+    }
+
+    /// Reference articulation test: removing `v` must increase the number
+    /// of connected components among the remaining nodes.
+    fn is_articulation_brute(g: &Graph, v: usize) -> bool {
+        use crate::traversal::connected_components;
+        let (_, before) = connected_components(g);
+        let (_, after) = connected_components(&g.without_nodes(&[v]));
+        // `without_nodes` keeps `v` as an isolated vertex; discount it.
+        after - 1 > before
+    }
+
+    #[test]
+    fn articulation_points_of_classic_graphs() {
+        assert_eq!(articulation_points(&gen::path(5)), vec![1, 2, 3]);
+        assert_eq!(articulation_points(&gen::cycle(6)), Vec::<usize>::new());
+        assert_eq!(articulation_points(&gen::star(7)), vec![0]);
+        assert_eq!(articulation_points(&gen::complete(5)), Vec::<usize>::new());
+        // Two triangles sharing vertex 2: the shared vertex is the cut.
+        let bowtie =
+            Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]).unwrap();
+        assert_eq!(articulation_points(&bowtie), vec![2]);
+    }
+
+    #[test]
+    fn articulation_points_cover_disconnected_graphs() {
+        // Component {0,1,2} is a path (1 is a cut); {3,4} is an edge.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(articulation_points(&g), vec![1]);
+        assert_eq!(articulation_points(&Graph::empty(4)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn articulation_points_match_the_component_count_reference() {
+        for g in [
+            gen::path(8),
+            gen::cycle(8),
+            gen::star(8),
+            petersen(),
+            gen::k_pasted_tree(2, 10).unwrap(),
+            Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)])
+                .unwrap(),
+        ] {
+            let points = articulation_points(&g);
+            for v in 0..g.node_count() {
+                assert_eq!(points.contains(&v), is_articulation_brute(&g, v), "node {v} of {g:?}");
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
+use nectar_experiments::matrix::{CastSpec, FamilySpec, MatrixSpec};
 use nectar_graph::{connectivity, gen, traversal, Graph};
 use nectar_protocol::{
     ByzantineBehavior, Decision, EpochOutcome, RunObserver, Runtime, Scenario, TopologySchedule,
@@ -17,6 +18,9 @@ use nectar_protocol::{
 pub enum Command {
     /// Run NECTAR on a generated topology and report the decision.
     Detect(DetectArgs),
+    /// Sweep the topology-zoo × attack-zoo experiment matrix and report
+    /// per-cell statistics.
+    Matrix(MatrixArgs),
     /// Print structural facts (κ, diameter, edges) for every topology
     /// family at the given size.
     Families {
@@ -72,6 +76,55 @@ pub struct DetectArgs {
     pub profile: bool,
 }
 
+/// Arguments of the `matrix` command (the topology-zoo × attack-zoo
+/// sweep; see `nectar_experiments::matrix`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixArgs {
+    /// Family identifiers (`FamilySpec::parse` vocabulary).
+    pub families: Vec<String>,
+    /// System sizes.
+    pub sizes: Vec<usize>,
+    /// Cast identifiers (`CastSpec::parse` vocabulary).
+    pub casts: Vec<String>,
+    /// Byzantine budget per trial.
+    pub t: usize,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Base seed of the per-trial streams.
+    pub seed: u64,
+    /// The engine every trial runs on (results are engine-independent).
+    pub runtime: Runtime,
+    /// Emit the full MatrixReport JSON to stdout instead of the table.
+    pub json: bool,
+    /// Emit the per-cell CSV to stdout instead of the table.
+    pub csv: bool,
+    /// Persist the MatrixReport JSON to this path.
+    pub out: Option<String>,
+    /// Persist the per-cell CSV to this path.
+    pub out_csv: Option<String>,
+}
+
+impl Default for MatrixArgs {
+    /// The reduced sweep of `MatrixSpec::reduced()`: three families × two
+    /// sizes × three casts, 100 trials per cell at `t = 2`.
+    fn default() -> Self {
+        let spec = MatrixSpec::reduced();
+        MatrixArgs {
+            families: spec.families.iter().map(FamilySpec::name).collect(),
+            sizes: spec.sizes,
+            casts: spec.casts.iter().map(CastSpec::name).collect(),
+            t: spec.t,
+            trials: spec.trials,
+            seed: spec.base_seed,
+            runtime: spec.runtime,
+            json: false,
+            csv: false,
+            out: None,
+            out_csv: None,
+        }
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 nectar-cli — Byzantine-resilient partition detection
@@ -81,6 +134,10 @@ USAGE:
              [--byz <node>:<behavior> ...] [--runtime <R>] [--workers <W>]
              [--seed <S>] [--epochs <E>] [--per-node] [--report <path>]
              [--schedule <path-or-script>] [--profile] [--json | --csv]
+  nectar-cli matrix [--families f1,f2,..] [--sizes n1,n2,..] [--casts c1,c2,..]
+             [--t <T>] [--trials <N>] [--seed <S>] [--runtime <R>]
+             [--workers <W>] [--out <path.json>] [--out-csv <path.csv>]
+             [--json | --csv]
   nectar-cli families --k <K> --n <N> [--csv]
   nectar-cli help
 
@@ -131,6 +188,24 @@ confirmed,reachable,connectivity`. --report <path> additionally persists
   bit-identical. (The experiment runners emit CSV too: `cargo run -p
   nectar-bench --bin figures` writes results/<id>.csv for every figure.)
 
+MATRIX:
+  Sweeps topology families × sizes × adversary casts × seeded trials
+  through the simulation and aggregates each cell: detection and
+  false-positive/false-negative counts against ground truth (κ(G) ≤ t),
+  median rounds-to-verdict, message/byte cost, oracle counters. Defaults
+  to the reduced sweep (harary-k4, wheel-k4, small-world-k4-p100 ×
+  12,16 × honest, silent-cut, falsify-articulation-p800; 100 trials per
+  cell at t = 2). Output: a per-cell table (default), the full
+  MatrixReport JSON (--json) or per-cell CSV (--csv) on stdout;
+  --out / --out-csv additionally persist both forms. Families:
+  harary[-kK] | wheel[-kK] | scale-free[-mM] | small-world[-kK-pP] |
+  grid | torus | random-regular[-dD] | two-cluster (P is the rewiring
+  probability in per-mille). Casts: honest | silent-random | silent-cut |
+  equivocate-random | falsify-articulation[-pP] | falsify-colluding[-pP]
+  (P is the per-measurement flip probability in per-mille; placements
+  use the full budget t, falsifiers sit on articulation points). Every
+  cell is bit-identical across runtimes and worker counts.
+
 FAMILIES:
   harary | random-regular | pasted-tree | diamond | wheel |
   multipartite-wheel | cycle | path | star | complete | drone |
@@ -142,6 +217,8 @@ BEHAVIORS (for --byz):
   hide@<a>-<b> (hide own edges toward a..=b)
 
 EXAMPLES:
+  nectar-cli matrix --families harary-k4,grid --sizes 12,16 --trials 100
+  nectar-cli matrix --casts honest,falsify-colluding-p800 --out matrix.json
   nectar-cli detect --topology harary --k 4 --n 20 --t 2 --byz 3:silent
   nectar-cli detect --topology star --n 8 --t 1 --byz 0:two-faced@4-7
   nectar-cli detect --topology cliques --n 10000 --t 2 --runtime event
@@ -173,6 +250,64 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 (other, _) => Err(format!("unknown flag {other}")),
             })?;
             Ok(Command::Families { k, n, csv })
+        }
+        Some("matrix") => {
+            let mut out = MatrixArgs::default();
+            let mut workers: Option<usize> = None;
+            let rest: Vec<String> = it.cloned().collect();
+            parse_flags(&rest, &["--json", "--csv"], |flag, value| {
+                match (flag, value) {
+                    ("--json", _) => out.json = true,
+                    ("--csv", _) => out.csv = true,
+                    ("--families", Some(v)) => {
+                        out.families = v.split(',').map(str::to_string).collect();
+                    }
+                    ("--casts", Some(v)) => {
+                        out.casts = v.split(',').map(str::to_string).collect();
+                    }
+                    ("--sizes", Some(v)) => {
+                        out.sizes = v
+                            .split(',')
+                            .map(|s| s.parse().map_err(|_| format!("bad --sizes value {s}")))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    ("--t", Some(v)) => set_usize(&mut out.t, v, "--t")?,
+                    ("--trials", Some(v)) => set_usize(&mut out.trials, v, "--trials")?,
+                    ("--runtime", Some(v)) => out.runtime = v.parse()?,
+                    ("--workers", Some(v)) => {
+                        let mut w = 0;
+                        set_usize(&mut w, v, "--workers")?;
+                        workers = Some(w);
+                    }
+                    ("--seed", Some(v)) => {
+                        out.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
+                    }
+                    ("--out", Some(v)) => out.out = Some(v.into()),
+                    ("--out-csv", Some(v)) => out.out_csv = Some(v.into()),
+                    (other, _) => return Err(format!("unknown flag {other}")),
+                }
+                Ok(())
+            })?;
+            if let Some(w) = workers {
+                match out.runtime {
+                    Runtime::Parallel { .. } => out.runtime = Runtime::Parallel { workers: w },
+                    other => {
+                        return Err(format!(
+                            "--workers only applies to --runtime parallel (got {other})"
+                        ));
+                    }
+                }
+            }
+            if out.trials == 0 {
+                return Err("--trials must be at least 1".into());
+            }
+            if out.families.is_empty() || out.sizes.is_empty() || out.casts.is_empty() {
+                return Err("--families, --sizes and --casts must all be non-empty".into());
+            }
+            if out.json && out.csv {
+                return Err("--json and --csv are mutually exclusive".into());
+            }
+            Ok(Command::Matrix(out))
         }
         Some("detect") => {
             let mut out = DetectArgs {
@@ -411,6 +546,36 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 }
             }
             Ok(out)
+        }
+        Command::Matrix(args) => {
+            let spec = MatrixSpec {
+                families: args
+                    .families
+                    .iter()
+                    .map(|f| FamilySpec::parse(f))
+                    .collect::<Result<_, _>>()?,
+                sizes: args.sizes.clone(),
+                casts: args.casts.iter().map(|c| CastSpec::parse(c)).collect::<Result<_, _>>()?,
+                t: args.t,
+                trials: args.trials,
+                base_seed: args.seed,
+                runtime: args.runtime,
+            };
+            let report = spec.run()?;
+            if let Some(path) = &args.out {
+                report.save_json(path).map_err(|e| format!("writing report {path}: {e}"))?;
+            }
+            if let Some(path) = &args.out_csv {
+                std::fs::write(path, report.to_csv())
+                    .map_err(|e| format!("writing CSV {path}: {e}"))?;
+            }
+            if args.json {
+                Ok(report.to_json())
+            } else if args.csv {
+                Ok(report.to_csv())
+            } else {
+                Ok(report.to_string())
+            }
         }
         Command::Detect(args) => {
             let graph = build_topology(&args.topology, args.k, args.n, args.seed)?;
@@ -944,6 +1109,131 @@ mod tests {
         assert!(run_sched("drop one zero").unwrap_err().contains("--schedule"));
         assert!(run_sched("drop 1 0 3").unwrap_err().contains("--schedule"));
         assert!(run_sched("heal 2 0 1").unwrap_err().contains("--schedule"));
+    }
+
+    #[test]
+    fn matrix_args_are_parsed_with_reduced_defaults() {
+        match parse(&strs(&["matrix"])).unwrap() {
+            Command::Matrix(args) => {
+                assert_eq!(args.families.len(), 3);
+                assert_eq!(args.sizes, vec![12, 16]);
+                assert_eq!(args.casts.len(), 3);
+                assert_eq!(args.t, 2);
+                assert_eq!(args.trials, 100);
+                assert_eq!(args.runtime, Runtime::Sync);
+            }
+            other => panic!("expected matrix, got {other:?}"),
+        }
+        match parse(&strs(&[
+            "matrix",
+            "--families",
+            "harary-k4,grid",
+            "--sizes",
+            "8,12",
+            "--casts",
+            "honest,silent-cut",
+            "--t",
+            "1",
+            "--trials",
+            "5",
+            "--runtime",
+            "parallel",
+            "--workers",
+            "3",
+        ]))
+        .unwrap()
+        {
+            Command::Matrix(args) => {
+                assert_eq!(args.families, vec!["harary-k4", "grid"]);
+                assert_eq!(args.sizes, vec![8, 12]);
+                assert_eq!(args.casts, vec!["honest", "silent-cut"]);
+                assert_eq!(args.t, 1);
+                assert_eq!(args.trials, 5);
+                assert_eq!(args.runtime, Runtime::Parallel { workers: 3 });
+            }
+            other => panic!("expected matrix, got {other:?}"),
+        }
+        assert!(parse(&strs(&["matrix", "--trials", "0"])).is_err());
+        assert!(parse(&strs(&["matrix", "--json", "--csv"])).is_err());
+        assert!(parse(&strs(&["matrix", "--workers", "4"])).is_err());
+        assert!(parse(&strs(&["matrix", "--sizes", "x"])).is_err());
+        assert!(parse(&strs(&["matrix", "--wat", "1"])).is_err());
+    }
+
+    #[test]
+    fn matrix_end_to_end_emits_table_json_and_csv() {
+        let base = [
+            "matrix",
+            "--families",
+            "harary-k4,grid",
+            "--sizes",
+            "9",
+            "--casts",
+            "honest,silent-cut",
+            "--t",
+            "1",
+            "--trials",
+            "2",
+            "--seed",
+            "7",
+        ];
+        let table = run(parse(&strs(&base)).unwrap()).unwrap();
+        assert!(table.contains("matrix: 4 cells × 2 trials"), "{table}");
+        assert!(table.contains("harary-k4"), "{table}");
+        let mut json_args = base.to_vec();
+        json_args.push("--json");
+        let json = run(parse(&strs(&json_args)).unwrap()).unwrap();
+        let report = nectar_experiments::MatrixReport::from_json(&json).expect("parses back");
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.trials, 2);
+        let mut csv_args = base.to_vec();
+        csv_args.push("--csv");
+        let csv = run(parse(&strs(&csv_args)).unwrap()).unwrap();
+        let cells = nectar_experiments::MatrixReport::cells_from_csv(&csv).expect("parses back");
+        assert_eq!(cells, report.cells);
+        // Unknown family and cast names surface as messages, not panics.
+        assert!(run(
+            parse(&strs(&["matrix", "--families", "klein-bottle", "--trials", "1"])).unwrap()
+        )
+        .is_err());
+        assert!(run(parse(&strs(&["matrix", "--casts", "gaslight", "--trials", "1"])).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn matrix_out_flags_persist_both_forms() {
+        let dir = std::env::temp_dir();
+        let json_path = dir.join("nectar-cli-matrix-test.json");
+        let csv_path = dir.join("nectar-cli-matrix-test.csv");
+        let cmd = parse(&strs(&[
+            "matrix",
+            "--families",
+            "harary-k4",
+            "--sizes",
+            "8",
+            "--casts",
+            "honest",
+            "--t",
+            "1",
+            "--trials",
+            "2",
+            "--out",
+            json_path.to_str().unwrap(),
+            "--out-csv",
+            csv_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let _ = run(cmd).unwrap();
+        let report =
+            nectar_experiments::MatrixReport::load_json(&json_path).expect("persisted JSON loads");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&csv_path).ok();
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(
+            nectar_experiments::MatrixReport::cells_from_csv(&csv).expect("persisted CSV parses"),
+            report.cells
+        );
     }
 
     #[test]

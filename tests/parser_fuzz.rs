@@ -9,6 +9,7 @@
 use proptest::prelude::*;
 
 use nectar::prelude::*;
+use nectar_experiments::matrix::{CastSpec, FamilySpec, MatrixReport, MatrixSpec};
 
 fn sample_report_json(with_schedule: bool) -> String {
     let scenario = Scenario::new(gen::cycle(6), 1).with_key_seed(9);
@@ -25,6 +26,22 @@ fn sample_report_json(with_schedule: bool) -> String {
         sim
     };
     sim.run().to_json()
+}
+
+/// A small but real matrix sweep — the fuzz corpus for the MatrixReport
+/// codecs (two cells, every counter populated).
+fn sample_matrix_report() -> MatrixReport {
+    MatrixSpec {
+        families: vec![FamilySpec::Harary { k: 2 }],
+        sizes: vec![8],
+        casts: vec![CastSpec::Honest, CastSpec::SilentCut],
+        t: 1,
+        trials: 2,
+        base_seed: 11,
+        runtime: Runtime::Sync,
+    }
+    .run()
+    .expect("sample spec is in domain")
 }
 
 const SAMPLE_SCRIPT: &str = "\
@@ -108,6 +125,36 @@ proptest! {
         }
     }
 
+    /// `MatrixReport::from_json` on a damaged matrix report: `Ok` or a
+    /// non-empty `Err`, never a panic.
+    #[test]
+    fn mutated_matrix_json_never_panics(
+        muts in proptest::collection::vec((0usize..5, 0usize..100_000, 0u8..255), 1..4),
+    ) {
+        let mut doc = sample_matrix_report().to_json();
+        for (kind, pos, payload) in muts {
+            doc = mutate(&doc, kind, pos, payload);
+        }
+        if let Err(e) = MatrixReport::from_json(&doc) {
+            prop_assert!(!e.is_empty(), "error message must say something");
+        }
+    }
+
+    /// `MatrixReport::cells_from_csv` on a damaged per-cell stream: same
+    /// contract as the JSON side.
+    #[test]
+    fn mutated_matrix_csv_never_panics(
+        muts in proptest::collection::vec((0usize..5, 0usize..100_000, 0u8..255), 1..4),
+    ) {
+        let mut doc = sample_matrix_report().to_csv();
+        for (kind, pos, payload) in muts {
+            doc = mutate(&doc, kind, pos, payload);
+        }
+        if let Err(e) = MatrixReport::cells_from_csv(&doc) {
+            prop_assert!(!e.is_empty(), "error message must say something");
+        }
+    }
+
     /// `TopologySchedule::parse` (and, when parsing survives, `compile`
     /// against the base graph) on a damaged script: error or success,
     /// never a panic.
@@ -153,6 +200,47 @@ fn malformed_reports_error_out() {
     for (i, case) in cases.iter().enumerate() {
         let got = RunReport::from_json(case);
         assert!(got.is_err(), "case {i} parsed as {:?}", got.map(|r| r.n));
+    }
+}
+
+/// Targeted malformed matrix reports: each must be a parse *error* — not
+/// a panic, and not a silent `Ok`.
+#[test]
+fn malformed_matrix_reports_error_out() {
+    let valid = sample_matrix_report().to_json();
+    let half = &valid[..valid.len() / 2];
+    let json_cases: Vec<String> = vec![
+        String::new(),
+        "{".into(),
+        "null".into(),
+        "[1, 2, 3]".into(),
+        half.to_string(),
+        // Version skew must be refused, not misread.
+        valid.replace("\"version\": 1", "\"version\": 99"),
+        // A renamed field is a missing field.
+        valid.replace("\"cells\"", "\"cels\""),
+        valid.replace("\"trials\"", "\"trails\""),
+        // Type confusion: a stats object where a counter should be.
+        valid.replace("\"detected\": 0", "\"detected\": \"zero\""),
+        // An unknown runtime name in the provenance header.
+        valid.replace("\"runtime\": \"sync\"", "\"runtime\": \"warp\""),
+    ];
+    for (i, case) in json_cases.iter().enumerate() {
+        let got = MatrixReport::from_json(case);
+        assert!(got.is_err(), "JSON case {i} parsed as {:?}", got.map(|r| r.cells.len()));
+    }
+    let csv = sample_matrix_report().to_csv();
+    let csv_cases: Vec<String> = vec![
+        String::new(),
+        "family,n\n".into(),
+        // Valid header, row with the wrong arity.
+        format!("{}\na,b,c\n", csv.lines().next().unwrap()),
+        // Valid header, non-numeric counter.
+        csv.replacen(",2,", ",two,", 1),
+    ];
+    for (i, case) in csv_cases.iter().enumerate() {
+        let got = MatrixReport::cells_from_csv(case);
+        assert!(got.is_err(), "CSV case {i} parsed as {:?}", got.map(|c| c.len()));
     }
 }
 

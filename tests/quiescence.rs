@@ -151,9 +151,10 @@ fn arb_zoo_graph() -> impl Strategy<Value = Graph> {
     ]
 }
 
-/// A Byzantine cast from the behaviour zoo (topology-independent variants).
+/// A Byzantine cast from the behaviour zoo (topology-independent variants;
+/// partner-free falsifiers lie "down" only, so any placement is legal).
 fn arb_cast(n: usize, t: usize) -> impl Strategy<Value = Vec<(usize, ByzantineBehavior)>> {
-    let behavior = (0..5usize, proptest::collection::btree_set(0..n, 0..3), 1..4usize).prop_map(
+    let behavior = (0..6usize, proptest::collection::btree_set(0..n, 0..3), 1..4usize).prop_map(
         move |(kind, others, round)| {
             let others: BTreeSet<usize> = others;
             match kind {
@@ -161,6 +162,11 @@ fn arb_cast(n: usize, t: usize) -> impl Strategy<Value = Vec<(usize, ByzantineBe
                 1 => ByzantineBehavior::CrashAfter { round },
                 2 => ByzantineBehavior::TwoFaced { silent_toward: others },
                 3 => ByzantineBehavior::HideEdges { toward: others },
+                4 => ByzantineBehavior::FalsifyData {
+                    flips_per_mille: (round * 250) as u16,
+                    seed: round as u64,
+                    partners: vec![],
+                },
                 _ => ByzantineBehavior::Equivocate { victims: others },
             }
         },
@@ -379,6 +385,16 @@ fn colluding_casts_keep_their_hints_sound() {
         .with_key_seed(13)
         .with_byzantine(0, ByzantineBehavior::LateReveal { partner: 1, others: vec![] })
         .with_byzantine(1, ByzantineBehavior::FictitiousEdges { partners: vec![0] });
+    audit(&scenario);
+
+    // The colluding data-falsifying cast (matrix attack zoo): falsifiers
+    // only ever *remove* sends from the honest stream, so their quiescence
+    // hint must inherit the honest node's soundness unchanged.
+    let g = gen::path(8);
+    let mut scenario = Scenario::new(g.clone(), 2).with_key_seed(13);
+    for (node, behavior) in nectar_experiments::articulation_falsifier_cast(&g, 2, 700, 13) {
+        scenario = scenario.with_byzantine(node, behavior);
+    }
     audit(&scenario);
 }
 

@@ -56,9 +56,10 @@ fn arb_zoo_graph() -> impl Strategy<Value = Graph> {
     ]
 }
 
-/// A Byzantine cast from the behaviour zoo (topology-independent variants).
+/// A Byzantine cast from the behaviour zoo (topology-independent variants;
+/// partner-free falsifiers lie "down" only, so any placement is legal).
 fn arb_cast(n: usize, t: usize) -> impl Strategy<Value = Vec<(usize, ByzantineBehavior)>> {
-    let behavior = (0..5usize, proptest::collection::btree_set(0..n, 0..3), 1..4usize).prop_map(
+    let behavior = (0..6usize, proptest::collection::btree_set(0..n, 0..3), 1..4usize).prop_map(
         move |(kind, others, round)| {
             let others: BTreeSet<usize> = others;
             match kind {
@@ -66,6 +67,11 @@ fn arb_cast(n: usize, t: usize) -> impl Strategy<Value = Vec<(usize, ByzantineBe
                 1 => ByzantineBehavior::CrashAfter { round },
                 2 => ByzantineBehavior::TwoFaced { silent_toward: others },
                 3 => ByzantineBehavior::HideEdges { toward: others },
+                4 => ByzantineBehavior::FalsifyData {
+                    flips_per_mille: (round * 250) as u16,
+                    seed: round as u64,
+                    partners: vec![],
+                },
                 _ => ByzantineBehavior::Equivocate { victims: others },
             }
         },
@@ -143,6 +149,27 @@ fn colluding_casts_agree_across_runtimes() {
     assert_reports_identical(&sync, &threaded, "sync vs threaded");
     assert_reports_identical(&sync, &event, "sync vs event");
     assert_reports_identical(&sync, &parallel, "sync vs parallel");
+
+    // The colluding data-falsifying cast (matrix attack zoo): partnered
+    // falsifiers on the articulation placement fabricate "up" measurements
+    // at build time and suppress real ones per coin flip — the
+    // announcement stream itself depends on the cast, so every engine
+    // must reproduce it byte for byte.
+    let g = gen::path(8);
+    let build = || {
+        let mut scenario = Scenario::new(g.clone(), 2).with_key_seed(13);
+        for (node, behavior) in nectar_experiments::articulation_falsifier_cast(&g, 2, 700, 13) {
+            scenario = scenario.with_byzantine(node, behavior);
+        }
+        scenario
+    };
+    let sync = build().sim().run();
+    let threaded = build().sim().runtime(Runtime::Threaded).run();
+    let event = build().sim().runtime(Runtime::Event).run();
+    let parallel = build().sim().workers(3).run();
+    assert_reports_identical(&sync, &threaded, "falsifier: sync vs threaded");
+    assert_reports_identical(&sync, &event, "falsifier: sync vs event");
+    assert_reports_identical(&sync, &parallel, "falsifier: sync vs parallel");
 }
 
 /// The scale claim of the event-driven runtime: an n = 10 000 node scenario

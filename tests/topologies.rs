@@ -201,3 +201,99 @@ fn torus_with_byzantine_neighborhood_is_flagged() {
     assert!(out.agreement());
     assert_eq!(out.unanimous_verdict(), Some(Verdict::Partitionable));
 }
+
+/// Structural properties of the four extra-zoo generators the experiment
+/// matrix sweeps: node/edge counts, degree bounds, connectivity and seed
+/// determinism, over randomized parameter grids.
+mod generator_properties {
+    use nectar::prelude::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn grids_have_exact_shape_and_stay_connected(rows in 2usize..7, cols in 2usize..7) {
+            let g = gen::grid(rows, cols);
+            prop_assert_eq!(g.node_count(), rows * cols);
+            prop_assert_eq!(g.edge_count(), rows * (cols - 1) + cols * (rows - 1));
+            prop_assert!(traversal::is_connected(&g));
+            // Corners have degree 2, interior nodes 4, nothing beyond.
+            for v in 0..g.node_count() {
+                prop_assert!((2..=4).contains(&g.degree(v)), "degree({v}) = {}", g.degree(v));
+            }
+            prop_assert_eq!(g.degree(0), 2);
+        }
+
+        #[test]
+        fn tori_are_four_regular_and_connected(rows in 3usize..7, cols in 3usize..7) {
+            let g = gen::torus(rows, cols).unwrap();
+            prop_assert_eq!(g.node_count(), rows * cols);
+            prop_assert_eq!(g.edge_count(), 2 * rows * cols);
+            prop_assert!(traversal::is_connected(&g));
+            for v in 0..g.node_count() {
+                prop_assert_eq!(g.degree(v), 4);
+            }
+        }
+
+        #[test]
+        fn watts_strogatz_keeps_its_size_and_degree_floor(
+            n in 8usize..40,
+            half_k in 1usize..4,
+            p_per_mille in 0u16..=1000,
+            seed in 0u64..u64::MAX,
+        ) {
+            let k = 2 * half_k;
+            prop_assume!(k < n);
+            let p = p_per_mille as f64 / 1000.0;
+            let g = gen::watts_strogatz(n, k, p, &mut StdRng::seed_from_u64(seed)).unwrap();
+            prop_assert_eq!(g.node_count(), n);
+            // Rewiring moves edges, it never mints them.
+            prop_assert!(g.edge_count() <= n * k / 2);
+            // A node's rewired edge can land on a target one of its later
+            // lattice edges would also pick (the duplicate is skipped), so
+            // only the first clockwise attempt is unconditional: nobody is
+            // ever isolated.
+            for v in 0..n {
+                prop_assert!(g.degree(v) >= 1, "node {v} isolated");
+            }
+            // p = 0 must reproduce the exact ring lattice.
+            if p_per_mille == 0 {
+                prop_assert_eq!(g.edge_count(), n * k / 2);
+                prop_assert!(traversal::is_connected(&g));
+                for v in 0..n {
+                    prop_assert_eq!(g.degree(v), k);
+                }
+            }
+            // Seed determinism: the same stream rebuilds the same graph.
+            let again = gen::watts_strogatz(n, k, p, &mut StdRng::seed_from_u64(seed)).unwrap();
+            prop_assert_eq!(again, g);
+        }
+
+        #[test]
+        fn barabasi_albert_grows_connected_graphs(
+            n in 4usize..40,
+            m in 1usize..4,
+            seed in 0u64..u64::MAX,
+        ) {
+            prop_assume!(m < n);
+            let g = gen::barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed)).unwrap();
+            prop_assert_eq!(g.node_count(), n);
+            // Between "every latecomer found one target" and "every
+            // latecomer attached all m distinct targets".
+            let clique = m * (m - 1) / 2;
+            prop_assert!(g.edge_count() >= clique + (n - m));
+            prop_assert!(g.edge_count() <= clique + (n - m) * m);
+            // Preferential attachment always reaches the existing
+            // component, so the graph is connected end to end.
+            prop_assert!(traversal::is_connected(&g));
+            for v in m..n {
+                prop_assert!(g.degree(v) >= 1);
+            }
+            let again = gen::barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed)).unwrap();
+            prop_assert_eq!(again, g);
+        }
+    }
+}
