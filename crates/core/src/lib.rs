@@ -59,6 +59,7 @@ pub mod config;
 pub mod epochs;
 pub mod message;
 pub mod node;
+pub mod remote;
 pub mod report;
 pub mod runner;
 pub mod sim;
@@ -70,6 +71,7 @@ pub use message::{NectarMsg, RelayedEdge, WireFormat};
 pub use nectar_graph::{ConnectivityOracle, OracleStats};
 pub use nectar_net::{ScheduleError, TopologySchedule};
 pub use node::{NectarNode, RejectReason};
+pub use remote::{run_scenario_node, sync_fleet_reports, NodeReport};
 pub use report::{decision_csv_row, EpochOutcome, RunReport, ScheduleRecord, DECISIONS_CSV_HEADER};
 pub use runner::{Outcome, Runtime, Scenario};
 pub use sim::{RunObserver, Simulation};

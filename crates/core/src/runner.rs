@@ -90,12 +90,16 @@ impl Runtime {
 
 impl std::fmt::Display for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Runtime::Sync => "sync",
-            Runtime::Threaded => "threaded",
-            Runtime::Event => "event",
-            Runtime::Parallel { .. } => "parallel",
-        })
+        match self {
+            Runtime::Sync => f.write_str("sync"),
+            Runtime::Threaded => f.write_str("threaded"),
+            Runtime::Event => f.write_str("event"),
+            // An explicit worker count is part of the runtime's identity,
+            // so it must survive the Display/FromStr round trip; the
+            // match-the-machine default stays plain "parallel".
+            Runtime::Parallel { workers: 0 } => f.write_str("parallel"),
+            Runtime::Parallel { workers } => write!(f, "parallel:{workers}"),
+        }
     }
 }
 
@@ -108,9 +112,16 @@ impl std::str::FromStr for Runtime {
             "threaded" => Ok(Runtime::Threaded),
             "event" => Ok(Runtime::Event),
             "parallel" => Ok(Runtime::parallel()),
-            other => {
-                Err(format!("unknown runtime {other}; expected sync, threaded, event or parallel"))
-            }
+            other => match other.strip_prefix("parallel:") {
+                Some(count) => match count.parse() {
+                    Ok(workers) => Ok(Runtime::Parallel { workers }),
+                    Err(_) => Err(format!("bad parallel worker count {count:?}")),
+                },
+                None => Err(format!(
+                    "unknown runtime {other}; expected sync, threaded, event, parallel \
+                     or parallel:<workers>"
+                )),
+            },
         }
     }
 }
@@ -808,13 +819,22 @@ mod tests {
 
     #[test]
     fn runtime_names_round_trip() {
-        for rt in [Runtime::Sync, Runtime::Threaded, Runtime::Event, Runtime::parallel()] {
+        for rt in [
+            Runtime::Sync,
+            Runtime::Threaded,
+            Runtime::Event,
+            Runtime::parallel(),
+            Runtime::Parallel { workers: 7 },
+        ] {
             assert_eq!(rt.to_string().parse::<Runtime>().unwrap(), rt);
         }
-        // The worker count is not part of the name (it is a tuning knob,
-        // not an engine identity).
-        assert_eq!(Runtime::Parallel { workers: 7 }.to_string(), "parallel");
+        // An explicit worker count is carried in the name; the
+        // match-the-machine default keeps the historical plain form.
+        assert_eq!(Runtime::Parallel { workers: 7 }.to_string(), "parallel:7");
+        assert_eq!(Runtime::parallel().to_string(), "parallel");
         assert!("warp".parse::<Runtime>().is_err());
+        assert!("parallel:".parse::<Runtime>().is_err());
+        assert!("parallel:x".parse::<Runtime>().is_err());
         assert_eq!(Runtime::default(), Runtime::Sync);
     }
 

@@ -80,7 +80,11 @@ pub trait Decode: Sized {
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
 }
 
-fn need<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+pub(crate) fn need<'a>(
+    buf: &mut &'a [u8],
+    n: usize,
+    what: &'static str,
+) -> Result<&'a [u8], CodecError> {
     if buf.len() < n {
         return Err(CodecError::UnexpectedEnd { decoding: what });
     }

@@ -17,7 +17,9 @@
 //! * [`chain`]: chained signatures σ_j(σ_i(msg)) ([`SignatureChain`]),
 //! * [`proof`]: both-endpoint-signed [`NeighborhoodProof`]s,
 //! * [`wire`]: byte-accounting constants for the evaluation's network-cost
-//!   figures.
+//!   figures,
+//! * [`frame`]: length-prefixed, versioned socket frames — the stream
+//!   framing the real transport (`nectar-net`) wraps around the codec.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 
 pub mod chain;
 pub mod codec;
+pub mod frame;
 pub mod hmac;
 pub mod keys;
 pub mod proof;
@@ -49,5 +52,6 @@ pub mod wire;
 
 pub use chain::SignatureChain;
 pub use codec::{CodecError, Decode, Encode};
+pub use frame::{Frame, FrameBuffer, FRAME_HEADER_BYTES, FRAME_VERSION, MAX_FRAME_PAYLOAD};
 pub use keys::{KeyStore, Signature, Signer, SignerId, Verifier};
 pub use proof::NeighborhoodProof;

@@ -8,9 +8,10 @@ use std::fmt::Write as _;
 
 use nectar_experiments::matrix::{CastSpec, FamilySpec, MatrixSpec};
 use nectar_graph::{connectivity, gen, traversal, Graph};
+use nectar_net::transport::{ConnectConfig, SocketTransport};
 use nectar_protocol::{
-    ByzantineBehavior, Decision, EpochOutcome, RunObserver, Runtime, Scenario, TopologySchedule,
-    Verdict,
+    run_scenario_node, ByzantineBehavior, Decision, EpochOutcome, NodeReport, RunObserver, Runtime,
+    Scenario, TopologySchedule, Verdict,
 };
 
 /// A parsed CLI invocation.
@@ -21,6 +22,9 @@ pub enum Command {
     /// Sweep the topology-zoo × attack-zoo experiment matrix and report
     /// per-cell statistics.
     Matrix(MatrixArgs),
+    /// Run ONE node of a scenario over a real socket transport and print
+    /// its `NodeReport` — the per-process half of multi-process detection.
+    Node(NodeArgs),
     /// Print structural facts (κ, diameter, edges) for every topology
     /// family at the given size.
     Families {
@@ -74,6 +78,42 @@ pub struct DetectArgs {
     /// decision stages) into each epoch's outcome, printed with the text
     /// output and persisted in `--report` JSON.
     pub profile: bool,
+}
+
+/// Arguments of the `node` command: one OS process hosting one scenario
+/// node over sockets. Every fleet member is launched with the *same*
+/// scenario flags (topology, n, t, cast, seed) — the topology generators
+/// and the key universe are pure functions of the seed, so each process
+/// rebuilds the identical scenario locally and drives only its own node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeArgs {
+    /// Which node this process hosts.
+    pub node: usize,
+    /// Topology family name (as accepted by [`build_topology`]).
+    pub topology: String,
+    /// Connectivity parameter (families that need one).
+    pub k: usize,
+    /// System size.
+    pub n: usize,
+    /// Byzantine budget.
+    pub t: usize,
+    /// Byzantine cast: `(node, behaviour)` pairs — the full cast, on every
+    /// process, so correct nodes know nothing they wouldn't in-memory (the
+    /// cast only configures the local participant when it is Byzantine).
+    pub byzantine: Vec<(usize, ByzantineBehavior)>,
+    /// Seed for keys and randomized topologies.
+    pub seed: u64,
+    /// `uds` (default) or `tcp`.
+    pub transport: String,
+    /// Directory of the fleet's socket files (`node-<id>.sock` per node);
+    /// empty means `<tmp>/nectar-fleet`. UDS only.
+    pub sock_dir: String,
+    /// First TCP port; node `i` listens on `127.0.0.1:base_port + i`.
+    pub base_port: u16,
+    /// Budget for the connect/accept phase, in milliseconds.
+    pub connect_timeout_ms: u64,
+    /// Per-receive deadline once connected, in milliseconds.
+    pub recv_timeout_ms: u64,
 }
 
 /// Arguments of the `matrix` command (the topology-zoo × attack-zoo
@@ -138,6 +178,10 @@ USAGE:
              [--t <T>] [--trials <N>] [--seed <S>] [--runtime <R>]
              [--workers <W>] [--out <path.json>] [--out-csv <path.csv>]
              [--json | --csv]
+  nectar-cli node --node <I> --topology <family> --n <N> [--k <K>] [--t <T>]
+             [--byz <node>:<behavior> ...] [--seed <S>] [--transport uds|tcp]
+             [--sock-dir <dir>] [--base-port <P>] [--connect-timeout-ms <MS>]
+             [--recv-timeout-ms <MS>]
   nectar-cli families --k <K> --n <N> [--csv]
   nectar-cli help
 
@@ -152,8 +196,25 @@ RUNTIME (--runtime, default sync):
   parallel  the event runtime's active-set scheduling plus a work-stealing
             worker pool committing deliveries once per round — large n on
             many cores; size the pool with --workers <W> (default:
-            match the machine; only wall-clock depends on it)
+            match the machine; only wall-clock depends on it). Reports
+            name this runtime `parallel:<W>` when W is explicit.
   All four produce bit-identical outcomes (docs/DETERMINISM.md).
+
+NODE (multi-process detection):
+  `node` is the real-transport counterpart of `detect`: every process of
+  a fleet is launched with the same scenario flags plus its own --node I,
+  rebuilds the scenario locally (topologies and keys are pure functions
+  of --seed), and drives node I over a framed socket transport with
+  round-barrier pacing. With --transport uds (default, Unix only) node I
+  listens on <sock-dir>/node-I.sock and dials its topology neighbors'
+  files with retry-and-backoff; with --transport tcp it listens on
+  127.0.0.1:<base-port>+I. When the rounds complete it prints a
+  `nectar-node-report v1` block — verdict, accepted edges, traffic
+  counters and the delivered-message log — which the conformance harness
+  (tests/transport_conformance.rs) compares against the in-memory sync
+  run: same verdicts, confirmations, accepted edges and fleet-wide
+  delivery set (docs/DETERMINISM.md covers why the socket contract is
+  delivered-message equivalence, not bit-identity).
 
 SCHEDULE (--schedule):
   Runs detection on a dynamic network: a schedule scripts deterministic
@@ -225,6 +286,7 @@ EXAMPLES:
   nectar-cli detect --topology cliques --n 10000 --t 2 --runtime parallel --workers 4
   nectar-cli detect --topology star --n 8 --t 1 --byz 0:silent --per-node --csv
   nectar-cli detect --topology cycle --n 6 --t 1 --schedule 'drop 1 0 1; drop 1 3 4'
+  nectar-cli node --node 2 --topology harary --k 2 --n 6 --t 2 --sock-dir /tmp/fleet
   nectar-cli families --k 4 --n 24 --csv
 ";
 
@@ -308,6 +370,67 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 return Err("--json and --csv are mutually exclusive".into());
             }
             Ok(Command::Matrix(out))
+        }
+        Some("node") => {
+            let mut out = NodeArgs {
+                node: 0,
+                topology: "harary".into(),
+                k: 2,
+                n: 6,
+                t: 1,
+                byzantine: Vec::new(),
+                seed: 42,
+                transport: "uds".into(),
+                sock_dir: String::new(),
+                base_port: 4600,
+                connect_timeout_ms: 30_000,
+                recv_timeout_ms: 30_000,
+            };
+            let mut node: Option<usize> = None;
+            let rest: Vec<String> = it.cloned().collect();
+            parse_flags(&rest, &[], |flag, value| {
+                match (flag, value) {
+                    ("--node", Some(v)) => {
+                        let mut i = 0;
+                        set_usize(&mut i, v, "--node")?;
+                        node = Some(i);
+                    }
+                    ("--topology", Some(v)) => out.topology = v.into(),
+                    ("--n", Some(v)) => set_usize(&mut out.n, v, "--n")?,
+                    ("--k", Some(v)) => set_usize(&mut out.k, v, "--k")?,
+                    ("--t", Some(v)) => set_usize(&mut out.t, v, "--t")?,
+                    ("--byz", Some(v)) => out.byzantine.push(parse_byz(v)?),
+                    ("--seed", Some(v)) => {
+                        out.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
+                    }
+                    ("--transport", Some(v)) => match v {
+                        "uds" | "tcp" => out.transport = v.into(),
+                        other => {
+                            return Err(format!("bad --transport {other}; expected uds or tcp"));
+                        }
+                    },
+                    ("--sock-dir", Some(v)) => out.sock_dir = v.into(),
+                    ("--base-port", Some(v)) => {
+                        out.base_port =
+                            v.parse().map_err(|_| format!("bad --base-port value {v}"))?;
+                    }
+                    ("--connect-timeout-ms", Some(v)) => {
+                        out.connect_timeout_ms =
+                            v.parse().map_err(|_| format!("bad --connect-timeout-ms value {v}"))?;
+                    }
+                    ("--recv-timeout-ms", Some(v)) => {
+                        out.recv_timeout_ms =
+                            v.parse().map_err(|_| format!("bad --recv-timeout-ms value {v}"))?;
+                    }
+                    (other, _) => return Err(format!("unknown flag {other}")),
+                }
+                Ok(())
+            })?;
+            out.node = node.ok_or("node needs --node <I>")?;
+            if out.node >= out.n {
+                return Err(format!("--node {} out of range (n = {})", out.node, out.n));
+            }
+            Ok(Command::Node(out))
         }
         Some("detect") => {
             let mut out = DetectArgs {
@@ -547,6 +670,47 @@ pub fn run(cmd: Command) -> Result<String, String> {
             }
             Ok(out)
         }
+        Command::Node(args) => {
+            let graph = build_topology(&args.topology, args.k, args.n, args.seed)?;
+            for (node, _) in &args.byzantine {
+                if *node >= args.n {
+                    return Err(format!("byzantine node {node} out of range (n = {})", args.n));
+                }
+            }
+            let mut scenario = Scenario::new(graph, args.t).with_key_seed(args.seed);
+            for (node, behavior) in &args.byzantine {
+                scenario = scenario.with_byzantine(*node, behavior.clone());
+            }
+            let config = ConnectConfig {
+                connect_timeout: std::time::Duration::from_millis(args.connect_timeout_ms),
+                recv_timeout: std::time::Duration::from_millis(args.recv_timeout_ms),
+                ..ConnectConfig::default()
+            };
+            let report = match args.transport.as_str() {
+                "tcp" => {
+                    let addr = |i: usize| -> Result<std::net::SocketAddr, String> {
+                        let port = args.base_port as usize + i;
+                        let port = u16::try_from(port).map_err(|_| {
+                            format!("--base-port {} + node {i} overflows a port", args.base_port)
+                        })?;
+                        Ok(std::net::SocketAddr::from(([127, 0, 0, 1], port)))
+                    };
+                    let peers = scenario
+                        .topology()
+                        .neighborhood(args.node)
+                        .into_iter()
+                        .map(|p| Ok((p, addr(p)?)))
+                        .collect::<Result<Vec<_>, String>>()?;
+                    let transport =
+                        SocketTransport::tcp(args.node, addr(args.node)?, &peers, &config)
+                            .map_err(|e| format!("node {}: {e}", args.node))?;
+                    run_scenario_node(&scenario, args.node, transport)
+                        .map_err(|e| format!("node {}: {e}", args.node))?
+                }
+                _ => run_node_uds(&args, &scenario, &config)?,
+            };
+            Ok(report.to_text())
+        }
         Command::Matrix(args) => {
             let spec = MatrixSpec {
                 families: args
@@ -623,6 +787,40 @@ pub fn run(cmd: Command) -> Result<String, String> {
             }
         }
     }
+}
+
+/// The `--transport uds` body of the `node` command: socket files follow
+/// the `<sock-dir>/node-<id>.sock` convention, so the fleet only has to
+/// agree on the directory.
+#[cfg(unix)]
+fn run_node_uds(
+    args: &NodeArgs,
+    scenario: &Scenario,
+    config: &ConnectConfig,
+) -> Result<NodeReport, String> {
+    let dir = if args.sock_dir.is_empty() {
+        std::env::temp_dir().join("nectar-fleet")
+    } else {
+        std::path::PathBuf::from(&args.sock_dir)
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let sock = |i: usize| dir.join(format!("node-{i}.sock"));
+    let peers: Vec<_> =
+        scenario.topology().neighborhood(args.node).into_iter().map(|p| (p, sock(p))).collect();
+    let transport = SocketTransport::uds(args.node, &sock(args.node), &peers, config)
+        .map_err(|e| format!("node {}: {e}", args.node))?;
+    run_scenario_node(scenario, args.node, transport)
+        .map_err(|e| format!("node {}: {e}", args.node))
+}
+
+#[cfg(not(unix))]
+fn run_node_uds(
+    args: &NodeArgs,
+    _scenario: &Scenario,
+    _config: &ConnectConfig,
+) -> Result<NodeReport, String> {
+    let _ = args;
+    Err("--transport uds needs a Unix platform; use --transport tcp".into())
 }
 
 /// Resolves a `--schedule` value into a validated [`TopologySchedule`]:
@@ -1251,6 +1449,61 @@ mod tests {
         assert!(parse_byz("nonsense").is_err());
         assert!(parse_byz("0:warp@1-2").is_err());
         assert!(parse_byz("0:two-faced@6-4").is_err());
+    }
+
+    #[test]
+    fn node_args_are_parsed() {
+        let cmd = parse(&strs(&[
+            "node",
+            "--node",
+            "2",
+            "--topology",
+            "harary",
+            "--k",
+            "2",
+            "--n",
+            "6",
+            "--t",
+            "2",
+            "--byz",
+            "1:silent",
+            "--seed",
+            "9",
+            "--sock-dir",
+            "/tmp/fleet",
+            "--connect-timeout-ms",
+            "5000",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Node(args) => {
+                assert_eq!(args.node, 2);
+                assert_eq!(args.topology, "harary");
+                assert_eq!((args.k, args.n, args.t), (2, 6, 2));
+                assert_eq!(args.byzantine, vec![(1, ByzantineBehavior::Silent)]);
+                assert_eq!(args.seed, 9);
+                assert_eq!(args.transport, "uds");
+                assert_eq!(args.sock_dir, "/tmp/fleet");
+                assert_eq!(args.connect_timeout_ms, 5000);
+                assert_eq!(args.recv_timeout_ms, 30_000);
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        match parse(&strs(&["node", "--node", "0", "--transport", "tcp", "--base-port", "4700"]))
+            .unwrap()
+        {
+            Command::Node(args) => {
+                assert_eq!(args.transport, "tcp");
+                assert_eq!(args.base_port, 4700);
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        // --node is mandatory, must be in range, and the transport name
+        // is validated at parse time.
+        assert!(parse(&strs(&["node"])).is_err());
+        assert!(parse(&strs(&["node", "--node", "6", "--n", "6"])).is_err());
+        assert!(parse(&strs(&["node", "--node", "0", "--transport", "carrier-pigeon"])).is_err());
+        assert!(parse(&strs(&["node", "--node", "0", "--wat", "1"])).is_err());
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod process;
 pub mod schedule;
 pub mod sync;
 pub mod threaded;
+pub mod transport;
 
 pub use event::{run_event_driven, run_event_driven_with, EventNetwork};
 pub use fault::{ClosureFault, Crash, DropRandom, FaultModel, Faulty, TwoFaced};
@@ -88,3 +89,7 @@ pub use schedule::{
 };
 pub use sync::SyncNetwork;
 pub use threaded::{run_threaded, run_threaded_with};
+pub use transport::{
+    run_over_loopback, ConnectConfig, DeliveryLog, LoopbackHub, LoopbackTransport, NodeDriver,
+    Recorded, SendRecord, SocketTransport, Transport, TransportError,
+};

@@ -286,3 +286,136 @@ fn malformed_schedule_scripts_error_out() {
         assert!(schedule.compile(&gen::cycle(6)).is_err(), "{script:?} compiled");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Frame codec (the socket transport's wire format, nectar_crypto::frame)
+// ---------------------------------------------------------------------------
+
+mod frame_fuzz {
+    use nectar::crypto::{
+        CodecError, Decode, Encode, Frame, FrameBuffer, FRAME_HEADER_BYTES, FRAME_VERSION,
+        MAX_FRAME_PAYLOAD,
+    };
+    use proptest::prelude::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { from: 3 },
+            Frame::RoundEnd { from: 9, round: 4 },
+            Frame::Data { from: 1, round: 2, payload: vec![] },
+            Frame::Data { from: 512, round: 7, payload: (0u8..=255).collect() },
+        ]
+    }
+
+    /// Truncation at every byte boundary: the one-shot decoder errors,
+    /// the streaming decoder waits for more bytes — neither panics, and
+    /// neither fabricates a frame from a partial one.
+    #[test]
+    fn truncation_at_every_byte_boundary_is_safe() {
+        for frame in sample_frames() {
+            let bytes = frame.to_wire_bytes();
+            for cut in 0..bytes.len() {
+                let mut slice = &bytes[..cut];
+                assert!(Frame::decode(&mut slice).is_err(), "{frame:?} cut at {cut}");
+                let mut streaming = FrameBuffer::new();
+                streaming.extend(&bytes[..cut]);
+                assert_eq!(
+                    streaming.next_frame(),
+                    Ok(None),
+                    "{frame:?} cut at {cut}: a partial frame must not decode"
+                );
+                // Feeding the rest completes the frame exactly.
+                streaming.extend(&bytes[cut..]);
+                assert_eq!(streaming.next_frame(), Ok(Some(frame.clone())), "cut at {cut}");
+                assert_eq!(streaming.next_frame(), Ok(None));
+            }
+        }
+    }
+
+    /// Any version byte other than [`FRAME_VERSION`] is rejected before
+    /// the rest of the header is even looked at.
+    #[test]
+    fn version_byte_mutation_is_rejected() {
+        for frame in sample_frames() {
+            let bytes = frame.to_wire_bytes();
+            for version in (0u8..=255).filter(|&v| v != FRAME_VERSION) {
+                let mut mutated = bytes.clone();
+                mutated[0] = version;
+                let mut slice = mutated.as_slice();
+                assert!(Frame::decode(&mut slice).is_err(), "version {version} accepted");
+                let mut streaming = FrameBuffer::new();
+                streaming.extend(&mutated);
+                assert!(streaming.next_frame().is_err(), "version {version} streamed through");
+            }
+        }
+    }
+
+    /// A length field beyond [`MAX_FRAME_PAYLOAD`] errors from the header
+    /// alone: no payload needs to be present, so a hostile peer cannot
+    /// make the decoder buffer or over-read.
+    #[test]
+    fn oversized_length_is_rejected_from_the_header() {
+        let mut header = Frame::Data { from: 0, round: 1, payload: vec![] }.to_wire_bytes();
+        assert_eq!(header.len(), FRAME_HEADER_BYTES);
+        let oversized = (MAX_FRAME_PAYLOAD as u32 + 1).to_be_bytes();
+        header[FRAME_HEADER_BYTES - 4..].copy_from_slice(&oversized);
+        let mut slice = header.as_slice();
+        assert!(matches!(Frame::decode(&mut slice), Err(CodecError::LengthOutOfBounds { .. })));
+        let mut streaming = FrameBuffer::new();
+        streaming.extend(&header);
+        assert!(matches!(streaming.next_frame(), Err(CodecError::LengthOutOfBounds { .. })));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary bytes, fed in arbitrary chunkings: the streaming
+        /// decoder returns frames or errors but never panics, and it
+        /// never consumes bytes it was not given (no over-read).
+        #[test]
+        fn random_bytes_never_panic_the_stream_decoder(
+            bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..512),
+            chunk in 1usize..64,
+        ) {
+            let mut streaming = FrameBuffer::new();
+            let mut fed = 0usize;
+            for piece in bytes.chunks(chunk) {
+                streaming.extend(piece);
+                fed += piece.len();
+                loop {
+                    match streaming.next_frame() {
+                        Ok(Some(frame)) => prop_assert!(frame.encoded_len() <= fed),
+                        Ok(None) => break,
+                        Err(_) => return Ok(()), // rejected cleanly — done
+                    }
+                }
+                prop_assert!(streaming.pending() <= fed);
+            }
+        }
+
+        /// Single-byte mutations of a valid multi-frame stream either
+        /// still parse or error cleanly — never a panic, and every frame
+        /// that does come out is byte-exact with some decodable input.
+        #[test]
+        fn mutated_frame_streams_never_panic(
+            payload in proptest::collection::vec(proptest::num::u8::ANY, 0..48),
+            pos_seed in proptest::num::usize::ANY,
+            byte in proptest::num::u8::ANY,
+        ) {
+            let mut stream = Vec::new();
+            stream.extend(Frame::Hello { from: 2 }.to_wire_bytes());
+            stream.extend(Frame::Data { from: 2, round: 1, payload }.to_wire_bytes());
+            stream.extend(Frame::RoundEnd { from: 2, round: 1 }.to_wire_bytes());
+            let pos = pos_seed % stream.len();
+            stream[pos] = byte;
+            let mut streaming = FrameBuffer::new();
+            streaming.extend(&stream);
+            for _ in 0..4 {
+                match streaming.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+}

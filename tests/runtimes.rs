@@ -221,3 +221,39 @@ fn ten_thousand_node_scenario_completes_on_the_parallel_runtime() {
     assert!(out.decisions().values().all(|d| d.reachable <= 4));
     assert!(out.metrics().total_bytes_sent() > 0);
 }
+
+/// `Runtime`'s `Display`/`FromStr` pair is the CLI `--runtime` vocabulary
+/// *and* the name persisted in `RunReport`/`MatrixReport` JSON — it must
+/// round-trip for every variant, worker counts included, so the flag and
+/// the report format cannot silently drift apart.
+#[test]
+fn runtime_display_fromstr_round_trips_every_variant() {
+    let variants = [
+        Runtime::Sync,
+        Runtime::Threaded,
+        Runtime::Event,
+        Runtime::Parallel { workers: 0 },
+        Runtime::Parallel { workers: 1 },
+        Runtime::Parallel { workers: 2 },
+        Runtime::Parallel { workers: 7 },
+        Runtime::Parallel { workers: 64 },
+    ];
+    for rt in variants {
+        let name = rt.to_string();
+        assert_eq!(name.parse::<Runtime>().unwrap(), rt, "{name} does not round-trip");
+    }
+    // The canonical spellings are pinned: a worker count is carried as
+    // `parallel:<W>`, while the match-the-machine pool keeps the
+    // historical bare name (so old persisted reports still parse).
+    assert_eq!(Runtime::Sync.to_string(), "sync");
+    assert_eq!(Runtime::Threaded.to_string(), "threaded");
+    assert_eq!(Runtime::Event.to_string(), "event");
+    assert_eq!(Runtime::parallel().to_string(), "parallel");
+    assert_eq!(Runtime::Parallel { workers: 3 }.to_string(), "parallel:3");
+    assert_eq!("parallel".parse::<Runtime>().unwrap(), Runtime::Parallel { workers: 0 });
+    assert_eq!("parallel:12".parse::<Runtime>().unwrap(), Runtime::Parallel { workers: 12 });
+    // Malformed names are errors, not defaults.
+    for bad in ["", "warp", "Parallel", "parallel:", "parallel:x", "parallel:-1", "sync "] {
+        assert!(bad.parse::<Runtime>().is_err(), "{bad:?} was accepted");
+    }
+}

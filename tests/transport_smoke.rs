@@ -1,0 +1,79 @@
+//! Multi-process transport smoke test (the `transport-smoke` CI step):
+//! spawn one `nectar-cli node` OS process per node of a harary(2, 6)
+//! ring — a graph whose κ = 2 equals the Byzantine budget, i.e. a real
+//! k2 cut exists — and check the fleet connects, paces its rounds over
+//! Unix-domain sockets, and unanimously reports PARTITIONABLE.
+//!
+//! This is deliberately shallower than `tests/transport_conformance.rs`
+//! (no sync-run cross-check): it is the fast end-to-end canary that the
+//! socket stack — connect/accept with backoff, framing, round barriers,
+//! report emission — works at all.
+
+#![cfg(unix)]
+
+use std::process::{Command, Stdio};
+
+use nectar::prelude::Verdict;
+use nectar::protocol::NodeReport;
+
+const N: usize = 6;
+
+#[test]
+fn uds_fleet_reaches_a_unanimous_partitionable_verdict() {
+    let dir = std::env::temp_dir().join(format!("nectar-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create socket dir");
+
+    let children: Vec<_> = (0..N)
+        .map(|i| {
+            Command::new(env!("CARGO_BIN_EXE_nectar-cli"))
+                .args([
+                    "node",
+                    "--node",
+                    &i.to_string(),
+                    "--topology",
+                    "harary",
+                    "--k",
+                    "2",
+                    "--n",
+                    &N.to_string(),
+                    "--t",
+                    "2",
+                    "--seed",
+                    "7",
+                    "--sock-dir",
+                    dir.to_str().expect("utf-8 temp dir"),
+                    "--connect-timeout-ms",
+                    "20000",
+                    "--recv-timeout-ms",
+                    "20000",
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn nectar-cli node")
+        })
+        .collect();
+
+    for (i, child) in children.into_iter().enumerate() {
+        let output = child.wait_with_output().expect("collect node process");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            output.status.success(),
+            "node {i} failed (status {:?}):\nstdout: {stdout}\nstderr: {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr),
+        );
+        let report = NodeReport::parse(&stdout)
+            .unwrap_or_else(|e| panic!("node {i}: unparseable report: {e}\n{stdout}"));
+        assert_eq!(report.node, i);
+        // κ(harary(2, 6)) = 2 ≤ t = 2: PARTITIONABLE, but with every node
+        // honest nobody is actually unreachable.
+        assert_eq!(report.decision.verdict, Verdict::Partitionable, "node {i}");
+        assert!(!report.decision.confirmed, "node {i}");
+        assert_eq!(report.decision.reachable, N, "node {i}");
+        // Full dissemination: the ring's 6 edges, all accepted.
+        assert_eq!(report.accepted_edges.len(), N, "node {i}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
