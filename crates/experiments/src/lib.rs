@@ -34,11 +34,16 @@ pub mod ablation;
 pub mod chart;
 pub mod cost;
 pub mod matrix;
+pub mod mobility;
 pub mod resilience;
+pub mod scenario;
 pub mod scenarios;
 pub mod stats;
 pub mod table;
 pub mod unsigned;
+
+pub use mobility::MobilitySpec;
+pub use scenario::{CompiledScenario, ScenarioError, ScenarioSpec, TransportKind};
 
 pub use matrix::{
     CastSpec, CellStats, FamilySpec, MatrixCell, MatrixReport, MatrixSpec, MATRIX_CODEC_VERSION,

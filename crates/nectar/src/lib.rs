@@ -54,9 +54,17 @@ pub use nectar_dolev as unsigned;
 
 pub mod cli;
 
+/// The scenario layer — the single front door to every execution axis
+/// (`nectar-cli run <file>`): re-exported at the crate root because it
+/// is the first thing a new user touches.
+pub use nectar_experiments::{
+    CompiledScenario, MobilitySpec, ScenarioError, ScenarioSpec, TransportKind,
+};
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use nectar_baselines::{BaselineVerdict, MtgBehavior, MtgConfig, MtgV2Behavior};
+    pub use nectar_experiments::{CompiledScenario, MobilitySpec, ScenarioSpec, TransportKind};
     pub use nectar_graph::{connectivity, gen, traversal, Graph};
     pub use nectar_protocol::{
         ByzantineBehavior, Decision, EpochMonitor, EpochOutcome, NectarConfig, NectarNode, Outcome,

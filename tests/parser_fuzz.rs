@@ -288,6 +288,160 @@ fn malformed_schedule_scripts_error_out() {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario files (nectar_experiments::scenario)
+// ---------------------------------------------------------------------------
+
+/// A busy but valid scenario document exercising most directives.
+const SAMPLE_SCENARIO: &str = "\
+# a busy but valid scenario
+name fuzz fixture
+topology harary-k4 12
+t 2
+seed 9
+byz 1:silent
+byz 3:two-faced@6-8
+epochs 2
+runtime parallel:2
+schedule drop 1 0 1
+schedule heal 3 0 1
+report out/report.json
+csv out/decisions.csv
+profile
+";
+
+/// A valid mobility-driven scenario (waypoint supplies the topology).
+const SAMPLE_WAYPOINT_SCENARIO: &str = "\
+name waypoint fuzz
+mobility waypoint nodes=16 radius=2000 speed=400 density=6000 rounds=6
+t 1
+seed 3
+";
+
+/// A mutation can inflate numeric fields arbitrarily; compiling a
+/// million-node topology is slow, not wrong, so the fuzz loop only
+/// compiles specs that stay CI-sized.
+fn scenario_is_ci_sized(spec: &ScenarioSpec) -> bool {
+    let declared = spec.family.as_ref().map_or(0, |(_, n)| *n).max(spec.nodes.unwrap_or(0));
+    let (mobile, rounds) = match &spec.mobility {
+        Some(MobilitySpec::Waypoint { nodes, rounds, .. }) => (*nodes, *rounds),
+        Some(MobilitySpec::Churn { rounds, .. }) => (0, *rounds),
+        Some(MobilitySpec::SplitHeal { heal_round, .. }) => (0, *heal_round),
+        None => (0, 0),
+    };
+    declared.max(mobile) <= 2_000 && rounds <= 64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `ScenarioSpec::parse` (and, when parsing survives and the sizes
+    /// stay sane, `compile`) on a damaged scenario file: error or
+    /// success, never a panic.
+    #[test]
+    fn mutated_scenario_files_never_panic(
+        waypoint in proptest::bool::ANY,
+        muts in proptest::collection::vec((0usize..5, 0usize..10_000, 0u8..255), 1..4),
+    ) {
+        let mut doc =
+            if waypoint { SAMPLE_WAYPOINT_SCENARIO } else { SAMPLE_SCENARIO }.to_string();
+        for (kind, pos, payload) in muts {
+            doc = mutate(&doc, kind, pos, payload);
+        }
+        match ScenarioSpec::parse(&doc, "fuzz.scn") {
+            Ok(spec) => {
+                if scenario_is_ci_sized(&spec) {
+                    // A mutated-but-parseable scenario may be internally
+                    // inconsistent; compile must reject it gracefully.
+                    let _ = spec.compile();
+                }
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty(), "empty scenario error"),
+        }
+    }
+}
+
+/// Truncation at every line boundary and a few mid-token cuts: a prefix
+/// of a valid scenario is often still a valid scenario (the format is
+/// line-based with defaults), so the contract is error-or-success with
+/// no panic — and compile must catch whatever parse lets through.
+#[test]
+fn truncated_scenario_files_never_panic() {
+    for doc in [SAMPLE_SCENARIO, SAMPLE_WAYPOINT_SCENARIO] {
+        let cuts = (0..doc.len()).filter(|i| i % 7 == 0 || doc.as_bytes()[*i] == b'\n');
+        for cut in cuts {
+            let prefix = &doc[..cut];
+            if let Ok(spec) = ScenarioSpec::parse(prefix, "truncated.scn") {
+                let _ = spec.compile();
+            }
+        }
+    }
+}
+
+/// Targeted malformed scenarios: every case must surface as an `Err`
+/// from parse or compile — never a panic, never a silent `Ok`.
+#[test]
+fn malformed_scenario_files_error_out() {
+    let cases = [
+        // Empty and truncated-to-nothing documents have no topology.
+        "",
+        "name only a name\n",
+        // Arity and vocabulary errors.
+        "topology\n",
+        "topology harary-k2\n",
+        "topology harary-k2 8 9\n",
+        "topology warp-drive 8\n",
+        "flux-capacitor 1\n",
+        "profile on\n",
+        // Duplicate directives.
+        "topology harary-k2 8\nt 1\nt 2\n",
+        "topology harary-k2 8\nseed 1\nseed 2\n",
+        // Bad values where numbers belong.
+        "topology harary-k2 eight\n",
+        "topology harary-k2 8\nt one\n",
+        "topology harary-k2 8\nepochs 0\n",
+        "topology harary-k2 8\nruntime warp\n",
+        "topology harary-k2 8\nruntime parallel:x\n",
+        "topology harary-k2 8\ntransport carrier-pigeon\n",
+        "topology harary-k2 8\nbase-port 99999\n",
+        // Cross-reference errors: placements, edges and schedules that
+        // do not fit the declared topology.
+        "nodes 4\nedge 0 9\n",
+        "nodes 4\nedge 1 1\n",
+        "edge 0 1\n",
+        "topology harary-k2 8\nt 8\n",
+        "topology harary-k2 8\nbyz 9:silent\n",
+        "topology harary-k2 8\nbyz 1:silent\nbyz 1:silent\n",
+        "topology harary-k2 8\nbyz 1:warp@2\n",
+        "topology harary-k2 8\nschedule drop 1 0 9\n",
+        "topology harary-k2 8\nschedule drop 1 0 3\n",
+        "topology harary-k2 8\nschedule @no-such-file.sched\n",
+        // Mutually exclusive directives.
+        "topology harary-k2 8\nnodes 8\n",
+        "topology harary-k2 8\ncast honest\nbyz 1:silent\n",
+        "topology harary-k2 8\nmobility split-heal at=1 heal=3\nschedule drop 1 0 1\n",
+        "mobility waypoint nodes=8\ntopology harary-k2 8\n",
+        // Transport × execution legality.
+        "topology harary-k2 8\ntransport uds\nreport out.json\n",
+        "topology harary-k2 8\ntransport loopback\nepochs 2\n",
+        "topology harary-k2 8\ntransport tcp\nruntime event\n",
+        "topology harary-k2 8\nsock-dir /tmp/x\n",
+        // Mobility parameter errors.
+        "mobility waypoint nodes=0\nt 1\n",
+        "topology harary-k2 8\nmobility churn period=0\n",
+        "topology harary-k2 8\nmobility churn warp=1\n",
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        let got = ScenarioSpec::parse(case, "bad.scn").and_then(|s| s.compile().map(|_| ()));
+        match got {
+            Ok(()) => panic!("case {i} ({case:?}) was accepted"),
+            Err(e) => {
+                assert!(!e.to_string().is_empty(), "case {i} ({case:?}): empty error");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Frame codec (the socket transport's wire format, nectar_crypto::frame)
 // ---------------------------------------------------------------------------
 

@@ -273,6 +273,75 @@ fn uds_fleet_matches_sync_on_a_byzantine_cast() {
     );
 }
 
+/// The scenario-file front door to the same harness: a UDS fleet whose
+/// every process is launched with `--scenario <file> --node i` — one
+/// shared file instead of a per-process flag list — must pass the exact
+/// delivered-message equivalence contract the flag-path fleet passes.
+#[test]
+fn uds_fleet_launched_via_a_scenario_file_matches_sync() {
+    let byz = [
+        (1usize, ByzantineBehavior::Silent),
+        (4usize, ByzantineBehavior::TwoFaced { silent_toward: [2, 3].into_iter().collect() }),
+    ];
+    let dir = std::env::temp_dir().join(format!("nectar-conf-scn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create socket dir");
+    let file = dir.join("fleet.scn");
+    std::fs::write(
+        &file,
+        format!(
+            "name conformance fleet\n\
+             topology harary-k2 {FLEET_N}\n\
+             t 2\n\
+             seed {FLEET_SEED}\n\
+             byz 1:silent\n\
+             byz 4:two-faced@2-3\n\
+             transport uds\n\
+             sock-dir {}\n\
+             connect-timeout-ms 20000\n\
+             recv-timeout-ms 20000\n",
+            dir.display()
+        ),
+    )
+    .expect("write scenario file");
+
+    let children: Vec<(usize, Child)> = (0..FLEET_N)
+        .map(|i| {
+            let child = Command::new(env!("CARGO_BIN_EXE_nectar-cli"))
+                .args([
+                    "node",
+                    "--scenario",
+                    file.to_str().expect("utf-8 temp dir"),
+                    "--node",
+                    &i.to_string(),
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn nectar-cli node");
+            (i, child)
+        })
+        .collect();
+    let mut fleet = Vec::with_capacity(FLEET_N);
+    for (i, child) in children {
+        let output = child.wait_with_output().expect("collect node process");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            output.status.success(),
+            "node {i} failed (status {:?}):\nstdout: {stdout}\nstderr: {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr),
+        );
+        let report = NodeReport::parse(&stdout)
+            .unwrap_or_else(|e| panic!("node {i} emitted an unparseable report: {e}\n{stdout}"));
+        assert_eq!(report.node, i, "process {i} reported as node {}", report.node);
+        fleet.push(report);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_fleet_conforms(&fleet_scenario(&byz), &fleet);
+}
+
 /// In-process twin of the UDS fleet on the same seeded scenario, driving
 /// [`NodeDriver`]s over loopback: pins that the *driver* layer (round
 /// barrier, ascending-sender delivery, delivery logging) — not just the

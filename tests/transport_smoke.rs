@@ -1,13 +1,15 @@
 //! Multi-process transport smoke test (the `transport-smoke` CI step):
-//! spawn one `nectar-cli node` OS process per node of a harary(2, 6)
-//! ring — a graph whose κ = 2 equals the Byzantine budget, i.e. a real
-//! k2 cut exists — and check the fleet connects, paces its rounds over
-//! Unix-domain sockets, and unanimously reports PARTITIONABLE.
+//! write ONE scenario file, spawn one `nectar-cli node --scenario` OS
+//! process per node of a harary(2, 6) ring — a graph whose κ = 2 equals
+//! the Byzantine budget, i.e. a real k2 cut exists — and check the fleet
+//! connects, paces its rounds over Unix-domain sockets, and unanimously
+//! reports PARTITIONABLE. The whole fleet shares the file: no process
+//! re-derives seeded state from its own flag list.
 //!
 //! This is deliberately shallower than `tests/transport_conformance.rs`
 //! (no sync-run cross-check): it is the fast end-to-end canary that the
-//! socket stack — connect/accept with backoff, framing, round barriers,
-//! report emission — works at all.
+//! scenario front door and the socket stack — connect/accept with
+//! backoff, framing, round barriers, report emission — work at all.
 
 #![cfg(unix)]
 
@@ -19,34 +21,36 @@ use nectar::protocol::NodeReport;
 const N: usize = 6;
 
 #[test]
-fn uds_fleet_reaches_a_unanimous_partitionable_verdict() {
+fn uds_fleet_launched_from_one_scenario_file_reaches_a_unanimous_verdict() {
     let dir = std::env::temp_dir().join(format!("nectar-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create socket dir");
+    let scenario_file = dir.join("smoke.scn");
+    std::fs::write(
+        &scenario_file,
+        format!(
+            "name transport smoke\n\
+             topology harary-k2 {N}\n\
+             t 2\n\
+             seed 7\n\
+             transport uds\n\
+             sock-dir {}\n\
+             connect-timeout-ms 20000\n\
+             recv-timeout-ms 20000\n",
+            dir.display()
+        ),
+    )
+    .expect("write scenario file");
 
     let children: Vec<_> = (0..N)
         .map(|i| {
             Command::new(env!("CARGO_BIN_EXE_nectar-cli"))
                 .args([
                     "node",
+                    "--scenario",
+                    scenario_file.to_str().expect("utf-8 temp dir"),
                     "--node",
                     &i.to_string(),
-                    "--topology",
-                    "harary",
-                    "--k",
-                    "2",
-                    "--n",
-                    &N.to_string(),
-                    "--t",
-                    "2",
-                    "--seed",
-                    "7",
-                    "--sock-dir",
-                    dir.to_str().expect("utf-8 temp dir"),
-                    "--connect-timeout-ms",
-                    "20000",
-                    "--recv-timeout-ms",
-                    "20000",
                 ])
                 .stdout(Stdio::piped())
                 .stderr(Stdio::piped())
